@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small shared helpers for the benchmark harnesses (banner printing and
+ * sorted-series output). Experiment logic lives in pka::core::experiments.
+ */
+
+#ifndef PKA_BENCH_BENCH_UTIL_HH
+#define PKA_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pka::bench
+{
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::string rule(title.size() + 8, '=');
+    std::printf("\n%s\n=== %s ===\n%s\n", rule.c_str(), title.c_str(),
+                rule.c_str());
+}
+
+/** Ascending sort helper returning a copy. */
+inline std::vector<double>
+sorted(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs;
+}
+
+} // namespace pka::bench
+
+#endif // PKA_BENCH_BENCH_UTIL_HH

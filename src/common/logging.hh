@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * fatal() is for user-caused conditions (bad configuration, impossible
+ * request) and exits cleanly; panic() is for internal invariant violations
+ * and aborts. warn()/inform() report conditions without stopping.
+ */
+
+#ifndef PKA_COMMON_LOGGING_HH
+#define PKA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pka::common
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const std::string &msg);
+
+/** Report normal operating status to stderr. */
+void inform(const std::string &msg);
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Unlike assert(), stays on in release builds.
+ */
+#define PKA_ASSERT(cond, msg)                                                 \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::pka::common::panic(::pka::common::strfmt(                       \
+                "%s:%d: assertion '%s' failed: %s", __FILE__, __LINE__,       \
+                #cond, std::string(msg).c_str()));                            \
+        }                                                                     \
+    } while (0)
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_LOGGING_HH

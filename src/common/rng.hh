@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * A small PCG32 generator is used throughout the project so that every
+ * experiment is reproducible from (stream, sequence) seeds. Substream
+ * derivation lets each (workload, launch) pair own an independent stream
+ * without correlated draws.
+ */
+
+#ifndef PKA_COMMON_RNG_HH
+#define PKA_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace pka::common
+{
+
+/**
+ * PCG32 (XSH RR 64/32) pseudo-random generator.
+ *
+ * Deterministic, tiny state, statistically solid for simulation jitter.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional independent stream id. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1)
+    {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Next raw 32-bit draw. */
+    uint32_t
+    nextU32()
+    {
+        uint64_t oldstate = state_;
+        state_ = oldstate * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Next 64-bit draw. */
+    uint64_t
+    nextU64()
+    {
+        return (static_cast<uint64_t>(nextU32()) << 32) | nextU32();
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return nextU32() * (1.0 / 4294967296.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint32_t
+    uniformInt(uint32_t n)
+    {
+        // Lemire-style rejection-free-enough bound; bias is negligible for
+        // the n values we use, but keep the classic unbiased loop anyway.
+        uint32_t threshold = (-n) % n;
+        for (;;) {
+            uint32_t r = nextU32();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
+
+    /** Standard normal draw (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        if (has_spare_) {
+            has_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12)
+            u1 = uniform();
+        double u2 = uniform();
+        double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(6.283185307179586 * u2);
+        has_spare_ = true;
+        return mag * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal draw with mean/std. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Lognormal multiplicative jitter centered on 1.0 with given sigma. */
+    double
+    jitter(double sigma)
+    {
+        // exp(N(-sigma^2/2, sigma)) has mean 1.
+        return std::exp(normal(-0.5 * sigma * sigma, sigma));
+    }
+
+    /**
+     * Derive a child generator for a keyed substream, e.g. one per kernel
+     * launch. SplitMix64-hash the keys so nearby keys decorrelate.
+     */
+    static Rng
+    forKey(uint64_t a, uint64_t b = 0, uint64_t c = 0)
+    {
+        uint64_t h = mix(mix(mix(0x9e3779b97f4a7c15ULL ^ a) + b) + c);
+        return Rng(h, mix(h) | 1);
+    }
+
+  private:
+    static uint64_t
+    mix(uint64_t z)
+    {
+        z += 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_ = 0;
+    uint64_t inc_ = 1;
+    double spare_ = 0.0;
+    bool has_spare_ = false;
+};
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_RNG_HH

@@ -1,0 +1,160 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pka::common
+{
+
+RollingWindow::RollingWindow(size_t capacity)
+    : buf_(capacity, 0.0)
+{
+    PKA_ASSERT(capacity > 0, "rolling window capacity must be positive");
+}
+
+void
+RollingWindow::push(double x)
+{
+    if (count_ == buf_.size()) {
+        double evicted = buf_[head_];
+        sum_ -= evicted;
+        sumsq_ -= evicted * evicted;
+    } else {
+        ++count_;
+    }
+    buf_[head_] = x;
+    head_ = (head_ + 1) % buf_.size();
+    sum_ += x;
+    sumsq_ += x * x;
+
+    // Bound floating-point drift in the incremental sums.
+    if (++pushes_since_rebuild_ >= 1u << 20) {
+        rebuild();
+        pushes_since_rebuild_ = 0;
+    }
+}
+
+void
+RollingWindow::rebuild()
+{
+    sum_ = 0.0;
+    sumsq_ = 0.0;
+    for (size_t i = 0; i < count_; ++i) {
+        size_t idx = (head_ + buf_.size() - 1 - i) % buf_.size();
+        sum_ += buf_[idx];
+        sumsq_ += buf_[idx] * buf_[idx];
+    }
+}
+
+double
+RollingWindow::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+RollingWindow::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumsq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+RollingWindow::coefficientOfVariation() const
+{
+    double m = mean();
+    double s = stddev();
+    if (std::abs(m) < 1e-12)
+        return s < 1e-12 ? 0.0 : std::numeric_limits<double>::infinity();
+    return s / std::abs(m);
+}
+
+void
+RollingWindow::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    sumsq_ = 0.0;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double m = mean(xs);
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - m) * (x - m);
+    var /= static_cast<double>(xs.size());
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+geomean(const std::vector<double> &xs, double floor_value)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs)
+        logsum += std::log(std::max(x, floor_value));
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+meanAbs(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += std::abs(x);
+    return s / static_cast<double>(xs.size());
+}
+
+double
+pctError(double measured, double reference)
+{
+    if (std::abs(reference) < 1e-12)
+        return std::abs(measured) < 1e-12 ? 0.0 : 100.0;
+    return 100.0 * std::abs(measured - reference) / std::abs(reference);
+}
+
+double
+speedup(double slow, double fast)
+{
+    if (fast <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return slow / fast;
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace pka::common

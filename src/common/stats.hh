@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Statistics helpers shared across the project: O(1) rolling window
+ * statistics (the heart of the PKP stability detector), summary statistics
+ * and the error/speedup metrics used throughout the evaluation.
+ */
+
+#ifndef PKA_COMMON_STATS_HH
+#define PKA_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace pka::common
+{
+
+/**
+ * Fixed-capacity rolling window with O(1) mean/std updates.
+ *
+ * Maintains sum and sum-of-squares over the last `capacity` samples using a
+ * ring buffer. Numerical drift is bounded by periodically rebuilding the
+ * sums from the buffered samples.
+ */
+class RollingWindow
+{
+  public:
+    explicit RollingWindow(size_t capacity);
+
+    /** Push one sample, evicting the oldest once full. */
+    void push(double x);
+
+    /** Number of samples currently held (<= capacity). */
+    size_t size() const { return count_; }
+
+    /** True once `capacity` samples have been pushed. */
+    bool full() const { return count_ == buf_.size(); }
+
+    /** Window capacity. */
+    size_t capacity() const { return buf_.size(); }
+
+    /** Mean of held samples; 0 when empty. */
+    double mean() const;
+
+    /** Population standard deviation of held samples; 0 when empty. */
+    double stddev() const;
+
+    /** stddev() / mean(); +inf when the mean is ~0 but data varies. */
+    double coefficientOfVariation() const;
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    void rebuild();
+
+    std::vector<double> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    size_t pushes_since_rebuild_ = 0;
+};
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for empty input. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Geometric mean; values <= 0 are clamped to `floor_value` first, matching
+ * the common practice in speedup reporting. Returns 0 for empty input.
+ */
+double geomean(const std::vector<double> &xs, double floor_value = 1e-12);
+
+/** Mean of absolute values; 0 for empty input. */
+double meanAbs(const std::vector<double> &xs);
+
+/**
+ * Absolute percentage error of `measured` against `reference`,
+ * i.e. 100 * |measured - reference| / |reference|. Returns 0 when both are
+ * zero and 100 when only the reference is zero.
+ */
+double pctError(double measured, double reference);
+
+/** Speedup of `fast` over `slow` as slow/fast; +inf when fast == 0. */
+double speedup(double slow, double fast);
+
+/** Median (of a copy); 0 for empty input. */
+double median(std::vector<double> xs);
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_STATS_HH

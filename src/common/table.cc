@@ -1,0 +1,135 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pka::common
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PKA_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    PKA_ASSERT(!rows_.empty(), "call row() before adding cells");
+    PKA_ASSERT(rows_.back().size() < headers_.size(),
+               "more cells than columns");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+TextTable &
+TextTable::intCell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[c])) << v;
+            if (c + 1 < headers_.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        emit_row(r);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto &r : rows_)
+        emit_row(r);
+}
+
+std::string
+humanTime(double seconds)
+{
+    struct Scale { double limit; double div; const char *unit; };
+    static const Scale scales[] = {
+        {1e-3, 1e-6, "us"},
+        {1.0, 1e-3, "ms"},
+        {60.0, 1.0, "s"},
+        {3600.0, 60.0, "m"},
+        {86400.0, 3600.0, "h"},
+        {86400.0 * 365, 86400.0, "d"},
+        {86400.0 * 365 * 100, 86400.0 * 365, "y"},
+    };
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    for (const auto &s : scales) {
+        if (seconds < s.limit) {
+            os << seconds / s.div << " " << s.unit;
+            return os.str();
+        }
+    }
+    os << seconds / (86400.0 * 365 * 100) << " centuries";
+    return os.str();
+}
+
+std::string
+humanCount(double count)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    if (count < 1e3)
+        os << count;
+    else if (count < 1e6)
+        os << count / 1e3 << "k";
+    else if (count < 1e9)
+        os << count / 1e6 << "M";
+    else
+        os << count / 1e9 << "B";
+    return os.str();
+}
+
+} // namespace pka::common

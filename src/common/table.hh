@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Console table and CSV rendering used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef PKA_COMMON_TABLE_HH
+#define PKA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pka::common
+{
+
+/**
+ * A simple fixed-column text table. Columns auto-size to the widest cell;
+ * numeric convenience adders format with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Start a new row. Cells are appended with cell()/num(). */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a numeric cell with fixed precision. */
+    TextTable &num(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TextTable &intCell(long long value);
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, header first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format seconds as a human scale: us, ms, s, m, h, d, y, or centuries. */
+std::string humanTime(double seconds);
+
+/** Format a (possibly huge) count with k/M/B suffixes. */
+std::string humanCount(double count);
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_TABLE_HH

@@ -1,0 +1,197 @@
+#include "core/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "ml/hierarchical.hh"
+#include "ml/scaler.hh"
+
+namespace pka::core
+{
+
+using pka::workload::Workload;
+
+namespace
+{
+
+/** Expected whole-app retired thread instructions (no CTA jitter). */
+double
+expectedThreadInstructions(const Workload &w)
+{
+    double total = 0.0;
+    for (const auto &k : w.launches)
+        total += static_cast<double>(k.totalWarpInstructions()) * 32.0 *
+                 k.program->divergenceEff;
+    return total;
+}
+
+} // namespace
+
+BaselineResult
+firstNInstructions(const sim::GpuSimulator &simulator, const Workload &w,
+                   uint64_t instruction_budget)
+{
+    BaselineResult res;
+    double budget = static_cast<double>(instruction_budget);
+    for (const auto &k : w.launches) {
+        sim::SimOptions opts;
+        opts.maxThreadInstructions = static_cast<uint64_t>(
+            std::max(1.0, budget - res.simulatedThreadInsts));
+        sim::KernelSimResult r =
+            simulator.simulateKernel(k, w.seed, opts);
+        res.simulatedCycles += static_cast<double>(r.cycles);
+        res.simulatedThreadInsts += r.threadInstructions;
+        if (r.truncatedByBudget ||
+            res.simulatedThreadInsts >= budget) {
+            // Extrapolate the whole app at the IPC measured so far.
+            double ipc = res.simulatedCycles > 0
+                             ? res.simulatedThreadInsts /
+                                   res.simulatedCycles
+                             : 1.0;
+            res.projectedAppCycles =
+                ipc > 0 ? expectedThreadInstructions(w) / ipc : 0.0;
+            res.completed = false;
+            return res;
+        }
+    }
+    res.projectedAppCycles = res.simulatedCycles;
+    res.completed = true;
+    return res;
+}
+
+TBPointResult
+tbpointSelect(const std::vector<TBPointKernelStats> &stats,
+              const TBPointOptions &options)
+{
+    PKA_ASSERT(!stats.empty(), "TBPoint needs kernel stats");
+
+    double true_cycles = 0.0;
+    for (const auto &s : stats)
+        true_cycles += static_cast<double>(s.cycles);
+
+    // Feature matrix: simulation-derived per-kernel behaviour.
+    std::vector<std::vector<double>> rows;
+    rows.reserve(stats.size());
+    for (const auto &s : stats) {
+        rows.push_back({std::log1p(static_cast<double>(s.cycles)),
+                        s.ipc, s.dramUtilPct, s.l2MissPct,
+                        std::log1p(s.warpInstructions),
+                        std::log1p(s.numCtas)});
+    }
+    ml::StandardScaler scaler;
+    ml::Matrix X = scaler.fitTransform(ml::Matrix::fromRows(rows));
+
+    // Cluster once, then sweep threshold cuts from coarse (few groups) to
+    // fine; keep the coarsest grouping meeting the error target, else the
+    // best error. Thresholds map into the standardized feature space
+    // (x20).
+    ml::Dendrogram dendro = ml::buildDendrogram(X, options.maxKernels);
+    TBPointResult best;
+    double best_err = 1e300;
+    for (uint32_t i = 0; i < options.sweepPoints; ++i) {
+        double frac = options.sweepPoints > 1
+                          ? static_cast<double>(i) /
+                                (options.sweepPoints - 1)
+                          : 0.0;
+        double t = options.maxThreshold -
+                   frac * (options.maxThreshold - options.minThreshold);
+        double dist_threshold = t * 8.0;
+
+        auto hc = ml::cutDendrogram(dendro, dist_threshold);
+
+        std::vector<KernelGroup> groups(hc.numClusters);
+        std::vector<bool> seen(hc.numClusters, false);
+        for (size_t r = 0; r < stats.size(); ++r) {
+            uint32_t g = hc.labels[r];
+            if (!seen[g]) {
+                seen[g] = true;
+                groups[g].representative = stats[r].launchId;
+                groups[g].representativeCycles = stats[r].cycles;
+            }
+            groups[g].members.push_back(stats[r].launchId);
+            groups[g].weight += 1.0;
+        }
+        double projected = 0.0, rep_cost = 0.0;
+        for (const auto &g : groups) {
+            projected +=
+                static_cast<double>(g.representativeCycles) * g.weight;
+            rep_cost += static_cast<double>(g.representativeCycles);
+        }
+        double err = pka::common::pctError(projected, true_cycles);
+        if (err < best_err) {
+            best_err = err;
+            best.groups = std::move(groups);
+            best.chosenThreshold = t;
+            best.projectedCycles = projected;
+            best.projectedErrorPct = err;
+            best.representativeCycleCost = rep_cost;
+        }
+        if (best_err < options.targetErrorPct)
+            break; // coarsest grouping meeting the target
+    }
+    best.trueCycles = true_cycles;
+    return best;
+}
+
+size_t
+detectIterationPeriod(const std::vector<std::string> &names)
+{
+    const size_t n = names.size();
+    if (n < 4)
+        return 0;
+
+    // Intern names, then use the KMP failure function to find the
+    // smallest period of the sequence.
+    std::unordered_map<std::string, uint32_t> interned;
+    std::vector<uint32_t> seq(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto [it, _] = interned.emplace(
+            names[i], static_cast<uint32_t>(interned.size()));
+        seq[i] = it->second;
+    }
+
+    std::vector<size_t> pi(n, 0);
+    for (size_t i = 1; i < n; ++i) {
+        size_t j = pi[i - 1];
+        while (j > 0 && seq[i] != seq[j])
+            j = pi[j - 1];
+        if (seq[i] == seq[j])
+            ++j;
+        pi[i] = j;
+    }
+    size_t period = n - pi[n - 1];
+    // Require at least two full iterations and a non-trivial period.
+    if (period == 0 || period > n / 2 || period == n)
+        return 0;
+    return period;
+}
+
+SingleIterationResult
+singleIterationBaseline(const sim::GpuSimulator &simulator, const Workload &w)
+{
+    SingleIterationResult res;
+    std::vector<std::string> names;
+    names.reserve(w.launches.size());
+    for (const auto &k : w.launches)
+        names.push_back(k.program->name);
+    size_t period = detectIterationPeriod(names);
+    if (period == 0)
+        return res;
+
+    res.applicable = true;
+    res.periodLaunches = period;
+    res.iterations = static_cast<double>(w.launches.size()) /
+                     static_cast<double>(period);
+    for (size_t i = 0; i < period; ++i) {
+        sim::KernelSimResult r =
+            simulator.simulateKernel(w.launches[i], w.seed);
+        res.simulatedCycles += static_cast<double>(r.cycles);
+    }
+    res.projectedAppCycles = res.simulatedCycles * res.iterations;
+    return res;
+}
+
+} // namespace pka::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The comparison baselines the paper evaluates PKA against:
+ *
+ *  - FirstNInstructions: simulate the first N (default 1 billion) thread
+ *    instructions of the app and extrapolate (the common "1B" practice).
+ *  - TBPoint: hierarchical clustering of kernels over features that
+ *    require *full simulation* of every kernel, with the original
+ *    hand-tuned threshold replaced by a 20-point sweep (Section 5.1).
+ *  - SingleIteration: NVArchSim's practice of simulating one training/
+ *    inference iteration and scaling (Section 6), applicable only to
+ *    iteration-structured workloads.
+ */
+
+#ifndef PKA_CORE_BASELINES_HH
+#define PKA_CORE_BASELINES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pks.hh"
+#include "sim/simulator.hh"
+#include "workload/kernel.hh"
+
+namespace pka::core
+{
+
+/** Outcome common to the app-level baselines. */
+struct BaselineResult
+{
+    double projectedAppCycles = 0.0;  ///< extrapolated whole-app cycles
+    double simulatedCycles = 0.0;     ///< cycles actually simulated (cost)
+    double simulatedThreadInsts = 0.0;
+    bool completed = false;           ///< budget never hit (ran everything)
+};
+
+/**
+ * Simulate launches in order until `instruction_budget` thread
+ * instructions retire; extrapolate app cycles at the measured IPC.
+ */
+BaselineResult
+firstNInstructions(const sim::GpuSimulator &simulator,
+                   const pka::workload::Workload &w,
+                   uint64_t instruction_budget = 1'000'000'000ULL);
+
+/** Per-kernel features TBPoint derives from full simulation. */
+struct TBPointKernelStats
+{
+    uint32_t launchId = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    double dramUtilPct = 0.0;
+    double l2MissPct = 0.0;
+    double warpInstructions = 0.0;
+    double numCtas = 0.0;
+};
+
+/** TBPoint options. */
+struct TBPointOptions
+{
+    /** Threshold sweep bounds and count (paper: 20 values in [0.01,0.2],
+     *  scaled here to the normalized feature space). */
+    double minThreshold = 0.01;
+    double maxThreshold = 0.2;
+    uint32_t sweepPoints = 20;
+
+    /** Projected-cycle error target reused from PKS's criterion. */
+    double targetErrorPct = 5.0;
+
+    /** Hierarchical-clustering sample guardrail. */
+    size_t maxKernels = 20000;
+};
+
+/** TBPoint selection result. */
+struct TBPointResult
+{
+    std::vector<KernelGroup> groups;
+    double chosenThreshold = 0.0;
+    double projectedCycles = 0.0;
+    double trueCycles = 0.0;
+    double projectedErrorPct = 0.0;
+
+    /** Simulated cycles if only representatives run. */
+    double representativeCycleCost = 0.0;
+};
+
+/**
+ * Run TBPoint selection over per-kernel full-simulation stats
+ * (chronological). Fatal on streams beyond options.maxKernels — the
+ * scaling wall that motivates PKA.
+ */
+TBPointResult tbpointSelect(const std::vector<TBPointKernelStats> &stats,
+                            const TBPointOptions &options = {});
+
+/**
+ * Detect the launch-name repetition period of an iteration-structured
+ * stream (smallest p such that names[i] == names[i % p] for all i
+ * covering >= 2 periods); returns 0 when no period exists.
+ */
+size_t detectIterationPeriod(const std::vector<std::string> &names);
+
+/** Single-iteration scaling result. */
+struct SingleIterationResult
+{
+    bool applicable = false;     ///< a launch period was found
+    size_t periodLaunches = 0;   ///< launches per iteration
+    double iterations = 0.0;     ///< stream length / period
+    double projectedAppCycles = 0.0;
+    double simulatedCycles = 0.0; ///< one iteration's simulation cost
+};
+
+/**
+ * NVArchSim-style single-iteration scaling: simulate one iteration's
+ * launches fully and multiply by the iteration count.
+ */
+SingleIterationResult
+singleIterationBaseline(const sim::GpuSimulator &simulator,
+                        const pka::workload::Workload &w);
+
+} // namespace pka::core
+
+#endif // PKA_CORE_BASELINES_HH

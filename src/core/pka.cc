@@ -1,0 +1,115 @@
+#include "core/pka.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+using pka::workload::Workload;
+
+SelectionOutcome
+selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
+              const PkaOptions &options)
+{
+    silicon::DetailedProfiler detailed(gpu);
+    silicon::LightweightProfiler light(gpu);
+
+    SelectionOutcome out;
+
+    // Tractability test at full-size-equivalent scale: the generated
+    // stream is `w.scale` of the paper's run, so real-world profiling
+    // cost is the measured cost divided by the scale.
+    double full_cost = detailed.costSeconds(w);
+    double scale = w.scale > 0 ? w.scale : 1.0;
+    double full_equivalent = full_cost / scale;
+
+    if (full_equivalent <= options.detailedProfilingBudgetSec ||
+        w.launches.size() <= options.twoLevelDetailedKernels) {
+        auto profiles = detailed.profile(w);
+        PksResult pks = principalKernelSelection(profiles, options.pks);
+        out.groups = std::move(pks.groups);
+        out.usedTwoLevel = false;
+        out.detailedCount = w.launches.size();
+        out.profilingCostSec = full_cost;
+        return out;
+    }
+
+    // Two-level: detailed prefix + lightweight remainder + classifiers.
+    TwoLevelOptions tl;
+    tl.detailedKernels = options.twoLevelDetailedKernels;
+    tl.pks = options.pks;
+    auto prefix = detailed.profile(w, tl.detailedKernels);
+    auto all_light = light.profile(w);
+    TwoLevelResult two = twoLevelSelection(prefix, all_light, tl);
+    out.groups = std::move(two.groups);
+    out.usedTwoLevel = true;
+    out.detailedCount = two.detailedCount;
+    out.profilingCostSec = detailed.costSeconds(w, tl.detailedKernels) +
+                           light.costSeconds(w);
+    out.ensembleUnanimity = two.ensembleUnanimity;
+    return out;
+}
+
+AppProjection
+simulateSelection(const sim::GpuSimulator &simulator, const Workload &w,
+                  const SelectionOutcome &selection, const PkpOptions *pkp)
+{
+    AppProjection out;
+    double util_weight = 0.0;
+
+    IpcStabilityController controller(pkp ? *pkp : PkpOptions{});
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto &g : selection.groups) {
+        PKA_ASSERT(g.representative < w.launches.size(),
+                   "representative outside the traced stream");
+        const auto &k = w.launches[g.representative];
+
+        sim::SimOptions opts;
+        if (pkp)
+            opts.stop = &controller;
+        sim::KernelSimResult r = simulator.simulateKernel(k, w.seed, opts);
+        PkpProjection proj = projectKernel(r);
+
+        out.projectedCycles +=
+            static_cast<double>(proj.projectedCycles) * g.weight;
+        out.projectedThreadInsts +=
+            proj.projectedThreadInstructions * g.weight;
+        double cw = static_cast<double>(proj.projectedCycles) * g.weight;
+        out.projectedDramUtilPct += proj.projectedDramUtilPct * cw;
+        util_weight += cw;
+        out.simulatedCycles += static_cast<double>(r.cycles);
+    }
+    out.simulatedWallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (util_weight > 0)
+        out.projectedDramUtilPct /= util_weight;
+    return out;
+}
+
+PkaAppResult
+runPka(const Workload &traced, const Workload &profiled,
+       const silicon::SiliconGpu &gpu, const sim::GpuSimulator &simulator,
+       const PkaOptions &options)
+{
+    PkaAppResult res;
+    if (traced.launches.size() != profiled.launches.size()) {
+        res.excluded = true;
+        res.exclusionReason = pka::common::strfmt(
+            "profiled run launched %zu kernels but the traced run "
+            "launched %zu (runtime algorithm selection diverged)",
+            profiled.launches.size(), traced.launches.size());
+        return res;
+    }
+
+    res.selection = selectKernels(profiled, gpu, options);
+    res.pks = simulateSelection(simulator, traced, res.selection, nullptr);
+    res.pka =
+        simulateSelection(simulator, traced, res.selection, &options.pkp);
+    return res;
+}
+
+} // namespace pka::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Principal Kernel Analysis driver: orchestrates silicon profiling
+ * (full detailed or two-level), Principal Kernel Selection, and simulation
+ * of the representative kernels — full-length (PKS) or stability-truncated
+ * with projection (PKA = PKS + PKP).
+ */
+
+#ifndef PKA_CORE_PKA_HH
+#define PKA_CORE_PKA_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pkp.hh"
+#include "core/pks.hh"
+#include "core/two_level.hh"
+#include "silicon/silicon_gpu.hh"
+#include "sim/simulator.hh"
+#include "workload/kernel.hh"
+
+namespace pka::core
+{
+
+/** Whole-methodology options; the paper's defaults everywhere. */
+struct PkaOptions
+{
+    PksOptions pks;
+    PkpOptions pkp;
+
+    /** Detailed-prefix size when two-level profiling is needed. */
+    size_t twoLevelDetailedKernels = 2000;
+
+    /**
+     * Detailed profiling is considered intractable beyond this wall-clock
+     * budget (the paper's "more than one week" rule), measured at
+     * full-size-equivalent scale.
+     */
+    double detailedProfilingBudgetSec = 7.0 * 86400.0;
+};
+
+/** The selection stage's outcome (groups over the full stream). */
+struct SelectionOutcome
+{
+    std::vector<KernelGroup> groups;
+    bool usedTwoLevel = false;
+    size_t detailedCount = 0;      ///< launches profiled in detail
+    double profilingCostSec = 0.0; ///< silicon profiling wall-clock cost
+    double ensembleUnanimity = 1.0;
+};
+
+/**
+ * Select representative kernels for `w` by silicon profiling on `gpu`:
+ * full detailed profiling when tractable, two-level otherwise.
+ */
+SelectionOutcome selectKernels(const pka::workload::Workload &w,
+                               const silicon::SiliconGpu &gpu,
+                               const PkaOptions &options = {});
+
+/** Projected whole-app simulation statistics from representative runs. */
+struct AppProjection
+{
+    double projectedCycles = 0.0;     ///< sum over groups: rep x weight
+    double projectedThreadInsts = 0.0;
+    double projectedDramUtilPct = 0.0; ///< cycle-weighted over groups
+    double simulatedCycles = 0.0;      ///< simulation cost actually paid
+    double simulatedWallSeconds = 0.0; ///< host wall time of that cost
+
+    /** Projected whole-app IPC. */
+    double projectedIpc() const
+    {
+        return projectedCycles > 0 ? projectedThreadInsts / projectedCycles
+                                   : 0.0;
+    }
+};
+
+/**
+ * Simulate each group's representative and scale by group weight.
+ * @param pkp nullptr = run representatives to completion (PKS-only);
+ *            non-null = stop on IPC stability and project (full PKA).
+ */
+AppProjection simulateSelection(const sim::GpuSimulator &simulator,
+                                const pka::workload::Workload &w,
+                                const SelectionOutcome &selection,
+                                const PkpOptions *pkp);
+
+/** Full PKA outcome for one application. */
+struct PkaAppResult
+{
+    bool excluded = false;
+    std::string exclusionReason;
+    SelectionOutcome selection;
+    AppProjection pks; ///< representatives simulated in full
+    AppProjection pka; ///< representatives with PKP truncation
+};
+
+/**
+ * Run the complete PKA methodology.
+ *
+ * @param traced the launch stream as traced for simulation
+ * @param profiled the stream as observed under the silicon profiler;
+ *        a launch-count mismatch excludes the workload (the paper's
+ *        cuDNN algorithm-selection quirk)
+ */
+PkaAppResult runPka(const pka::workload::Workload &traced,
+                    const pka::workload::Workload &profiled,
+                    const silicon::SiliconGpu &gpu,
+                    const sim::GpuSimulator &simulator,
+                    const PkaOptions &options = {});
+
+} // namespace pka::core
+
+#endif // PKA_CORE_PKA_HH

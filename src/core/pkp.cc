@@ -1,0 +1,94 @@
+#include "core/pkp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pka::core
+{
+
+IpcStabilityController::IpcStabilityController(PkpOptions options)
+    : opts_(options)
+{
+}
+
+void
+IpcStabilityController::beginKernel(const Snapshot &)
+{
+    triggered_ = false;
+}
+
+bool
+IpcStabilityController::shouldStop(const Snapshot &s)
+{
+    if (!s.windowFull || s.windowIpcMean <= 0.0)
+        return false;
+    double normalized_std = s.windowIpcStd / s.windowIpcMean;
+    if (normalized_std >= opts_.threshold)
+        return false;
+
+    // Quasi-stable. Capture steady-state contention: a full wave of CTAs
+    // must have retired, unless the grid is smaller than one wave.
+    if (opts_.requireFullWave && s.totalCtas >= s.waveSize &&
+        s.finishedCtas < s.waveSize) {
+        return false;
+    }
+    triggered_ = true;
+    return true;
+}
+
+PkpProjection
+projectKernel(const sim::KernelSimResult &r)
+{
+    PkpProjection p;
+    p.projectedDramUtilPct = r.dramUtilPct;
+    p.projectedL2MissPct = r.l2MissPct;
+
+    if (!r.stoppedEarly || r.finishedCtas >= r.totalCtas) {
+        p.projectedCycles = r.cycles;
+        p.projectedThreadInstructions = r.threadInstructions;
+        p.projectedIpc = r.ipc();
+        p.wasProjected = false;
+        return p;
+    }
+
+    if (r.finishedCtas == 0) {
+        // Stopped inside the first wave before any CTA retired (small
+        // grids): project on instruction progress instead of CTA counts.
+        double expected = static_cast<double>(r.expectedWarpInstructions);
+        double done = static_cast<double>(r.warpInstructions);
+        double scale = done > 0 ? std::max(1.0, expected / done) : 1.0;
+        p.projectedCycles =
+            static_cast<uint64_t>(static_cast<double>(r.cycles) * scale);
+        p.projectedThreadInstructions = r.threadInstructions * scale;
+        p.projectedIpc = r.ipc();
+        p.wasProjected = true;
+        return p;
+    }
+
+    // Linear occupancy projection: cycles-left proportional to the number
+    // of unfinished thread blocks at the CTA retire rate observed so far.
+    // In-flight CTAs are counted as half-done so their completed work is
+    // not projected twice.
+    double per_cta_cycles = static_cast<double>(r.cycles) /
+                            static_cast<double>(r.finishedCtas);
+    double remaining =
+        static_cast<double>(r.totalCtas - r.finishedCtas) -
+        0.5 * static_cast<double>(r.inFlightCtas);
+    remaining = std::max(0.0, remaining);
+    p.projectedCycles =
+        r.cycles + static_cast<uint64_t>(per_cta_cycles * remaining);
+    double per_cta_insts =
+        r.threadInstructions / static_cast<double>(r.finishedCtas);
+    p.projectedThreadInstructions =
+        per_cta_insts * static_cast<double>(r.totalCtas);
+    p.projectedIpc =
+        p.projectedCycles > 0
+            ? p.projectedThreadInstructions /
+                  static_cast<double>(p.projectedCycles)
+            : 0.0;
+    p.wasProjected = true;
+    return p;
+}
+
+} // namespace pka::core

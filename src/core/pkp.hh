@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Principal Kernel Projection (Section 3.2): an online IPC-stability
+ * detector (a StopController for the simulator) inspired by stock-price
+ * stabilization analysis, plus the occupancy-based projection of final
+ * kernel statistics from the truncated simulation.
+ */
+
+#ifndef PKA_CORE_PKP_HH
+#define PKA_CORE_PKP_HH
+
+#include <cstdint>
+
+#include "sim/simulator.hh"
+#include "sim/stop_controller.hh"
+
+namespace pka::core
+{
+
+/** PKP tuning; the paper uses s = 0.25 for every workload. */
+struct PkpOptions
+{
+    /**
+     * Stability threshold `s`: the rolling IPC window is quasi-stable when
+     * std/mean drops below s (normalized so one value fits kernels whose
+     * IPC spans decades; the paper's Figure 5 sweeps 2.5 / 0.25 / 0.025).
+     */
+    double threshold = 0.25;
+
+    /**
+     * Require at least one full wave of thread blocks to retire before
+     * stopping, so steady-state contention is captured. Grids smaller than
+     * a wave are exempt, as in the paper.
+     */
+    bool requireFullWave = true;
+};
+
+/**
+ * The IPC-stability stop policy. Plug into SimOptions::stop.
+ */
+class IpcStabilityController : public sim::StopController
+{
+  public:
+    explicit IpcStabilityController(PkpOptions options = {});
+
+    void beginKernel(const Snapshot &initial) override;
+    bool shouldStop(const Snapshot &s) override;
+
+    /** True if the last kernel was stopped by stability detection. */
+    bool triggered() const { return triggered_; }
+
+  private:
+    PkpOptions opts_;
+    bool triggered_ = false;
+};
+
+/** Final kernel statistics projected from a truncated simulation. */
+struct PkpProjection
+{
+    uint64_t projectedCycles = 0;
+    double projectedThreadInstructions = 0.0;
+    double projectedIpc = 0.0;
+    double projectedDramUtilPct = 0.0;
+    double projectedL2MissPct = 0.0;
+    bool wasProjected = false; ///< false = ran to completion, no scaling
+};
+
+/**
+ * Linearly project whole-kernel statistics from a (possibly truncated)
+ * simulation: remaining cycles scale with unfinished thread blocks;
+ * rate-like metrics carry over from the stable region.
+ */
+PkpProjection projectKernel(const sim::KernelSimResult &r);
+
+} // namespace pka::core
+
+#endif // PKA_CORE_PKP_HH

@@ -1,0 +1,171 @@
+#include "core/pks.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/features.hh"
+#include "ml/kmeans.hh"
+#include "ml/pca.hh"
+#include "ml/scaler.hh"
+
+namespace pka::core
+{
+
+using silicon::DetailedProfile;
+
+namespace
+{
+
+/**
+ * Build groups from cluster labels, choosing each group's representative
+ * according to the policy. `P`/`km` provide the clustered space for the
+ * ClusterCenter policy.
+ */
+std::vector<KernelGroup>
+buildGroups(const std::vector<DetailedProfile> &profiles,
+            const ml::KMeansResult &km, const ml::Matrix &P,
+            const PksOptions &options)
+{
+    const uint32_t k = km.k;
+    const auto &labels = km.labels;
+    std::vector<KernelGroup> groups(k);
+    std::vector<size_t> rep_idx(k, SIZE_MAX);
+    std::vector<double> rep_center_d2(
+        k, std::numeric_limits<double>::max());
+
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        uint32_t g = labels[i];
+        switch (options.representative) {
+          case RepresentativePolicy::FirstChronological:
+            if (rep_idx[g] == SIZE_MAX)
+                rep_idx[g] = i;
+            break;
+          case RepresentativePolicy::ClusterCenter: {
+            double d2 =
+                ml::squaredDistance(P.row(i), km.centroids.row(g));
+            if (d2 < rep_center_d2[g]) {
+                rep_center_d2[g] = d2;
+                rep_idx[g] = i;
+            }
+            break;
+          }
+          case RepresentativePolicy::Random:
+            // Reservoir sampling of one member, keyed deterministically.
+            if (rep_idx[g] == SIZE_MAX) {
+                rep_idx[g] = i;
+            } else {
+                pka::common::Rng rng = pka::common::Rng::forKey(
+                    options.seed, g, i);
+                if (rng.uniformInt(static_cast<uint32_t>(
+                        groups[g].members.size() + 1)) == 0)
+                    rep_idx[g] = i;
+            }
+            break;
+        }
+        groups[g].members.push_back(profiles[i].launchId);
+        groups[g].weight += 1.0;
+    }
+    for (uint32_t g = 0; g < k; ++g) {
+        if (rep_idx[g] == SIZE_MAX)
+            continue;
+        groups[g].representative = profiles[rep_idx[g]].launchId;
+        groups[g].representativeCycles = profiles[rep_idx[g]].cycles;
+    }
+    // Drop empty clusters (K-Means can converge below k groups).
+    std::erase_if(groups,
+                  [](const KernelGroup &g) { return g.members.empty(); });
+    return groups;
+}
+
+/** Projected total cycles for a grouping. */
+double
+projectCycles(const std::vector<KernelGroup> &groups)
+{
+    double total = 0.0;
+    for (const auto &g : groups)
+        total += static_cast<double>(g.representativeCycles) * g.weight;
+    return total;
+}
+
+} // namespace
+
+PksResult
+principalKernelSelection(const std::vector<DetailedProfile> &profiles,
+                         const PksOptions &options)
+{
+    PKA_ASSERT(!profiles.empty(), "PKS needs at least one profile");
+
+    double profiled_cycles = 0.0;
+    for (const auto &p : profiles)
+        profiled_cycles += static_cast<double>(p.cycles);
+
+    // Feature pipeline: log counters -> standardize -> PCA.
+    ml::Matrix raw = detailedFeatures(profiles);
+    ml::StandardScaler scaler;
+    ml::Matrix X = scaler.fitTransform(raw);
+    ml::Pca pca;
+    pca.fit(X);
+    size_t ncomp = pca.componentsForVariance(options.pcaVariance);
+    ml::Matrix P = pca.transform(X, ncomp);
+
+    PksResult best;
+    double best_err = std::numeric_limits<double>::max();
+    const uint32_t max_k = std::min<uint32_t>(
+        options.maxK, static_cast<uint32_t>(profiles.size()));
+
+    for (uint32_t k = 1; k <= max_k; ++k) {
+        ml::KMeansOptions kopts;
+        kopts.seed = options.seed;
+        ml::KMeansResult km = ml::kmeans(P, k, kopts);
+        auto groups = buildGroups(profiles, km, P, options);
+        double projected = projectCycles(groups);
+        double err = pka::common::pctError(projected, profiled_cycles);
+
+        if (err < best_err) {
+            best_err = err;
+            best.groups = std::move(groups);
+            best.chosenK = k;
+            best.labels = std::move(km.labels);
+            best.projectedCycles = projected;
+            best.projectedErrorPct = err;
+        }
+        // Smallest K under the target wins outright.
+        if (best_err < options.targetErrorPct)
+            break;
+    }
+
+    best.profiledCycles = profiled_cycles;
+    best.representativeCycleCost = 0.0;
+    for (const auto &g : best.groups)
+        best.representativeCycleCost +=
+            static_cast<double>(g.representativeCycles);
+    return best;
+}
+
+SelectionEvaluation
+evaluateSelection(const std::vector<KernelGroup> &groups,
+                  const std::vector<uint64_t> &cycles_by_launch)
+{
+    SelectionEvaluation ev;
+    double rep_cost = 0.0;
+    for (const auto &g : groups) {
+        PKA_ASSERT(g.representative < cycles_by_launch.size(),
+                   "representative launch id outside cycle table");
+        double rep = static_cast<double>(cycles_by_launch[g.representative]);
+        ev.projectedCycles += rep * g.weight;
+        rep_cost += rep;
+        for (uint32_t m : g.members) {
+            PKA_ASSERT(m < cycles_by_launch.size(),
+                       "member launch id outside cycle table");
+            ev.trueCycles += static_cast<double>(cycles_by_launch[m]);
+        }
+    }
+    ev.errorPct = pka::common::pctError(ev.projectedCycles, ev.trueCycles);
+    ev.speedup = rep_cost > 0 ? ev.trueCycles / rep_cost : 1.0;
+    return ev;
+}
+
+} // namespace pka::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Principal Kernel Selection: PCA + K-Means over Table-2 silicon counters,
+ * sweeping K for the smallest group count whose projected total-cycle error
+ * is under a user target, and selecting the first-chronological kernel of
+ * each group as its representative (Section 3.1 of the paper).
+ */
+
+#ifndef PKA_CORE_PKS_HH
+#define PKA_CORE_PKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/**
+ * How the representative kernel of each group is chosen. The paper
+ * evaluated all three and adopted FirstChronological: random selection has
+ * inconsistent error, and the difference between cluster-center and
+ * first-chronological is negligible while the latter shortens tracing.
+ */
+enum class RepresentativePolicy : uint8_t
+{
+    FirstChronological,
+    ClusterCenter,
+    Random,
+};
+
+/** PKS tuning; the paper uses the defaults for every workload. */
+struct PksOptions
+{
+    /** Target projected-cycles error versus profiled silicon, percent. */
+    double targetErrorPct = 5.0;
+
+    /** Largest K swept. */
+    uint32_t maxK = 20;
+
+    /** PCA components retained: smallest count explaining this variance. */
+    double pcaVariance = 0.95;
+
+    /** Clustering seed. */
+    uint64_t seed = 0x9A5;
+
+    /** Representative choice within each group. */
+    RepresentativePolicy representative =
+        RepresentativePolicy::FirstChronological;
+};
+
+/** One group of similar kernels with its chosen representative. */
+struct KernelGroup
+{
+    /** Launch id of the first-chronological member (the representative). */
+    uint32_t representative = 0;
+
+    /** All member launch ids, chronological. */
+    std::vector<uint32_t> members;
+
+    /** Projection weight (member count). */
+    double weight = 0.0;
+
+    /** Representative's profiled silicon cycles. */
+    uint64_t representativeCycles = 0;
+};
+
+/** Output of Principal Kernel Selection. */
+struct PksResult
+{
+    std::vector<KernelGroup> groups;
+    uint32_t chosenK = 0;
+
+    /** Per-profiled-kernel group label (index into groups). */
+    std::vector<uint32_t> labels;
+
+    /** Sum over groups of representative cycles x weight. */
+    double projectedCycles = 0.0;
+
+    /** Total profiled silicon cycles (the reference). */
+    double profiledCycles = 0.0;
+
+    /** |projected - profiled| / profiled x 100. */
+    double projectedErrorPct = 0.0;
+
+    /** Silicon cycles spent if only representatives run (cost). */
+    double representativeCycleCost = 0.0;
+
+    /** profiledCycles / representativeCycleCost. */
+    double siliconSpeedup() const
+    {
+        return representativeCycleCost > 0
+                   ? profiledCycles / representativeCycleCost
+                   : 1.0;
+    }
+};
+
+/**
+ * Run Principal Kernel Selection over detailed profiles (chronological
+ * order expected). Deterministic.
+ */
+PksResult
+principalKernelSelection(const std::vector<silicon::DetailedProfile> &profiles,
+                         const PksOptions &options = {});
+
+/**
+ * Re-evaluate a selection against another device's per-launch cycle
+ * totals (e.g. groups chosen on Volta, cycles measured on Turing):
+ * projected = sum(rep cycles x weight), compared against the true total.
+ *
+ * @param cycles_by_launch cycles for every launch id referenced by groups
+ */
+struct SelectionEvaluation
+{
+    double projectedCycles = 0.0;
+    double trueCycles = 0.0;
+    double errorPct = 0.0;
+    double speedup = 0.0;
+};
+
+SelectionEvaluation
+evaluateSelection(const std::vector<KernelGroup> &groups,
+                  const std::vector<uint64_t> &cycles_by_launch);
+
+} // namespace pka::core
+
+#endif // PKA_CORE_PKS_HH

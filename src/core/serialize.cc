@@ -1,0 +1,294 @@
+#include "core/serialize.hh"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pka::core
+{
+
+using pka::common::fatal;
+using pka::common::strfmt;
+using silicon::DetailedProfile;
+using silicon::KernelMetrics;
+using silicon::LightProfile;
+
+std::string
+csvEscape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+csvSplit(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(std::move(cur));
+    return fields;
+}
+
+namespace
+{
+
+double
+parseDouble(const std::string &s, const char *ctx)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size())
+            fatal(strfmt("trailing characters in %s field: '%s'", ctx,
+                         s.c_str()));
+        return v;
+    } catch (const std::exception &) {
+        fatal(strfmt("malformed %s field: '%s'", ctx, s.c_str()));
+    }
+}
+
+uint64_t
+parseU64(const std::string &s, const char *ctx)
+{
+    uint64_t v = 0;
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size())
+        fatal(strfmt("malformed %s field: '%s'", ctx, s.c_str()));
+    return v;
+}
+
+/** Read one non-empty line; false at EOF. */
+bool
+getDataLine(std::istream &is, std::string &line)
+{
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+writeDetailedProfiles(std::ostream &os,
+                      const std::vector<DetailedProfile> &ps)
+{
+    os << "launch_id,kernel_name,cycles";
+    for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+        os << "," << KernelMetrics::name(i);
+    os << "\n";
+    for (const auto &p : ps) {
+        os << p.launchId << "," << csvEscape(p.kernelName) << ","
+           << p.cycles;
+        for (double v : p.metrics.toArray())
+            os << "," << strfmt("%.9g", v);
+        os << "\n";
+    }
+}
+
+std::vector<DetailedProfile>
+readDetailedProfiles(std::istream &is)
+{
+    std::string line;
+    if (!getDataLine(is, line))
+        fatal("empty detailed-profile stream");
+    const size_t expected = 3 + KernelMetrics::kCount;
+    if (csvSplit(line).size() != expected)
+        fatal("detailed-profile header has the wrong column count");
+
+    std::vector<DetailedProfile> out;
+    while (getDataLine(is, line)) {
+        auto f = csvSplit(line);
+        if (f.size() != expected)
+            fatal(strfmt("detailed-profile row has %zu fields, want %zu",
+                         f.size(), expected));
+        DetailedProfile p;
+        p.launchId = static_cast<uint32_t>(parseU64(f[0], "launch_id"));
+        p.kernelName = f[1];
+        p.cycles = parseU64(f[2], "cycles");
+        double m[KernelMetrics::kCount];
+        for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+            m[i] = parseDouble(f[3 + i], KernelMetrics::name(i));
+        p.metrics.coalescedGlobalLoads = m[0];
+        p.metrics.coalescedGlobalStores = m[1];
+        p.metrics.coalescedLocalLoads = m[2];
+        p.metrics.threadGlobalLoads = m[3];
+        p.metrics.threadGlobalStores = m[4];
+        p.metrics.threadLocalLoads = m[5];
+        p.metrics.threadSharedLoads = m[6];
+        p.metrics.threadSharedStores = m[7];
+        p.metrics.threadGlobalAtomics = m[8];
+        p.metrics.instructions = m[9];
+        p.metrics.divergenceEff = m[10];
+        p.metrics.numCtas = m[11];
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+void
+writeLightProfiles(std::ostream &os, const std::vector<LightProfile> &ps)
+{
+    os << "launch_id,kernel_name,grid_x,grid_y,grid_z,block_x,block_y,"
+          "block_z,tensor_dims\n";
+    for (const auto &p : ps) {
+        std::ostringstream dims;
+        for (size_t i = 0; i < p.tensorDims.size(); ++i) {
+            if (i)
+                dims << "x";
+            dims << p.tensorDims[i];
+        }
+        os << p.launchId << "," << csvEscape(p.kernelName) << ","
+           << p.grid.x << "," << p.grid.y << "," << p.grid.z << ","
+           << p.block.x << "," << p.block.y << "," << p.block.z << ","
+           << dims.str() << "\n";
+    }
+}
+
+std::vector<LightProfile>
+readLightProfiles(std::istream &is)
+{
+    std::string line;
+    if (!getDataLine(is, line))
+        fatal("empty light-profile stream");
+    if (csvSplit(line).size() != 9)
+        fatal("light-profile header has the wrong column count");
+
+    std::vector<LightProfile> out;
+    while (getDataLine(is, line)) {
+        auto f = csvSplit(line);
+        if (f.size() != 9)
+            fatal(strfmt("light-profile row has %zu fields, want 9",
+                         f.size()));
+        LightProfile p;
+        p.launchId = static_cast<uint32_t>(parseU64(f[0], "launch_id"));
+        p.kernelName = f[1];
+        p.grid = {static_cast<uint32_t>(parseU64(f[2], "grid_x")),
+                  static_cast<uint32_t>(parseU64(f[3], "grid_y")),
+                  static_cast<uint32_t>(parseU64(f[4], "grid_z"))};
+        p.block = {static_cast<uint32_t>(parseU64(f[5], "block_x")),
+                   static_cast<uint32_t>(parseU64(f[6], "block_y")),
+                   static_cast<uint32_t>(parseU64(f[7], "block_z"))};
+        if (!f[8].empty()) {
+            std::string dim;
+            std::istringstream ds(f[8]);
+            while (std::getline(ds, dim, 'x'))
+                p.tensorDims.push_back(
+                    static_cast<uint32_t>(parseU64(dim, "tensor_dims")));
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+void
+writeSelection(std::ostream &os, const SelectionOutcome &sel)
+{
+    os << "# pka-selection v1\n";
+    os << "two_level," << (sel.usedTwoLevel ? 1 : 0) << "\n";
+    os << "detailed_count," << sel.detailedCount << "\n";
+    os << strfmt("profiling_cost_sec,%.9g\n", sel.profilingCostSec);
+    os << strfmt("ensemble_unanimity,%.9g\n", sel.ensembleUnanimity);
+    os << "groups," << sel.groups.size() << "\n";
+    os << "group_id,representative,rep_cycles,weight,members\n";
+    for (size_t g = 0; g < sel.groups.size(); ++g) {
+        const auto &grp = sel.groups[g];
+        std::ostringstream members;
+        for (size_t i = 0; i < grp.members.size(); ++i) {
+            if (i)
+                members << " ";
+            members << grp.members[i];
+        }
+        os << g << "," << grp.representative << ","
+           << grp.representativeCycles << ","
+           << strfmt("%.9g", grp.weight) << ","
+           << csvEscape(members.str()) << "\n";
+    }
+}
+
+SelectionOutcome
+readSelection(std::istream &is)
+{
+    std::string line;
+    if (!getDataLine(is, line) || line != "# pka-selection v1")
+        fatal("not a pka selection file (missing magic header)");
+
+    SelectionOutcome sel;
+    auto expect_kv = [&](const char *key) -> std::string {
+        if (!getDataLine(is, line))
+            fatal(strfmt("selection file truncated before '%s'", key));
+        auto f = csvSplit(line);
+        if (f.size() != 2 || f[0] != key)
+            fatal(strfmt("expected '%s' row, got '%s'", key,
+                         line.c_str()));
+        return f[1];
+    };
+    sel.usedTwoLevel = parseU64(expect_kv("two_level"), "two_level") != 0;
+    sel.detailedCount = parseU64(expect_kv("detailed_count"),
+                                 "detailed_count");
+    sel.profilingCostSec =
+        parseDouble(expect_kv("profiling_cost_sec"), "profiling_cost_sec");
+    sel.ensembleUnanimity =
+        parseDouble(expect_kv("ensemble_unanimity"), "ensemble_unanimity");
+    size_t n_groups = parseU64(expect_kv("groups"), "groups");
+
+    if (!getDataLine(is, line))
+        fatal("selection file truncated before the group header");
+    for (size_t g = 0; g < n_groups; ++g) {
+        if (!getDataLine(is, line))
+            fatal("selection file truncated inside the group table");
+        auto f = csvSplit(line);
+        if (f.size() != 5)
+            fatal(strfmt("group row has %zu fields, want 5", f.size()));
+        KernelGroup grp;
+        grp.representative =
+            static_cast<uint32_t>(parseU64(f[1], "representative"));
+        grp.representativeCycles = parseU64(f[2], "rep_cycles");
+        grp.weight = parseDouble(f[3], "weight");
+        std::istringstream ms(f[4]);
+        std::string tok;
+        while (ms >> tok)
+            grp.members.push_back(
+                static_cast<uint32_t>(parseU64(tok, "members")));
+        sel.groups.push_back(std::move(grp));
+    }
+    return sel;
+}
+
+} // namespace pka::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Stage-to-stage serialization, mirroring the paper's artifact layout
+ * (profiler CSVs and persisted selection records): detailed and
+ * lightweight profiles, and kernel-group selections, in a line-oriented
+ * CSV dialect with minimal quoting. Profiling, selection and simulation
+ * can therefore run as separate processes, exactly like the artifact's
+ * scripted pipeline.
+ */
+
+#ifndef PKA_CORE_SERIALIZE_HH
+#define PKA_CORE_SERIALIZE_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/pka.hh"
+#include "core/pks.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/** Write detailed profiles as CSV (header + one row per launch). */
+void writeDetailedProfiles(std::ostream &os,
+                           const std::vector<silicon::DetailedProfile> &ps);
+
+/**
+ * Read detailed profiles written by writeDetailedProfiles.
+ * fatal() on malformed input.
+ */
+std::vector<silicon::DetailedProfile>
+readDetailedProfiles(std::istream &is);
+
+/** Write lightweight profiles as CSV. */
+void writeLightProfiles(std::ostream &os,
+                        const std::vector<silicon::LightProfile> &ps);
+
+/** Read lightweight profiles written by writeLightProfiles. */
+std::vector<silicon::LightProfile> readLightProfiles(std::istream &is);
+
+/**
+ * Write a selection (groups, representatives, weights, provenance) —
+ * the equivalent of the artifact's per-workload pkl records.
+ */
+void writeSelection(std::ostream &os, const SelectionOutcome &sel);
+
+/** Read a selection written by writeSelection. */
+SelectionOutcome readSelection(std::istream &is);
+
+/** Escape a CSV field (quotes fields containing comma/quote/newline). */
+std::string csvEscape(const std::string &field);
+
+/** Split one CSV line into fields, honouring the quoting of csvEscape. */
+std::vector<std::string> csvSplit(const std::string &line);
+
+} // namespace pka::core
+
+#endif // PKA_CORE_SERIALIZE_HH

@@ -1,0 +1,114 @@
+#include "core/two_level.hh"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/features.hh"
+#include "ml/gaussian_nb.hh"
+#include "ml/mlp_classifier.hh"
+#include "ml/scaler.hh"
+#include "ml/sgd_classifier.hh"
+
+namespace pka::core
+{
+
+using silicon::DetailedProfile;
+using silicon::LightProfile;
+
+TwoLevelResult
+twoLevelSelection(const std::vector<DetailedProfile> &detailed,
+                  const std::vector<LightProfile> &light,
+                  const TwoLevelOptions &options)
+{
+    PKA_ASSERT(!detailed.empty(), "two-level needs a detailed prefix");
+    PKA_ASSERT(light.size() >= detailed.size(),
+               "light profiles must cover the whole stream");
+
+    TwoLevelResult res;
+    res.detailedCount = detailed.size();
+    res.prefixSelection = principalKernelSelection(detailed, options.pks);
+    res.groups = res.prefixSelection.groups;
+    const uint32_t num_groups =
+        static_cast<uint32_t>(res.groups.size());
+
+    // Index detailed-prefix labels by position (labels are per profile,
+    // but the PksResult's label values index clusters pre-compaction; map
+    // through group membership instead).
+    std::vector<uint32_t> prefix_labels(detailed.size(), 0);
+    {
+        std::vector<int32_t> by_launch;
+        for (uint32_t g = 0; g < num_groups; ++g)
+            for (uint32_t m : res.groups[g].members) {
+                if (m >= by_launch.size())
+                    by_launch.resize(m + 1, -1);
+                by_launch[m] = static_cast<int32_t>(g);
+            }
+        for (size_t i = 0; i < detailed.size(); ++i) {
+            int32_t g = detailed[i].launchId < by_launch.size()
+                            ? by_launch[detailed[i].launchId]
+                            : -1;
+            PKA_ASSERT(g >= 0, "detailed profile missing from groups");
+            prefix_labels[i] = static_cast<uint32_t>(g);
+        }
+    }
+
+    res.labels.assign(light.size(), 0);
+    for (size_t i = 0; i < detailed.size(); ++i)
+        res.labels[i] = prefix_labels[i];
+
+    if (light.size() == detailed.size() || num_groups == 1) {
+        // Nothing to classify, or a single group absorbs everything.
+        for (size_t i = detailed.size(); i < light.size(); ++i) {
+            res.labels[i] = 0;
+            res.groups[0].members.push_back(light[i].launchId);
+            res.groups[0].weight += 1.0;
+        }
+        return res;
+    }
+
+    // Train the ensemble on the prefix's light features.
+    ml::Matrix train_raw(detailed.size(), kLightFeatureCount);
+    for (size_t i = 0; i < detailed.size(); ++i) {
+        auto v = lightFeatureVector(light[i]);
+        for (size_t c = 0; c < kLightFeatureCount; ++c)
+            train_raw.at(i, c) = v[c];
+    }
+    ml::StandardScaler scaler;
+    ml::Matrix train = scaler.fitTransform(train_raw);
+
+    std::array<std::unique_ptr<ml::Classifier>, 3> models = {
+        std::make_unique<ml::SgdClassifier>(),
+        std::make_unique<ml::GaussianNb>(),
+        std::make_unique<ml::MlpClassifier>(),
+    };
+    for (auto &m : models)
+        m->fit(train, prefix_labels, num_groups);
+
+    size_t unanimous = 0;
+    size_t classified = 0;
+    for (size_t i = detailed.size(); i < light.size(); ++i) {
+        auto raw = lightFeatureVector(light[i]);
+        ml::Matrix one = ml::Matrix::fromRows({raw});
+        ml::Matrix x = scaler.transform(one);
+        std::array<uint32_t, 3> votes;
+        for (size_t mi = 0; mi < models.size(); ++mi)
+            votes[mi] = models[mi]->predict(x.row(0));
+        uint32_t label = ml::majorityVote(votes);
+        if (votes[0] == votes[1] && votes[1] == votes[2])
+            ++unanimous;
+        ++classified;
+
+        res.labels[i] = label;
+        res.groups[label].members.push_back(light[i].launchId);
+        res.groups[label].weight += 1.0;
+    }
+    res.ensembleUnanimity =
+        classified > 0 ? static_cast<double>(unanimous) /
+                             static_cast<double>(classified)
+                       : 1.0;
+    return res;
+}
+
+} // namespace pka::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two-level profiling (Section 3.1, Figure 3): detailed profiles for the
+ * first j launches define the groups via PKS; the remaining launches, seen
+ * only through lightweight profiling, are mapped into those groups by an
+ * ensemble of classifiers (SGD logistic regression, Gaussian Naive Bayes,
+ * MLP) voting by majority.
+ */
+
+#ifndef PKA_CORE_TWO_LEVEL_HH
+#define PKA_CORE_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pks.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/** Two-level profiling options. */
+struct TwoLevelOptions
+{
+    /** Number of launches profiled in detail (the paper uses ~20k of
+     *  SSD training's 5.3M; scaled workloads use proportionally fewer). */
+    size_t detailedKernels = 2000;
+
+    /** Selection options applied to the detailed prefix. */
+    PksOptions pks;
+};
+
+/** Output of two-level selection. */
+struct TwoLevelResult
+{
+    /** Selection over the detailed prefix. */
+    PksResult prefixSelection;
+
+    /** Groups extended with the classified remainder (weights updated). */
+    std::vector<KernelGroup> groups;
+
+    /** Per-launch labels for the whole stream. */
+    std::vector<uint32_t> labels;
+
+    /** Launches profiled in detail. */
+    size_t detailedCount = 0;
+
+    /** Fraction of classified launches where the ensemble was unanimous. */
+    double ensembleUnanimity = 1.0;
+};
+
+/**
+ * Map a full launch stream into groups using detailed profiles for the
+ * prefix and lightweight profiles (with names/dims/tensor annotations) for
+ * everything.
+ *
+ * @param detailed detailed profiles of the first j launches
+ * @param light lightweight profiles of ALL launches (chronological)
+ */
+TwoLevelResult
+twoLevelSelection(const std::vector<silicon::DetailedProfile> &detailed,
+                  const std::vector<silicon::LightProfile> &light,
+                  const TwoLevelOptions &options = {});
+
+} // namespace pka::core
+
+#endif // PKA_CORE_TWO_LEVEL_HH

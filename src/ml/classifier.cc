@@ -1,0 +1,37 @@
+#include "ml/classifier.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace pka::ml
+{
+
+std::vector<uint32_t>
+Classifier::predictAll(const Matrix &X) const
+{
+    std::vector<uint32_t> out(X.rows());
+    for (size_t r = 0; r < X.rows(); ++r)
+        out[r] = predict(X.row(r));
+    return out;
+}
+
+uint32_t
+majorityVote(std::span<const uint32_t> votes)
+{
+    PKA_ASSERT(!votes.empty(), "majority vote over no votes");
+    std::map<uint32_t, uint32_t> counts;
+    for (uint32_t v : votes)
+        ++counts[v];
+    uint32_t best = votes[0];
+    uint32_t best_count = 0;
+    // Iterate votes in order so ties resolve to the earliest voter.
+    for (uint32_t v : votes) {
+        if (counts[v] > best_count) {
+            best_count = counts[v];
+            best = v;
+        }
+    }
+    return best;
+}
+
+} // namespace pka::ml

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Common supervised-classifier interface used by the two-level profiling
+ * stage: models trained on detailed-phase cluster labels map lightly
+ * profiled kernels into groups.
+ */
+
+#ifndef PKA_ML_CLASSIFIER_HH
+#define PKA_ML_CLASSIFIER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace pka::ml
+{
+
+/** Abstract multiclass classifier. */
+class Classifier
+{
+  public:
+    virtual ~Classifier() = default;
+
+    /**
+     * Train on X (rows = samples) with labels y in [0, num_classes).
+     */
+    virtual void fit(const Matrix &X, const std::vector<uint32_t> &y,
+                     uint32_t num_classes) = 0;
+
+    /** Predict the class of one sample. */
+    virtual uint32_t predict(std::span<const double> x) const = 0;
+
+    /** Human-readable model name. */
+    virtual const char *name() const = 0;
+
+    /** Predict every row of X. */
+    std::vector<uint32_t> predictAll(const Matrix &X) const;
+};
+
+/**
+ * Majority vote over per-model predictions; ties resolve to the earliest
+ * model's vote (deterministic ensembling).
+ */
+uint32_t majorityVote(std::span<const uint32_t> votes);
+
+} // namespace pka::ml
+
+#endif // PKA_ML_CLASSIFIER_HH

@@ -1,0 +1,75 @@
+#include "ml/gaussian_nb.hh"
+
+#include <cmath>
+
+namespace pka::ml
+{
+
+void
+GaussianNb::fit(const Matrix &X, const std::vector<uint32_t> &y,
+                uint32_t num_classes)
+{
+    PKA_ASSERT(X.rows() == y.size(), "label/sample count mismatch");
+    const size_t n = X.rows(), d = X.cols();
+    mean_ = Matrix(num_classes, d);
+    var_ = Matrix(num_classes, d);
+    logPrior_.assign(num_classes, 0.0);
+
+    std::vector<double> counts(num_classes, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        counts[y[r]] += 1.0;
+        for (size_t c = 0; c < d; ++c)
+            mean_.at(y[r], c) += X.at(r, c);
+    }
+    for (uint32_t k = 0; k < num_classes; ++k)
+        if (counts[k] > 0)
+            for (size_t c = 0; c < d; ++c)
+                mean_.at(k, c) /= counts[k];
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c) {
+            double diff = X.at(r, c) - mean_.at(y[r], c);
+            var_.at(y[r], c) += diff * diff;
+        }
+
+    // Variance smoothing (sklearn-style epsilon on the largest variance).
+    double max_var = 0.0;
+    for (uint32_t k = 0; k < num_classes; ++k)
+        for (size_t c = 0; c < d; ++c) {
+            if (counts[k] > 0)
+                var_.at(k, c) /= counts[k];
+            max_var = std::max(max_var, var_.at(k, c));
+        }
+    double eps = 1e-9 * std::max(max_var, 1.0);
+    for (uint32_t k = 0; k < num_classes; ++k) {
+        for (size_t c = 0; c < d; ++c)
+            var_.at(k, c) += eps;
+        logPrior_[k] = counts[k] > 0
+                           ? std::log(counts[k] / static_cast<double>(n))
+                           : -1e30;
+    }
+}
+
+uint32_t
+GaussianNb::predict(std::span<const double> x) const
+{
+    PKA_ASSERT(!mean_.empty(), "classifier not fitted");
+    PKA_ASSERT(x.size() == mean_.cols(), "feature dimensionality mismatch");
+    uint32_t best = 0;
+    double best_ll = -1e300;
+    for (size_t k = 0; k < mean_.rows(); ++k) {
+        double ll = logPrior_[k];
+        for (size_t c = 0; c < x.size(); ++c) {
+            double v = var_.at(k, c);
+            double diff = x[c] - mean_.at(k, c);
+            ll += -0.5 * (std::log(6.283185307179586 * v) +
+                          diff * diff / v);
+        }
+        if (ll > best_ll) {
+            best_ll = ll;
+            best = static_cast<uint32_t>(k);
+        }
+    }
+    return best;
+}
+
+} // namespace pka::ml

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Gaussian Naive Bayes — the probabilistic member of the two-level
+ * classification ensemble.
+ */
+
+#ifndef PKA_ML_GAUSSIAN_NB_HH
+#define PKA_ML_GAUSSIAN_NB_HH
+
+#include "ml/classifier.hh"
+
+namespace pka::ml
+{
+
+/** Gaussian Naive Bayes with variance smoothing. */
+class GaussianNb : public Classifier
+{
+  public:
+    void fit(const Matrix &X, const std::vector<uint32_t> &y,
+             uint32_t num_classes) override;
+    uint32_t predict(std::span<const double> x) const override;
+    const char *name() const override { return "gaussian_nb"; }
+
+  private:
+    Matrix mean_;              // class x feature
+    Matrix var_;               // class x feature
+    std::vector<double> logPrior_;
+};
+
+} // namespace pka::ml
+
+#endif // PKA_ML_GAUSSIAN_NB_HH

@@ -1,0 +1,173 @@
+#include "ml/hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace pka::ml
+{
+
+namespace
+{
+
+constexpr float kInf = std::numeric_limits<float>::max();
+
+/** Square pairwise-distance store with float precision (O(n^2) memory). */
+class DistanceTable
+{
+  public:
+    explicit DistanceTable(size_t n) : n_(n), d_(n * n, 0.0f) {}
+
+    float get(size_t i, size_t j) const { return d_[i * n_ + j]; }
+
+    void
+    set(size_t i, size_t j, float v)
+    {
+        d_[i * n_ + j] = v;
+        d_[j * n_ + i] = v;
+    }
+
+  private:
+    size_t n_;
+    std::vector<float> d_;
+};
+
+} // namespace
+
+Dendrogram
+buildDendrogram(const Matrix &X, size_t max_samples)
+{
+    const size_t n = X.rows();
+    PKA_ASSERT(n > 0, "cannot cluster empty data");
+    if (n > max_samples) {
+        pka::common::fatal(pka::common::strfmt(
+            "hierarchical clustering over %zu samples exceeds the %zu "
+            "sample guardrail (this is the scaling wall TBPoint hits)",
+            n, max_samples));
+    }
+
+    Dendrogram out;
+    out.numSamples = n;
+    if (n == 1)
+        return out;
+
+    DistanceTable dist(n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            dist.set(i, j, static_cast<float>(std::sqrt(
+                               squaredDistance(X.row(i), X.row(j)))));
+
+    std::vector<bool> active(n, true);
+    std::vector<double> size(n, 1.0);
+
+    // Nearest-neighbour cache per active cluster.
+    std::vector<uint32_t> nn(n, 0);
+    std::vector<float> nnd(n, kInf);
+    auto recompute_nn = [&](size_t i) {
+        nnd[i] = kInf;
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i || !active[j])
+                continue;
+            float d = dist.get(i, j);
+            if (d < nnd[i]) {
+                nnd[i] = d;
+                nn[i] = static_cast<uint32_t>(j);
+            }
+        }
+    };
+    for (size_t i = 0; i < n; ++i)
+        recompute_nn(i);
+
+    out.merges.reserve(n - 1);
+    for (size_t merges_done = 0; merges_done + 1 < n; ++merges_done) {
+        // Global best pair from the NN cache.
+        size_t bi = 0;
+        float best = kInf;
+        for (size_t i = 0; i < n; ++i) {
+            if (active[i] && nnd[i] < best) {
+                best = nnd[i];
+                bi = i;
+            }
+        }
+        size_t bj = nn[bi];
+        PKA_ASSERT(best < kInf, "no mergeable pair found");
+
+        out.merges.push_back(DendrogramMerge{
+            static_cast<uint32_t>(bi), static_cast<uint32_t>(bj),
+            static_cast<double>(best)});
+
+        // Lance-Williams average-linkage update, merging bj into bi.
+        for (size_t k = 0; k < n; ++k) {
+            if (!active[k] || k == bi || k == bj)
+                continue;
+            float d = static_cast<float>(
+                (size[bi] * dist.get(bi, k) + size[bj] * dist.get(bj, k)) /
+                (size[bi] + size[bj]));
+            dist.set(bi, k, d);
+        }
+        size[bi] += size[bj];
+        active[bj] = false;
+
+        // Refresh caches: bi changed, bj vanished; anyone pointing at
+        // either needs a rescan.
+        recompute_nn(bi);
+        for (size_t k = 0; k < n; ++k) {
+            if (!active[k] || k == bi)
+                continue;
+            if (nn[k] == bi || nn[k] == bj)
+                recompute_nn(k);
+            else if (dist.get(k, bi) < nnd[k]) {
+                nnd[k] = dist.get(k, bi);
+                nn[k] = static_cast<uint32_t>(bi);
+            }
+        }
+    }
+    return out;
+}
+
+HierarchicalResult
+cutDendrogram(const Dendrogram &d, double distance_threshold)
+{
+    const size_t n = d.numSamples;
+    PKA_ASSERT(n > 0, "empty dendrogram");
+
+    std::vector<uint32_t> parent(n);
+    for (size_t i = 0; i < n; ++i)
+        parent[i] = static_cast<uint32_t>(i);
+    auto find = [&parent](uint32_t x) {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    };
+
+    for (const auto &m : d.merges) {
+        if (m.distance > distance_threshold)
+            break; // merges are (near-)monotone in distance
+        parent[find(m.b)] = find(m.a);
+    }
+
+    HierarchicalResult res;
+    res.labels.resize(n);
+    std::vector<int32_t> root_label(n, -1);
+    uint32_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t r = find(static_cast<uint32_t>(i));
+        if (root_label[r] < 0)
+            root_label[r] = static_cast<int32_t>(next++);
+        res.labels[i] = static_cast<uint32_t>(root_label[r]);
+    }
+    res.numClusters = next;
+    return res;
+}
+
+HierarchicalResult
+agglomerativeCluster(const Matrix &X, double distance_threshold,
+                     size_t max_samples)
+{
+    return cutDendrogram(buildDendrogram(X, max_samples),
+                         distance_threshold);
+}
+
+} // namespace pka::ml

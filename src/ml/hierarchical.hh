@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Agglomerative (average-linkage) hierarchical clustering, used by the
+ * TBPoint baseline. The dendrogram is built once with nearest-neighbour
+ * caching and can then be cut at any distance threshold, so TBPoint's
+ * 20-point threshold sweep costs one clustering. Still O(n^2) memory and
+ * time — exactly the scaling limitation the paper contrasts K-Means
+ * against; a guardrail makes the wall explicit.
+ */
+
+#ifndef PKA_ML_HIERARCHICAL_HH
+#define PKA_ML_HIERARCHICAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace pka::ml
+{
+
+/** One merge step: cluster roots `a` and `b` joined at `distance`. */
+struct DendrogramMerge
+{
+    uint32_t a = 0;
+    uint32_t b = 0;
+    double distance = 0.0;
+};
+
+/** A full agglomeration history over n samples. */
+struct Dendrogram
+{
+    size_t numSamples = 0;
+    std::vector<DendrogramMerge> merges; ///< in merge order (n-1 entries)
+};
+
+/**
+ * Build the full average-linkage dendrogram of X (Euclidean distances).
+ * @param max_samples guardrail: fatal() beyond it, mirroring the
+ *        memory/runtime wall hierarchical clustering hits at MLPerf scale.
+ */
+Dendrogram buildDendrogram(const Matrix &X, size_t max_samples = 20000);
+
+/** Result of a threshold cut through the dendrogram. */
+struct HierarchicalResult
+{
+    std::vector<uint32_t> labels; ///< cluster id per sample (compacted)
+    uint32_t numClusters = 0;
+};
+
+/**
+ * Cut a dendrogram: apply every merge with distance <= threshold and
+ * compact the resulting cluster roots to labels 0..k-1 by first
+ * appearance.
+ */
+HierarchicalResult cutDendrogram(const Dendrogram &d,
+                                 double distance_threshold);
+
+/** Convenience: buildDendrogram + cutDendrogram. */
+HierarchicalResult
+agglomerativeCluster(const Matrix &X, double distance_threshold,
+                     size_t max_samples = 20000);
+
+} // namespace pka::ml
+
+#endif // PKA_ML_HIERARCHICAL_HH

@@ -1,0 +1,131 @@
+#include "ml/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hh"
+
+namespace pka::ml
+{
+
+using pka::common::Rng;
+
+namespace
+{
+
+/** k-means++ initialization. */
+Matrix
+seedCentroids(const Matrix &X, uint32_t k, Rng &rng)
+{
+    const size_t n = X.rows(), d = X.cols();
+    Matrix centroids(k, d);
+    size_t first = rng.uniformInt(static_cast<uint32_t>(n));
+    for (size_t c = 0; c < d; ++c)
+        centroids.at(0, c) = X.at(first, c);
+
+    std::vector<double> dist2(n, std::numeric_limits<double>::max());
+    for (uint32_t ci = 1; ci < k; ++ci) {
+        double total = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double d2 = squaredDistance(X.row(r), centroids.row(ci - 1));
+            dist2[r] = std::min(dist2[r], d2);
+            total += dist2[r];
+        }
+        size_t chosen = 0;
+        if (total > 0.0) {
+            double target = rng.uniform() * total;
+            double cum = 0.0;
+            for (size_t r = 0; r < n; ++r) {
+                cum += dist2[r];
+                if (cum >= target) {
+                    chosen = r;
+                    break;
+                }
+            }
+        } else {
+            chosen = rng.uniformInt(static_cast<uint32_t>(n));
+        }
+        for (size_t c = 0; c < d; ++c)
+            centroids.at(ci, c) = X.at(chosen, c);
+    }
+    return centroids;
+}
+
+/** One full Lloyd run from a k-means++ seed. */
+KMeansResult
+lloyd(const Matrix &X, uint32_t k, uint32_t max_iters, Rng &rng)
+{
+    const size_t n = X.rows(), d = X.cols();
+    KMeansResult res;
+    res.k = k;
+    res.centroids = seedCentroids(X, k, rng);
+    res.labels.assign(n, 0);
+
+    std::vector<double> counts(k);
+    for (uint32_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        res.inertia = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double best = std::numeric_limits<double>::max();
+            uint32_t best_c = 0;
+            for (uint32_t c = 0; c < k; ++c) {
+                double d2 = squaredDistance(X.row(r), res.centroids.row(c));
+                if (d2 < best) {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            if (res.labels[r] != best_c) {
+                res.labels[r] = best_c;
+                changed = true;
+            }
+            res.inertia += best;
+        }
+        if (!changed && iter > 0)
+            break;
+
+        Matrix sums(k, d);
+        std::fill(counts.begin(), counts.end(), 0.0);
+        for (size_t r = 0; r < n; ++r) {
+            counts[res.labels[r]] += 1.0;
+            auto row = X.row(r);
+            for (size_t c = 0; c < d; ++c)
+                sums.at(res.labels[r], c) += row[c];
+        }
+        for (uint32_t ci = 0; ci < k; ++ci) {
+            if (counts[ci] > 0) {
+                for (size_t c = 0; c < d; ++c)
+                    res.centroids.at(ci, c) = sums.at(ci, c) / counts[ci];
+            } else {
+                // Re-seed an empty cluster on a random sample.
+                size_t r = rng.uniformInt(static_cast<uint32_t>(n));
+                for (size_t c = 0; c < d; ++c)
+                    res.centroids.at(ci, c) = X.at(r, c);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const Matrix &X, uint32_t k, const KMeansOptions &options)
+{
+    PKA_ASSERT(X.rows() > 0, "cannot cluster empty data");
+    k = std::max<uint32_t>(
+        1, std::min<uint32_t>(k, static_cast<uint32_t>(X.rows())));
+
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    for (uint32_t rs = 0; rs < std::max<uint32_t>(1, options.restarts);
+         ++rs) {
+        Rng rng = Rng::forKey(options.seed, k, rs);
+        KMeansResult r = lloyd(X, k, options.maxIterations, rng);
+        if (r.inertia < best.inertia)
+            best = std::move(r);
+    }
+    return best;
+}
+
+} // namespace pka::ml

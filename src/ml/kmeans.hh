@@ -1,0 +1,45 @@
+/**
+ * @file
+ * K-Means clustering (k-means++ seeding, Lloyd iterations, multiple
+ * restarts). Chosen by the paper over hierarchical clustering because it
+ * scales to millions of kernels and K is an interpretable knob.
+ */
+
+#ifndef PKA_ML_KMEANS_HH
+#define PKA_ML_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace pka::ml
+{
+
+/** Result of one K-Means fit. */
+struct KMeansResult
+{
+    std::vector<uint32_t> labels; ///< cluster id per sample
+    Matrix centroids;             ///< k x d
+    double inertia = 0.0;         ///< sum of squared distances to centroid
+    uint32_t k = 0;
+};
+
+/** K-Means options. */
+struct KMeansOptions
+{
+    uint32_t maxIterations = 100;
+    uint32_t restarts = 4;  ///< keep the best-inertia restart
+    uint64_t seed = 0xC10C; ///< deterministic seeding
+};
+
+/**
+ * Cluster X into k groups. k is clamped to the number of samples.
+ * Deterministic for fixed (X, k, options).
+ */
+KMeansResult kmeans(const Matrix &X, uint32_t k,
+                    const KMeansOptions &options = {});
+
+} // namespace pka::ml
+
+#endif // PKA_ML_KMEANS_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A minimal dense row-major matrix used by the ML components. Only the
+ * operations PKA needs are provided; this is not a general linear-algebra
+ * library.
+ */
+
+#ifndef PKA_ML_MATRIX_HH
+#define PKA_ML_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pka::ml
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix filled with `init`. */
+    Matrix(size_t rows, size_t cols, double init = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {
+    }
+
+    /** Build from a list of equal-length rows. */
+    static Matrix
+    fromRows(const std::vector<std::vector<double>> &rows)
+    {
+        if (rows.empty())
+            return Matrix();
+        Matrix m(rows.size(), rows[0].size());
+        for (size_t r = 0; r < rows.size(); ++r) {
+            PKA_ASSERT(rows[r].size() == m.cols_, "ragged row list");
+            for (size_t c = 0; c < m.cols_; ++c)
+                m.at(r, c) = rows[r][c];
+        }
+        return m;
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double &
+    at(size_t r, size_t c)
+    {
+        PKA_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    double
+    at(size_t r, size_t c) const
+    {
+        PKA_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Mutable view of row r. */
+    std::span<double>
+    row(size_t r)
+    {
+        PKA_ASSERT(r < rows_, "row out of range");
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /** Const view of row r. */
+    std::span<const double>
+    row(size_t r) const
+    {
+        PKA_ASSERT(r < rows_, "row out of range");
+        return {data_.data() + r * cols_, cols_};
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Squared Euclidean distance between two equal-length vectors. */
+double squaredDistance(std::span<const double> a, std::span<const double> b);
+
+} // namespace pka::ml
+
+#endif // PKA_ML_MATRIX_HH

@@ -1,0 +1,124 @@
+#include "ml/mlp_classifier.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hh"
+
+namespace pka::ml
+{
+
+using pka::common::Rng;
+
+MlpClassifier::MlpClassifier()
+    : MlpClassifier(Options{})
+{
+}
+
+MlpClassifier::MlpClassifier(Options options)
+    : opts_(options)
+{
+}
+
+void
+MlpClassifier::forward(std::span<const double> x,
+                       std::vector<double> &hidden,
+                       std::vector<double> &scores) const
+{
+    const size_t d = w1_.cols() - 1;
+    const size_t h = w1_.rows();
+    hidden.resize(h);
+    for (size_t j = 0; j < h; ++j) {
+        double s = w1_.at(j, d);
+        for (size_t i = 0; i < d; ++i)
+            s += w1_.at(j, i) * x[i];
+        hidden[j] = s > 0.0 ? s : 0.0; // ReLU
+    }
+    const size_t k = w2_.rows();
+    scores.resize(k);
+    for (size_t c = 0; c < k; ++c) {
+        double s = w2_.at(c, h);
+        for (size_t j = 0; j < h; ++j)
+            s += w2_.at(c, j) * hidden[j];
+        scores[c] = s;
+    }
+}
+
+void
+MlpClassifier::fit(const Matrix &X, const std::vector<uint32_t> &y,
+                   uint32_t num_classes)
+{
+    PKA_ASSERT(X.rows() == y.size(), "label/sample count mismatch");
+    const size_t n = X.rows(), d = X.cols();
+    const uint32_t h = opts_.hiddenUnits;
+
+    Rng rng(opts_.seed);
+    w1_ = Matrix(h, d + 1);
+    w2_ = Matrix(num_classes, h + 1);
+    double scale1 = std::sqrt(2.0 / static_cast<double>(d + 1));
+    double scale2 = std::sqrt(2.0 / static_cast<double>(h + 1));
+    for (size_t j = 0; j < h; ++j)
+        for (size_t i = 0; i <= d; ++i)
+            w1_.at(j, i) = rng.normal(0.0, scale1);
+    for (size_t c = 0; c < num_classes; ++c)
+        for (size_t j = 0; j <= h; ++j)
+            w2_.at(c, j) = rng.normal(0.0, scale2);
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> hidden, scores, dscore(num_classes), dhidden(h);
+
+    for (uint32_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+        for (size_t i = n; i > 1; --i)
+            std::swap(order[i - 1],
+                      order[rng.uniformInt(static_cast<uint32_t>(i))]);
+        double lr = opts_.learningRate / (1.0 + 0.05 * epoch);
+        for (size_t oi = 0; oi < n; ++oi) {
+            size_t r = order[oi];
+            auto x = X.row(r);
+            forward(x, hidden, scores);
+
+            double mx = *std::max_element(scores.begin(), scores.end());
+            double sum = 0.0;
+            for (size_t c = 0; c < num_classes; ++c) {
+                dscore[c] = std::exp(scores[c] - mx);
+                sum += dscore[c];
+            }
+            for (size_t c = 0; c < num_classes; ++c) {
+                dscore[c] /= sum;
+                if (c == y[r])
+                    dscore[c] -= 1.0;
+            }
+
+            std::fill(dhidden.begin(), dhidden.end(), 0.0);
+            for (size_t c = 0; c < num_classes; ++c) {
+                for (size_t j = 0; j < h; ++j) {
+                    dhidden[j] += dscore[c] * w2_.at(c, j);
+                    w2_.at(c, j) -= lr * dscore[c] * hidden[j];
+                }
+                w2_.at(c, h) -= lr * dscore[c];
+            }
+            for (size_t j = 0; j < h; ++j) {
+                if (hidden[j] <= 0.0)
+                    continue; // ReLU gradient gate
+                for (size_t i = 0; i < d; ++i)
+                    w1_.at(j, i) -= lr * dhidden[j] * x[i];
+                w1_.at(j, d) -= lr * dhidden[j];
+            }
+        }
+    }
+}
+
+uint32_t
+MlpClassifier::predict(std::span<const double> x) const
+{
+    PKA_ASSERT(!w1_.empty(), "classifier not fitted");
+    PKA_ASSERT(x.size() == w1_.cols() - 1, "feature dimensionality mismatch");
+    std::vector<double> hidden, scores;
+    forward(x, hidden, scores);
+    return static_cast<uint32_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+} // namespace pka::ml

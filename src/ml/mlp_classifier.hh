@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A single-hidden-layer perceptron (ReLU + softmax, SGD-trained) — the MLP
+ * member of the two-level classification ensemble.
+ */
+
+#ifndef PKA_ML_MLP_CLASSIFIER_HH
+#define PKA_ML_MLP_CLASSIFIER_HH
+
+#include "ml/classifier.hh"
+
+namespace pka::ml
+{
+
+/** One-hidden-layer MLP classifier. */
+class MlpClassifier : public Classifier
+{
+  public:
+    /** Training hyper-parameters. */
+    struct Options
+    {
+        uint32_t hiddenUnits = 32;
+        uint32_t epochs = 40;
+        double learningRate = 0.02;
+        uint64_t seed = 0x317;
+    };
+
+    MlpClassifier();
+    explicit MlpClassifier(Options options);
+
+    void fit(const Matrix &X, const std::vector<uint32_t> &y,
+             uint32_t num_classes) override;
+    uint32_t predict(std::span<const double> x) const override;
+    const char *name() const override { return "mlp"; }
+
+  private:
+    /** Forward pass; fills hidden activations and class scores. */
+    void forward(std::span<const double> x, std::vector<double> &hidden,
+                 std::vector<double> &scores) const;
+
+    Options opts_;
+    Matrix w1_; // hidden x (d + 1)
+    Matrix w2_; // classes x (hidden + 1)
+};
+
+} // namespace pka::ml
+
+#endif // PKA_ML_MLP_CLASSIFIER_HH

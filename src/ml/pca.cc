@@ -1,0 +1,149 @@
+#include "ml/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pka::ml
+{
+
+void
+jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
+                     Matrix &eigenvectors)
+{
+    const size_t n = a.rows();
+    PKA_ASSERT(n == a.cols(), "matrix must be square");
+
+    Matrix m = a;               // working copy
+    Matrix v(n, n, 0.0);        // accumulated rotations (columns = vectors)
+    for (size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += m.at(p, q) * m.at(p, q);
+        if (off < 1e-20)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = m.at(p, q);
+                if (std::abs(apq) < 1e-18)
+                    continue;
+                double app = m.at(p, p), aqq = m.at(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::abs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+                for (size_t k = 0; k < n; ++k) {
+                    double mkp = m.at(k, p), mkq = m.at(k, q);
+                    m.at(k, p) = c * mkp - s * mkq;
+                    m.at(k, q) = s * mkp + c * mkq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double mpk = m.at(p, k), mqk = m.at(q, k);
+                    m.at(p, k) = c * mpk - s * mqk;
+                    m.at(q, k) = s * mpk + c * mqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v.at(k, p), vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by decreasing eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (size_t i = 0; i < n; ++i)
+        diag[i] = m.at(i, i);
+    std::sort(order.begin(), order.end(),
+              [&diag](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+    eigenvalues.resize(n);
+    eigenvectors = Matrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        eigenvalues[i] = diag[order[i]];
+        for (size_t k = 0; k < n; ++k)
+            eigenvectors.at(i, k) = v.at(k, order[i]);
+    }
+}
+
+void
+Pca::fit(const Matrix &X)
+{
+    PKA_ASSERT(X.rows() > 0 && X.cols() > 0, "cannot fit PCA on empty data");
+    const size_t n = X.rows(), d = X.cols();
+
+    mean_.assign(d, 0.0);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            mean_[c] += X.at(r, c);
+    for (size_t c = 0; c < d; ++c)
+        mean_[c] /= static_cast<double>(n);
+
+    Matrix cov(d, d);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t i = 0; i < d; ++i) {
+            double xi = X.at(r, i) - mean_[i];
+            for (size_t j = i; j < d; ++j)
+                cov.at(i, j) += xi * (X.at(r, j) - mean_[j]);
+        }
+    }
+    double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = i; j < d; ++j) {
+            cov.at(i, j) /= denom;
+            cov.at(j, i) = cov.at(i, j);
+        }
+
+    std::vector<double> eig;
+    jacobiEigenSymmetric(cov, eig, components_);
+
+    double total = 0.0;
+    for (double e : eig)
+        total += std::max(0.0, e);
+    ratio_.assign(d, 0.0);
+    if (total > 0)
+        for (size_t i = 0; i < d; ++i)
+            ratio_[i] = std::max(0.0, eig[i]) / total;
+}
+
+Matrix
+Pca::transform(const Matrix &X, size_t n_components) const
+{
+    PKA_ASSERT(!components_.empty(), "PCA not fitted");
+    PKA_ASSERT(X.cols() == components_.cols(), "PCA dimension mismatch");
+    n_components = std::min(n_components, components_.rows());
+    Matrix out(X.rows(), n_components);
+    for (size_t r = 0; r < X.rows(); ++r)
+        for (size_t k = 0; k < n_components; ++k) {
+            double dot = 0.0;
+            for (size_t c = 0; c < X.cols(); ++c)
+                dot += (X.at(r, c) - mean_[c]) * components_.at(k, c);
+            out.at(r, k) = dot;
+        }
+    return out;
+}
+
+size_t
+Pca::componentsForVariance(double target) const
+{
+    PKA_ASSERT(!ratio_.empty(), "PCA not fitted");
+    double cum = 0.0;
+    for (size_t i = 0; i < ratio_.size(); ++i) {
+        cum += ratio_[i];
+        if (cum >= target)
+            return i + 1;
+    }
+    return ratio_.size();
+}
+
+} // namespace pka::ml

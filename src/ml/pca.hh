@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Principal Component Analysis via covariance eigendecomposition (cyclic
+ * Jacobi). Feature counts here are small (the 12 Table-2 counters), so
+ * Jacobi is simple, robust and exact enough.
+ */
+
+#ifndef PKA_ML_PCA_HH
+#define PKA_ML_PCA_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace pka::ml
+{
+
+/** PCA fit over centered (ideally standardized) data. */
+class Pca
+{
+  public:
+    /**
+     * Fit components from X (rows = samples). Components are sorted by
+     * decreasing explained variance.
+     */
+    void fit(const Matrix &X);
+
+    /** Project X onto the first `n_components` components. */
+    Matrix transform(const Matrix &X, size_t n_components) const;
+
+    /** Per-component explained-variance ratios (sums to 1). */
+    const std::vector<double> &explainedVarianceRatio() const
+    {
+        return ratio_;
+    }
+
+    /**
+     * Smallest component count whose cumulative explained variance
+     * reaches `target` (e.g. 0.95). At least 1, at most all.
+     */
+    size_t componentsForVariance(double target) const;
+
+    /** Fitted component matrix (rows = components). */
+    const Matrix &components() const { return components_; }
+
+  private:
+    Matrix components_;        // n_features x n_features, row per component
+    std::vector<double> mean_; // column means used for centering
+    std::vector<double> ratio_;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+ * @param a symmetric input (n x n)
+ * @param[out] eigenvalues descending
+ * @param[out] eigenvectors rows correspond to eigenvalues
+ */
+void jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
+                          Matrix &eigenvectors);
+
+} // namespace pka::ml
+
+#endif // PKA_ML_PCA_HH

@@ -1,0 +1,61 @@
+#include "ml/scaler.hh"
+
+#include <cmath>
+
+namespace pka::ml
+{
+
+void
+StandardScaler::fit(const Matrix &X)
+{
+    PKA_ASSERT(X.rows() > 0, "cannot fit a scaler on empty data");
+    const size_t n = X.rows(), d = X.cols();
+    mean_.assign(d, 0.0);
+    std_.assign(d, 0.0);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c)
+            mean_[c] += X.at(r, c);
+    for (size_t c = 0; c < d; ++c)
+        mean_[c] /= static_cast<double>(n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < d; ++c) {
+            double v = X.at(r, c) - mean_[c];
+            std_[c] += v * v;
+        }
+    for (size_t c = 0; c < d; ++c)
+        std_[c] = std::sqrt(std_[c] / static_cast<double>(n));
+}
+
+Matrix
+StandardScaler::transform(const Matrix &X) const
+{
+    PKA_ASSERT(X.cols() == mean_.size(), "scaler dimensionality mismatch");
+    Matrix out(X.rows(), X.cols());
+    for (size_t r = 0; r < X.rows(); ++r)
+        for (size_t c = 0; c < X.cols(); ++c) {
+            double s = std_[c];
+            out.at(r, c) = s > 1e-12 ? (X.at(r, c) - mean_[c]) / s : 0.0;
+        }
+    return out;
+}
+
+Matrix
+StandardScaler::fitTransform(const Matrix &X)
+{
+    fit(X);
+    return transform(X);
+}
+
+double
+squaredDistance(std::span<const double> a, std::span<const double> b)
+{
+    PKA_ASSERT(a.size() == b.size(), "distance dimensionality mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace pka::ml

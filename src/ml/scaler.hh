@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Feature standardization (zero mean, unit variance per column), applied
+ * before PCA/K-Means so counter magnitudes do not dominate the clustering.
+ */
+
+#ifndef PKA_ML_SCALER_HH
+#define PKA_ML_SCALER_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace pka::ml
+{
+
+/** Per-column standardizer. Constant columns scale to zero. */
+class StandardScaler
+{
+  public:
+    /** Learn per-column mean/std from X. */
+    void fit(const Matrix &X);
+
+    /** Standardize X with the learned statistics. */
+    Matrix transform(const Matrix &X) const;
+
+    /** fit() then transform(). */
+    Matrix fitTransform(const Matrix &X);
+
+    /** Learned column means. */
+    const std::vector<double> &means() const { return mean_; }
+
+    /** Learned column standard deviations. */
+    const std::vector<double> &stds() const { return std_; }
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> std_;
+};
+
+} // namespace pka::ml
+
+#endif // PKA_ML_SCALER_HH

@@ -1,0 +1,104 @@
+#include "ml/sgd_classifier.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hh"
+
+namespace pka::ml
+{
+
+using pka::common::Rng;
+
+SgdClassifier::SgdClassifier()
+    : SgdClassifier(Options{})
+{
+}
+
+SgdClassifier::SgdClassifier(Options options)
+    : opts_(options)
+{
+}
+
+namespace
+{
+
+/** Class scores -> softmax probabilities, numerically stabilized. */
+void
+softmaxInPlace(std::vector<double> &scores)
+{
+    double mx = *std::max_element(scores.begin(), scores.end());
+    double sum = 0.0;
+    for (double &s : scores) {
+        s = std::exp(s - mx);
+        sum += s;
+    }
+    for (double &s : scores)
+        s /= sum;
+}
+
+} // namespace
+
+void
+SgdClassifier::fit(const Matrix &X, const std::vector<uint32_t> &y,
+                   uint32_t num_classes)
+{
+    PKA_ASSERT(X.rows() == y.size(), "label/sample count mismatch");
+    PKA_ASSERT(num_classes > 0, "need at least one class");
+    const size_t n = X.rows(), d = X.cols();
+    weights_ = Matrix(num_classes, d + 1);
+
+    Rng rng(opts_.seed);
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<double> scores(num_classes);
+    for (uint32_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+        // Fisher-Yates shuffle for per-epoch sample order.
+        for (size_t i = n; i > 1; --i)
+            std::swap(order[i - 1],
+                      order[rng.uniformInt(static_cast<uint32_t>(i))]);
+        double lr = opts_.learningRate / (1.0 + 0.1 * epoch);
+        for (size_t oi = 0; oi < n; ++oi) {
+            size_t r = order[oi];
+            auto x = X.row(r);
+            for (uint32_t c = 0; c < num_classes; ++c) {
+                double s = weights_.at(c, d);
+                for (size_t j = 0; j < d; ++j)
+                    s += weights_.at(c, j) * x[j];
+                scores[c] = s;
+            }
+            softmaxInPlace(scores);
+            for (uint32_t c = 0; c < num_classes; ++c) {
+                double grad = scores[c] - (c == y[r] ? 1.0 : 0.0);
+                for (size_t j = 0; j < d; ++j)
+                    weights_.at(c, j) -=
+                        lr * (grad * x[j] + opts_.l2 * weights_.at(c, j));
+                weights_.at(c, d) -= lr * grad;
+            }
+        }
+    }
+}
+
+uint32_t
+SgdClassifier::predict(std::span<const double> x) const
+{
+    PKA_ASSERT(!weights_.empty(), "classifier not fitted");
+    const size_t d = weights_.cols() - 1;
+    PKA_ASSERT(x.size() == d, "feature dimensionality mismatch");
+    uint32_t best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < weights_.rows(); ++c) {
+        double s = weights_.at(c, d);
+        for (size_t j = 0; j < d; ++j)
+            s += weights_.at(c, j) * x[j];
+        if (s > best_score) {
+            best_score = s;
+            best = static_cast<uint32_t>(c);
+        }
+    }
+    return best;
+}
+
+} // namespace pka::ml

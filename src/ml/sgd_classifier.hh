@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multinomial logistic regression trained by stochastic gradient descent —
+ * the "SGD" member of the paper's two-level classification ensemble.
+ */
+
+#ifndef PKA_ML_SGD_CLASSIFIER_HH
+#define PKA_ML_SGD_CLASSIFIER_HH
+
+#include "ml/classifier.hh"
+
+namespace pka::ml
+{
+
+/** Softmax regression with SGD and L2 regularization. */
+class SgdClassifier : public Classifier
+{
+  public:
+    /** Training hyper-parameters. */
+    struct Options
+    {
+        uint32_t epochs = 30;
+        double learningRate = 0.05;
+        double l2 = 1e-4;
+        uint64_t seed = 0x56D;
+    };
+
+    SgdClassifier();
+    explicit SgdClassifier(Options options);
+
+    void fit(const Matrix &X, const std::vector<uint32_t> &y,
+             uint32_t num_classes) override;
+    uint32_t predict(std::span<const double> x) const override;
+    const char *name() const override { return "sgd"; }
+
+  private:
+    Options opts_;
+    Matrix weights_; // num_classes x (d + 1), last column is bias
+};
+
+} // namespace pka::ml
+
+#endif // PKA_ML_SGD_CLASSIFIER_HH

@@ -1,0 +1,160 @@
+#include "silicon/gpu_spec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pka::silicon
+{
+
+using pka::workload::InstrClass;
+using pka::workload::KernelDescriptor;
+
+const char *
+generationName(Generation g)
+{
+    switch (g) {
+      case Generation::Volta: return "volta";
+      case Generation::Turing: return "turing";
+      case Generation::Ampere: return "ampere";
+      default: break;
+    }
+    pka::common::panic("unknown generation");
+}
+
+namespace
+{
+
+/** Fill per-class throughput/latency tables from a few scale factors. */
+void
+fillClassTables(GpuSpec &s, double alu_tp, double sfu_tp, double tensor_tp,
+                double mem_issue_tp)
+{
+    auto set = [&s](InstrClass c, double tp, double lat) {
+        s.classThroughput[static_cast<size_t>(c)] = tp;
+        s.classLatency[static_cast<size_t>(c)] = lat;
+    };
+    set(InstrClass::IntAlu, alu_tp, 4);
+    set(InstrClass::FpAlu, alu_tp, 4);
+    set(InstrClass::Sfu, sfu_tp, 12);
+    set(InstrClass::Tensor, tensor_tp, 16);
+    set(InstrClass::GlobalLoad, mem_issue_tp, 0); // latency from hierarchy
+    set(InstrClass::GlobalStore, mem_issue_tp, 4);
+    set(InstrClass::LocalLoad, mem_issue_tp, 0);
+    set(InstrClass::LocalStore, mem_issue_tp, 4);
+    set(InstrClass::SharedLoad, mem_issue_tp, 22);
+    set(InstrClass::SharedStore, mem_issue_tp, 12);
+    set(InstrClass::GlobalAtomic, mem_issue_tp * 0.25, 0);
+    set(InstrClass::Branch, alu_tp, 4);
+    set(InstrClass::Sync, alu_tp, 8);
+}
+
+} // namespace
+
+GpuSpec
+voltaV100()
+{
+    GpuSpec s;
+    s.name = "Tesla V100";
+    s.generation = Generation::Volta;
+    s.numSms = 80;
+    s.maxThreadsPerSm = 2048;
+    s.maxCtasPerSm = 32;
+    s.maxWarpsPerSm = 64;
+    s.regFilePerSm = 65536;
+    s.smemPerSm = 96 * 1024;
+    s.issueWidth = 4;
+    s.coreClockGhz = 1.38;
+    s.l2BandwidthBytesPerClk = 1700;
+    s.dramBandwidthGBs = 900;
+    s.launchOverheadCycles = 1200;
+    fillClassTables(s, 2.0, 0.5, 1.0, 1.0);
+    return s;
+}
+
+GpuSpec
+turingRtx2060()
+{
+    GpuSpec s;
+    s.name = "RTX 2060";
+    s.generation = Generation::Turing;
+    s.numSms = 30;
+    s.maxThreadsPerSm = 1024;
+    s.maxCtasPerSm = 16;
+    s.maxWarpsPerSm = 32;
+    s.regFilePerSm = 65536;
+    s.smemPerSm = 64 * 1024;
+    s.issueWidth = 4;
+    s.coreClockGhz = 1.68;
+    s.l2BandwidthBytesPerClk = 900;
+    s.dramBandwidthGBs = 336;
+    s.launchOverheadCycles = 1100;
+    fillClassTables(s, 2.0, 0.5, 0.8, 1.0);
+    return s;
+}
+
+GpuSpec
+ampereRtx3070()
+{
+    GpuSpec s;
+    s.name = "RTX 3070";
+    s.generation = Generation::Ampere;
+    s.numSms = 46;
+    s.maxThreadsPerSm = 1536;
+    s.maxCtasPerSm = 16;
+    s.maxWarpsPerSm = 48;
+    s.regFilePerSm = 65536;
+    s.smemPerSm = 100 * 1024;
+    s.issueWidth = 4;
+    s.coreClockGhz = 1.73;
+    s.l2BandwidthBytesPerClk = 1200;
+    s.dramBandwidthGBs = 448;
+    s.launchOverheadCycles = 1000;
+    // Ampere doubles FP32 lanes per SM.
+    fillClassTables(s, 2.6, 0.5, 1.2, 1.0);
+    return s;
+}
+
+GpuSpec
+withSmCount(GpuSpec spec, uint32_t sms)
+{
+    PKA_ASSERT(sms > 0, "need at least one SM");
+    spec.numSms = sms;
+    spec.name += " (" + std::to_string(sms) + " SMs)";
+    return spec;
+}
+
+uint32_t
+maxCtasPerSm(const GpuSpec &spec, const KernelDescriptor &k)
+{
+    uint64_t threads = k.threadsPerCta();
+    uint64_t by_threads = spec.maxThreadsPerSm / std::max<uint64_t>(1, threads);
+    uint64_t warp_regs = 32ull * k.regsPerThread;
+    uint64_t cta_regs = warp_regs * k.warpsPerCta();
+    uint64_t by_regs = cta_regs > 0 ? spec.regFilePerSm / cta_regs
+                                    : spec.maxCtasPerSm;
+    uint64_t by_smem = k.smemPerBlock > 0
+                           ? spec.smemPerSm / k.smemPerBlock
+                           : spec.maxCtasPerSm;
+    uint64_t by_warps = spec.maxWarpsPerSm /
+                        std::max<uint64_t>(1, k.warpsPerCta());
+    uint64_t occ = std::min({static_cast<uint64_t>(spec.maxCtasPerSm),
+                             by_threads, by_regs, by_smem, by_warps});
+    if (occ == 0) {
+        pka::common::fatal(pka::common::strfmt(
+            "kernel %s cannot be scheduled on %s: per-CTA resources exceed "
+            "an SM (threads=%llu regs=%llu smem=%u)",
+            k.program ? k.program->name.c_str() : "?", spec.name.c_str(),
+            static_cast<unsigned long long>(threads),
+            static_cast<unsigned long long>(cta_regs), k.smemPerBlock));
+    }
+    return static_cast<uint32_t>(occ);
+}
+
+uint64_t
+waveSize(const GpuSpec &spec, const KernelDescriptor &k)
+{
+    return static_cast<uint64_t>(maxCtasPerSm(spec, k)) * spec.numSms;
+}
+
+} // namespace pka::silicon

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hardware specifications for the GPUs modeled in the study, plus the
+ * occupancy calculator shared by the silicon model and the simulator.
+ */
+
+#ifndef PKA_SILICON_GPU_SPEC_HH
+#define PKA_SILICON_GPU_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "workload/kernel.hh"
+
+namespace pka::silicon
+{
+
+/** GPU generation, used to key generation-specific behaviour. */
+enum class Generation : uint8_t { Volta, Turing, Ampere };
+
+/** Name of a generation. */
+const char *generationName(Generation g);
+
+/**
+ * A GPU hardware description. Throughputs are per-SM instructions per
+ * cycle for each instruction class.
+ */
+struct GpuSpec
+{
+    std::string name;
+    Generation generation = Generation::Volta;
+
+    // Compute organization.
+    uint32_t numSms = 80;
+    uint32_t maxThreadsPerSm = 2048;
+    uint32_t maxCtasPerSm = 32;
+    uint32_t maxWarpsPerSm = 64;
+    uint32_t regFilePerSm = 65536;
+    uint32_t smemPerSm = 96 * 1024;
+    uint32_t issueWidth = 4; ///< warp instructions issued per SM per cycle
+    double coreClockGhz = 1.38;
+
+    /** Per-SM issue throughput (warp instructions / cycle) per class. */
+    std::array<double, pka::workload::kNumInstrClasses> classThroughput{};
+
+    /** Pipeline latency (cycles) per class, excluding memory misses. */
+    std::array<double, pka::workload::kNumInstrClasses> classLatency{};
+
+    // Memory hierarchy.
+    double l1LatencyCycles = 28;
+    double l2LatencyCycles = 190;
+    double dramLatencyCycles = 350;
+    double l2BandwidthBytesPerClk = 1500; ///< device-wide L2 read+write
+    double dramBandwidthGBs = 900;
+
+    /** DRAM bytes per core clock (device-wide). */
+    double dramBytesPerClk() const
+    {
+        return dramBandwidthGBs / coreClockGhz;
+    }
+
+    /** Kernel launch fixed overhead in cycles. */
+    double launchOverheadCycles = 1200;
+};
+
+/** Tesla V100 (Volta, 80 SMs). */
+GpuSpec voltaV100();
+
+/** GeForce RTX 2060 (Turing, 30 SMs). */
+GpuSpec turingRtx2060();
+
+/** GeForce RTX 3070 (Ampere, 46 SMs). */
+GpuSpec ampereRtx3070();
+
+/** Copy of `spec` with a different SM count (the paper's MPS case study). */
+GpuSpec withSmCount(GpuSpec spec, uint32_t sms);
+
+/**
+ * Occupancy: maximum concurrent CTAs per SM for a kernel, limited by
+ * threads, CTA slots, registers and shared memory. Always >= 1 for
+ * launchable kernels (fatal otherwise).
+ */
+uint32_t maxCtasPerSm(const GpuSpec &spec,
+                      const pka::workload::KernelDescriptor &k);
+
+/**
+ * The number of CTAs that fills the whole GPU at max occupancy — the
+ * paper's "wave" unit used by Principal Kernel Projection.
+ */
+uint64_t waveSize(const GpuSpec &spec,
+                  const pka::workload::KernelDescriptor &k);
+
+} // namespace pka::silicon
+
+#endif // PKA_SILICON_GPU_SPEC_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The analytic "silicon" GPU: the ground-truth device every experiment
+ * validates against.
+ *
+ * Real silicon is unavailable in this reproduction, so ground truth comes
+ * from a first-order analytical performance model: occupancy-limited wave
+ * execution with issue-rate, per-pipe, memory-bandwidth and latency bounds,
+ * plus deterministic per-launch data-dependent jitter. The model is
+ * intentionally *different* from the cycle-level simulator so the
+ * simulator-versus-silicon error the paper reports arises naturally.
+ */
+
+#ifndef PKA_SILICON_SILICON_GPU_HH
+#define PKA_SILICON_SILICON_GPU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/gpu_spec.hh"
+#include "workload/kernel.hh"
+
+namespace pka::silicon
+{
+
+/** Result of executing one kernel launch on silicon. */
+struct KernelExecution
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    double threadIpc = 0.0;   ///< thread-level instructions per cycle
+    double dramUtilPct = 0.0; ///< DRAM bandwidth utilization, percent
+    double l2MissPct = 0.0;   ///< L2 miss rate, percent
+};
+
+/** Result of executing a full application. */
+struct AppExecution
+{
+    uint64_t totalCycles = 0;
+    double totalSeconds = 0.0;
+    std::vector<KernelExecution> launches;
+
+    /** Time-weighted average DRAM utilization (percent). */
+    double avgDramUtilPct() const;
+};
+
+/**
+ * Analytic GPU device. Deterministic: the same (spec, workload) pair
+ * always produces the same timings, and per-launch data-dependent jitter
+ * is keyed by (workload seed, launch id) only — so different GPU
+ * generations observe the *same* data-dependent behaviour, as real
+ * datasets would provide.
+ */
+class SiliconGpu
+{
+  public:
+    explicit SiliconGpu(GpuSpec spec);
+
+    /** The hardware description in use. */
+    const GpuSpec &spec() const { return spec_; }
+
+    /** Execute one launch. `workload_seed` keys the data jitter. */
+    KernelExecution execute(const pka::workload::KernelDescriptor &k,
+                            uint64_t workload_seed) const;
+
+    /** Execute a whole application launch stream. */
+    AppExecution run(const pka::workload::Workload &w) const;
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace pka::silicon
+
+#endif // PKA_SILICON_SILICON_GPU_HH

@@ -1,0 +1,62 @@
+#include "sim/ipc_tracker.hh"
+
+#include "common/logging.hh"
+
+namespace pka::sim
+{
+
+IpcTracker::IpcTracker(uint32_t bucket_cycles, size_t window_buckets,
+                       bool trace)
+    : bucket_cycles_(bucket_cycles), trace_enabled_(trace),
+      window_(window_buckets)
+{
+    PKA_ASSERT(bucket_cycles > 0, "bucket size must be positive");
+}
+
+bool
+IpcTracker::push(double thread_insts)
+{
+    ++cycles_;
+    bucket_insts_ += thread_insts;
+    if (++in_bucket_ < bucket_cycles_)
+        return false;
+    completeBucket();
+    return true;
+}
+
+void
+IpcTracker::advanceIdle(uint64_t cycles)
+{
+    // Idle stretches complete buckets with zero additional instructions.
+    while (cycles > 0) {
+        uint64_t room = bucket_cycles_ - in_bucket_;
+        uint64_t step = cycles < room ? cycles : room;
+        in_bucket_ += static_cast<uint32_t>(step);
+        cycles_ += step;
+        cycles -= step;
+        if (in_bucket_ == bucket_cycles_)
+            completeBucket();
+    }
+}
+
+void
+IpcTracker::completeBucket()
+{
+    last_bucket_ipc_ = bucket_insts_ / bucket_cycles_;
+    window_.push(last_bucket_ipc_);
+    if (trace_enabled_)
+        trace_.push_back(IpcSample{cycles_, last_bucket_ipc_, 0.0, 0.0});
+    in_bucket_ = 0;
+    bucket_insts_ = 0.0;
+}
+
+void
+IpcTracker::annotateLastSample(double l2_miss_pct, double dram_util_pct)
+{
+    if (trace_.empty())
+        return;
+    trace_.back().l2MissPct = l2_miss_pct;
+    trace_.back().dramUtilPct = dram_util_pct;
+}
+
+} // namespace pka::sim

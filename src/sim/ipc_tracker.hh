@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instantaneous-IPC tracking for the simulator: bucketed per-cycle retire
+ * counts feeding an O(1) rolling mean/std window — the signal Principal
+ * Kernel Projection watches — plus an optional full trace for
+ * visualization (the paper's Figure 5).
+ */
+
+#ifndef PKA_SIM_IPC_TRACKER_HH
+#define PKA_SIM_IPC_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace pka::sim
+{
+
+/** One traced sample, bucket-granular. */
+struct IpcSample
+{
+    uint64_t cycle = 0;    ///< cycle at bucket end
+    double ipc = 0.0;      ///< thread-instructions per cycle in the bucket
+    double l2MissPct = 0.0;
+    double dramUtilPct = 0.0;
+};
+
+/**
+ * Accumulates per-cycle retired thread instructions into fixed-size cycle
+ * buckets and maintains a rolling window of bucket-IPC values.
+ */
+class IpcTracker
+{
+  public:
+    /**
+     * @param bucket_cycles cycles per bucket (paper: IPC smoothing grain)
+     * @param window_buckets rolling-window length in buckets (the paper's
+     *        n = 3000 cycles => window_buckets * bucket_cycles = 3000)
+     * @param trace record a full IpcSample series
+     */
+    IpcTracker(uint32_t bucket_cycles, size_t window_buckets, bool trace);
+
+    /**
+     * Record one simulated cycle retiring `thread_insts` instructions.
+     * @return true when this cycle completed a bucket.
+     */
+    bool push(double thread_insts);
+
+    /** Record `cycles` fully idle cycles (fast-forward). */
+    void advanceIdle(uint64_t cycles);
+
+    /** True once the rolling window holds window_buckets samples. */
+    bool windowFull() const { return window_.full(); }
+
+    /** Rolling mean of bucket IPC. */
+    double windowMean() const { return window_.mean(); }
+
+    /** Rolling standard deviation of bucket IPC. */
+    double windowStd() const { return window_.stddev(); }
+
+    /** IPC of the most recently completed bucket. */
+    double lastBucketIpc() const { return last_bucket_ipc_; }
+
+    /** Cycles observed so far. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** Attach memory stats to the most recent trace sample. */
+    void annotateLastSample(double l2_miss_pct, double dram_util_pct);
+
+    /** The recorded trace (empty unless tracing was requested). */
+    const std::vector<IpcSample> &trace() const { return trace_; }
+
+  private:
+    void completeBucket();
+
+    uint32_t bucket_cycles_;
+    bool trace_enabled_;
+    pka::common::RollingWindow window_;
+    uint64_t cycles_ = 0;
+    uint32_t in_bucket_ = 0;
+    double bucket_insts_ = 0.0;
+    double last_bucket_ipc_ = 0.0;
+    std::vector<IpcSample> trace_;
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_IPC_TRACKER_HH

@@ -1,0 +1,96 @@
+#include "sim/memory_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pka::sim
+{
+
+using pka::silicon::GpuSpec;
+using pka::workload::Program;
+
+MemoryModel::MemoryModel(const GpuSpec &spec, uint64_t seed)
+    : spec_(spec), rng_(pka::common::Rng::forKey(seed, 0x3E3))
+{
+}
+
+uint64_t
+MemoryModel::access(const Program &prog, uint64_t cycle)
+{
+    const double c = static_cast<double>(cycle);
+    const double sectors = prog.sectorsPerAccess;
+    // Cold-start: hit rates ramp toward the program's locality as the
+    // caches warm, so kernel IPC ramps up before stabilizing.
+    ++accesses_;
+    const double warm =
+        static_cast<double>(accesses_) /
+        (static_cast<double>(accesses_) + 5000.0);
+    const double l1_hit = prog.l1Locality * warm;
+    const double l2_hit = prog.l2Locality * (0.25 + 0.75 * warm);
+    const double l1_miss_sectors = sectors * (1.0 - l1_hit);
+    const double dram_miss_sectors = l1_miss_sectors * (1.0 - l2_hit);
+
+    double latency = spec_.l1LatencyCycles;
+
+    if (l1_miss_sectors > 0.0) {
+        l2_sectors_ += l1_miss_sectors;
+        // L2 pipe: service time proportional to bytes through the L2.
+        double l2_service =
+            l1_miss_sectors * 32.0 / spec_.l2BandwidthBytesPerClk;
+        double l2_start = std::max(c, l2_busy_until_);
+        l2_busy_until_ = l2_start + l2_service;
+        latency += (l2_start - c) +
+                   (spec_.l2LatencyCycles - spec_.l1LatencyCycles) *
+                       (l1_miss_sectors / sectors);
+    }
+    if (dram_miss_sectors > 0.0) {
+        dram_sectors_ += dram_miss_sectors;
+        double bytes = dram_miss_sectors * 32.0;
+        dram_bytes_ += bytes;
+        double service = bytes / spec_.dramBytesPerClk();
+        double start = std::max(c, dram_busy_until_);
+        dram_busy_until_ = start + service;
+        dram_busy_ += service;
+        latency += (start - c) + service +
+                   (spec_.dramLatencyCycles - spec_.l2LatencyCycles) *
+                       (dram_miss_sectors / sectors);
+    }
+
+    // Mild stochastic spread models bank conflicts / row-buffer effects.
+    latency *= 1.0 + rng_.uniform(-0.08, 0.08);
+    return static_cast<uint64_t>(std::max(1.0, latency));
+}
+
+double
+MemoryModel::dramUtilPct(uint64_t total_cycles) const
+{
+    if (total_cycles == 0)
+        return 0.0;
+    return std::min(100.0, 100.0 * dram_busy_ /
+                               static_cast<double>(total_cycles));
+}
+
+double
+MemoryModel::l2MissPct() const
+{
+    return l2_sectors_ > 0 ? 100.0 * dram_sectors_ / l2_sectors_ : 0.0;
+}
+
+void
+MemoryModel::reset()
+{
+    l2_busy_until_ = 0.0;
+    dram_busy_until_ = 0.0;
+    l2_sectors_ = 0.0;
+    dram_sectors_ = 0.0;
+    dram_bytes_ = 0.0;
+    dram_busy_ = 0.0;
+}
+
+MemoryModel::Counters
+MemoryModel::counters() const
+{
+    return {l2_sectors_, dram_sectors_, dram_busy_};
+}
+
+} // namespace pka::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-wide memory-hierarchy timing model for the cycle-level simulator:
+ * L1/L2 locality, L2 and DRAM bandwidth contention via busy-until pipes,
+ * and traffic accounting for DRAM-utilization / L2-miss statistics.
+ */
+
+#ifndef PKA_SIM_MEMORY_MODEL_HH
+#define PKA_SIM_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "silicon/gpu_spec.hh"
+#include "workload/kernel.hh"
+
+namespace pka::sim
+{
+
+/**
+ * Shared memory system. Each global-memory warp access is charged an
+ * expected latency from per-program locality plus queueing delay from
+ * bandwidth contention. Deterministic given the seed.
+ */
+class MemoryModel
+{
+  public:
+    MemoryModel(const pka::silicon::GpuSpec &spec, uint64_t seed);
+
+    /**
+     * Issue one global-memory warp access at `cycle` for `prog`.
+     * @return total latency in cycles until the data returns.
+     */
+    uint64_t access(const pka::workload::Program &prog, uint64_t cycle);
+
+    /** DRAM bandwidth utilization over `total_cycles`, percent. */
+    double dramUtilPct(uint64_t total_cycles) const;
+
+    /** Sector miss rate observed at L2, percent. */
+    double l2MissPct() const;
+
+    /** DRAM bytes moved since construction/reset. */
+    double dramBytes() const { return dram_bytes_; }
+
+    /** Busy cycles accumulated on the DRAM pipe since reset. */
+    double dramBusyCycles() const { return dram_busy_; }
+
+    /** Reset traffic counters and pipe state (new kernel). */
+    void reset();
+
+    /**
+     * Snapshot of cumulative counters, used by the IPC tracer to compute
+     * per-window miss-rate/utilization series.
+     */
+    struct Counters
+    {
+        double l2Sectors = 0;
+        double dramSectors = 0;
+        double dramBusy = 0;
+    };
+
+    /** Current cumulative counters. */
+    Counters counters() const;
+
+  private:
+    const pka::silicon::GpuSpec &spec_;
+    pka::common::Rng rng_;
+    uint64_t accesses_ = 0;
+    double l2_busy_until_ = 0.0;
+    double dram_busy_until_ = 0.0;
+    double l2_sectors_ = 0.0;
+    double dram_sectors_ = 0.0;
+    double dram_bytes_ = 0.0;
+    double dram_busy_ = 0.0;
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_MEMORY_MODEL_HH

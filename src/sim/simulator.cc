@@ -1,0 +1,206 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/memory_model.hh"
+#include "sim/sm_core.hh"
+
+namespace pka::sim
+{
+
+using pka::silicon::GpuSpec;
+using pka::workload::KernelDescriptor;
+
+namespace
+{
+
+/** Absolute runaway guard for a single kernel. */
+constexpr uint64_t kHardCycleCap = 4'000'000'000ULL;
+
+} // namespace
+
+GpuSimulator::GpuSimulator(GpuSpec spec)
+    : spec_(std::move(spec))
+{
+}
+
+KernelSimResult
+GpuSimulator::simulateKernel(const KernelDescriptor &k,
+                             uint64_t workload_seed,
+                             const SimOptions &opts) const
+{
+    PKA_ASSERT(k.program != nullptr, "launch has no program");
+
+    const uint32_t occ = pka::silicon::maxCtasPerSm(spec_, k);
+    const uint64_t total_ctas = k.numCtas();
+    const uint64_t wave = static_cast<uint64_t>(occ) * spec_.numSms;
+
+    if (opts.trace) {
+        PKA_ASSERT(opts.trace->ctaIterations.size() == total_ctas,
+                   "trace CTA count does not match the launch grid");
+        PKA_ASSERT(opts.trace->kernelName == k.program->name,
+                   "trace kernel name does not match the launch");
+    }
+
+    MemoryModel mem(spec_, workload_seed ^ (k.launchId * 0x9E3779B9ULL));
+    std::vector<SmCore> sms;
+    sms.reserve(spec_.numSms);
+    for (uint32_t s = 0; s < spec_.numSms; ++s)
+        sms.emplace_back(spec_, k, mem, workload_seed, occ,
+                         opts.scheduler,
+                         opts.trace ? &opts.trace->ctaIterations
+                                    : nullptr);
+
+    uint64_t next_cta = 0;
+    // Breadth-first dispatch (one CTA per SM per pass), matching how GPUs
+    // spread a grid across SMs before stacking occupancy. The GigaThread-
+    // style rate limit makes occupancy (and hence IPC) ramp up over the
+    // first wave instead of materializing instantaneously.
+    constexpr double kCtaDispatchPerCycle = 4.0;
+    double dispatch_credit = 8.0;
+    size_t rr_cursor = 0; // persistent so breadth-first survives credit
+    auto dispatch = [&]() {
+        size_t full_sms = 0;
+        while (next_cta < total_ctas && dispatch_credit >= 1.0 &&
+               full_sms < sms.size()) {
+            SmCore &sm = sms[rr_cursor];
+            rr_cursor = (rr_cursor + 1) % sms.size();
+            if (sm.hasFreeSlot()) {
+                sm.assignCta(next_cta++);
+                dispatch_credit -= 1.0;
+                full_sms = 0;
+            } else {
+                ++full_sms;
+            }
+        }
+    };
+    dispatch();
+
+    IpcTracker tracker(opts.ipcBucketCycles, opts.ipcWindowBuckets,
+                       opts.traceIpc);
+    MemoryModel::Counters prev_ctr = mem.counters();
+    uint64_t prev_trace_cycle = 0;
+
+    KernelSimResult r;
+    r.totalCtas = total_ctas;
+    r.waveSize = wave;
+    r.expectedWarpInstructions = k.totalWarpInstructions();
+
+    auto make_snapshot = [&](uint64_t cycle) {
+        StopController::Snapshot s;
+        s.cycle = cycle;
+        s.finishedCtas = r.finishedCtas;
+        s.totalCtas = total_ctas;
+        s.waveSize = wave;
+        s.windowIpcMean = tracker.windowMean();
+        s.windowIpcStd = tracker.windowStd();
+        s.windowFull = tracker.windowFull();
+        return s;
+    };
+    if (opts.stop)
+        opts.stop->beginKernel(make_snapshot(0));
+
+    const uint64_t cycle_cap =
+        opts.maxCycles > 0 ? std::min(opts.maxCycles, kHardCycleCap)
+                           : kHardCycleCap;
+
+    uint64_t cycle = 0;
+    while (r.finishedCtas < total_ctas) {
+        double retired = 0.0;
+        uint32_t finished_now = 0;
+        for (auto &sm : sms) {
+            SmTickResult t = sm.tick(cycle);
+            retired += t.threadInstsRetired;
+            r.warpInstructions += t.warpInstsIssued;
+            finished_now += t.ctasFinished;
+        }
+        if (finished_now > 0)
+            r.finishedCtas += finished_now;
+        if (next_cta < total_ctas) {
+            dispatch_credit = std::min(
+                dispatch_credit + kCtaDispatchPerCycle,
+                static_cast<double>(2 * spec_.numSms));
+            dispatch();
+        }
+        r.threadInstructions += retired;
+        bool bucket_done = tracker.push(retired);
+
+        if (bucket_done) {
+            if (opts.traceIpc) {
+                MemoryModel::Counters ctr = mem.counters();
+                double d_l2 = ctr.l2Sectors - prev_ctr.l2Sectors;
+                double d_dram = ctr.dramSectors - prev_ctr.dramSectors;
+                double d_busy = ctr.dramBusy - prev_ctr.dramBusy;
+                double span = static_cast<double>(
+                    tracker.cycles() - prev_trace_cycle);
+                tracker.annotateLastSample(
+                    d_l2 > 0 ? 100.0 * d_dram / d_l2 : 0.0,
+                    span > 0 ? std::min(100.0, 100.0 * d_busy / span)
+                             : 0.0);
+                prev_ctr = ctr;
+                prev_trace_cycle = tracker.cycles();
+            }
+            if (opts.stop &&
+                opts.stop->shouldStop(make_snapshot(cycle + 1))) {
+                r.stoppedEarly = true;
+                ++cycle;
+                break;
+            }
+            if (opts.maxThreadInstructions > 0 &&
+                r.threadInstructions >=
+                    static_cast<double>(opts.maxThreadInstructions)) {
+                r.truncatedByBudget = true;
+                ++cycle;
+                break;
+            }
+        }
+        if (cycle >= cycle_cap) {
+            if (cycle >= kHardCycleCap)
+                pka::common::warn(pka::common::strfmt(
+                    "kernel %s exceeded the hard cycle cap; truncating",
+                    k.program->name.c_str()));
+            r.truncatedByBudget = true;
+            ++cycle;
+            break;
+        }
+
+        // Fast-forward fully idle stretches (latency-bound kernels).
+        // Disabled while CTAs await dispatch so the rate limiter stays
+        // cycle-accurate.
+        if (retired == 0.0 && finished_now == 0 &&
+            next_cta == total_ctas) {
+            uint64_t next_wake = UINT64_MAX;
+            bool any_ready = false;
+            for (const auto &sm : sms) {
+                if (sm.hasReady()) {
+                    any_ready = true;
+                    break;
+                }
+                next_wake = std::min(next_wake, sm.nextWake());
+            }
+            if (!any_ready) {
+                PKA_ASSERT(next_wake != UINT64_MAX,
+                           "deadlock: no ready or pending warps");
+                if (next_wake > cycle + 1) {
+                    uint64_t skip = next_wake - cycle - 1;
+                    tracker.advanceIdle(skip);
+                    cycle += skip;
+                }
+            }
+        }
+        ++cycle;
+    }
+
+    // Launch overhead is outside the measured IPC window but part of the
+    // kernel's wall-clock cycles.
+    r.inFlightCtas = next_cta - r.finishedCtas;
+    r.cycles = cycle + static_cast<uint64_t>(spec_.launchOverheadCycles);
+    r.dramUtilPct = mem.dramUtilPct(r.cycles);
+    r.l2MissPct = mem.l2MissPct();
+    if (opts.traceIpc)
+        r.trace = tracker.trace();
+    return r;
+}
+
+} // namespace pka::sim

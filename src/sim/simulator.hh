@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The cycle-level GPU simulator (Accel-Sim substitute): a trace-model
+ * device built from SmCore units over a shared MemoryModel, with per-cycle
+ * IPC tracking, CTA dispatch, idle fast-forwarding and an online
+ * StopController hook for Principal Kernel Projection.
+ */
+
+#ifndef PKA_SIM_SIMULATOR_HH
+#define PKA_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/gpu_spec.hh"
+#include "sim/ipc_tracker.hh"
+#include "sim/sm_core.hh"
+#include "sim/trace.hh"
+#include "sim/stop_controller.hh"
+#include "workload/kernel.hh"
+
+namespace pka::sim
+{
+
+/** Per-kernel simulation controls. */
+struct SimOptions
+{
+    /** Early-stop policy; nullptr runs the kernel to completion. */
+    StopController *stop = nullptr;
+
+    /** Warp scheduling policy in every SM. */
+    SchedulerPolicy scheduler = SchedulerPolicy::Lrr;
+
+    /**
+     * Replay this trace instead of resolving data-dependent work from
+     * the workload seed. Must match the launch (grid size, kernel name).
+     */
+    const KernelTrace *trace = nullptr;
+
+    /** Record a full IPC/L2/DRAM trace (Figure-5-style series). */
+    bool traceIpc = false;
+
+    /** IPC bucket size in cycles. */
+    uint32_t ipcBucketCycles = 30;
+
+    /** Rolling window length in buckets (100 x 30 = the paper's 3000). */
+    uint32_t ipcWindowBuckets = 100;
+
+    /**
+     * Truncate once this many thread instructions retired (0 = off);
+     * implements the first-N-instructions baseline.
+     */
+    uint64_t maxThreadInstructions = 0;
+
+    /** Hard cycle cap (0 = off). */
+    uint64_t maxCycles = 0;
+};
+
+/** Result of simulating one kernel launch. */
+struct KernelSimResult
+{
+    uint64_t cycles = 0;
+    double threadInstructions = 0.0;
+    uint64_t warpInstructions = 0;
+    uint64_t finishedCtas = 0;
+    uint64_t inFlightCtas = 0; ///< dispatched but unfinished at the end
+    uint64_t totalCtas = 0;
+    uint64_t waveSize = 0;
+
+    /** Static warp-instruction count of the launch (no CTA jitter). */
+    uint64_t expectedWarpInstructions = 0;
+    bool stoppedEarly = false;      ///< StopController terminated it
+    bool truncatedByBudget = false; ///< instruction/cycle cap hit
+    double dramUtilPct = 0.0;
+    double l2MissPct = 0.0;
+    std::vector<IpcSample> trace;
+
+    /** Average thread-level IPC over the simulated span. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : threadInstructions /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Cycle-level device simulator. Stateless between kernels: each
+ * simulateKernel call builds a fresh device, which keeps kernels
+ * independent and the API re-entrant.
+ */
+class GpuSimulator
+{
+  public:
+    explicit GpuSimulator(pka::silicon::GpuSpec spec);
+
+    /** The simulated hardware description. */
+    const pka::silicon::GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Simulate one kernel launch.
+     * @param k the launch
+     * @param workload_seed keys per-CTA data-dependent work
+     * @param opts stop/trace/budget controls
+     */
+    KernelSimResult
+    simulateKernel(const pka::workload::KernelDescriptor &k,
+                   uint64_t workload_seed, const SimOptions &opts = {}) const;
+
+  private:
+    pka::silicon::GpuSpec spec_;
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_SIMULATOR_HH

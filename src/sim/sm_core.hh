@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A streaming multiprocessor: resident CTA slots, warp contexts, a
+ * ready/pending warp scheduler, and per-instruction timing. Per-cycle cost
+ * is O(issue width) plus wake-heap maintenance, so simulation cost scales
+ * with instructions executed rather than cycles x warps.
+ */
+
+#ifndef PKA_SIM_SM_CORE_HH
+#define PKA_SIM_SM_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "silicon/gpu_spec.hh"
+#include "sim/memory_model.hh"
+#include "workload/kernel.hh"
+
+namespace pka::sim
+{
+
+/** Warp scheduling policy. */
+enum class SchedulerPolicy : uint8_t
+{
+    Lrr, ///< loose round-robin: ready warps issue in wake order
+    Gto, ///< greedy-then-oldest: oldest resident warp issues first
+};
+
+/** Per-cycle SM outcome. */
+struct SmTickResult
+{
+    double threadInstsRetired = 0.0;
+    uint32_t warpInstsIssued = 0;
+    uint32_t ctasFinished = 0;
+};
+
+/**
+ * One SM executing warps of a single kernel launch. The owning simulator
+ * assigns CTAs into free slots and calls tick() every device cycle.
+ */
+class SmCore
+{
+  public:
+    /**
+     * @param max_resident_ctas occupancy limit for this kernel
+     * @param cta_iterations optional traced per-CTA trip counts; when
+     *        null, trip counts are resolved from the workload seed
+     */
+    SmCore(const pka::silicon::GpuSpec &spec,
+           const pka::workload::KernelDescriptor &k, MemoryModel &mem,
+           uint64_t workload_seed, uint32_t max_resident_ctas,
+           SchedulerPolicy policy = SchedulerPolicy::Lrr,
+           const std::vector<uint32_t> *cta_iterations = nullptr);
+
+    /** True if another CTA can be made resident. */
+    bool hasFreeSlot() const { return !free_slot_ids_.empty(); }
+
+    /** Make CTA `cta_id` resident; its warps become ready immediately. */
+    void assignCta(uint64_t cta_id);
+
+    /** Advance one cycle. */
+    SmTickResult tick(uint64_t cycle);
+
+    /** True while any warp is resident. */
+    bool busy() const { return live_warps_ > 0; }
+
+    /** True if a warp could issue this cycle. */
+    bool hasReady() const
+    {
+        return !ready_.empty() || !ready_by_age_.empty();
+    }
+
+    /** Earliest pending wake cycle, or UINT64_MAX when none pending. */
+    uint64_t nextWake() const;
+
+  private:
+    struct Warp
+    {
+        uint32_t remIters = 0;
+        uint32_t segIdx = 0;
+        uint32_t segRem = 0;
+        uint16_t ctaSlot = 0;
+        uint32_t age = 0; ///< assignment sequence, for GTO priority
+    };
+
+    /** Move a woken/new warp into the ready structure. */
+    void makeReady(uint32_t warp_idx);
+
+    /** Pop the next warp to issue; requires hasReady(). */
+    uint32_t popReady();
+
+    /** Timing for one issued instruction of class `cls`. */
+    uint64_t stallCycles(pka::workload::InstrClass cls, uint64_t cycle);
+
+    const pka::silicon::GpuSpec &spec_;
+    const pka::workload::KernelDescriptor &k_;
+    MemoryModel &mem_;
+    uint64_t seed_;
+
+    std::vector<Warp> warps_;
+    std::vector<uint32_t> slot_live_warps_;
+    std::vector<uint16_t> free_slot_ids_;
+    std::vector<uint32_t> free_warp_ids_;
+    std::deque<uint32_t> ready_; ///< LRR ready queue
+    using AgeEntry = std::pair<uint32_t, uint32_t>;
+    std::priority_queue<AgeEntry, std::vector<AgeEntry>,
+                        std::greater<AgeEntry>>
+        ready_by_age_; ///< GTO ready set (oldest first)
+    using WakeEntry = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<WakeEntry, std::vector<WakeEntry>,
+                        std::greater<WakeEntry>>
+        pending_;
+    SchedulerPolicy policy_;
+    const std::vector<uint32_t> *trace_iters_;
+    uint32_t next_age_ = 0;
+    uint32_t live_warps_ = 0;
+    double retire_per_inst_; ///< thread insts per warp inst (divergence)
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_SM_CORE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Online early-stop hook for the simulator. The simulator provides the
+ * mechanism (a per-bucket snapshot of IPC-window statistics and
+ * thread-block progress); policies such as Principal Kernel Projection
+ * implement the decision.
+ */
+
+#ifndef PKA_SIM_STOP_CONTROLLER_HH
+#define PKA_SIM_STOP_CONTROLLER_HH
+
+#include <cstdint>
+
+namespace pka::sim
+{
+
+/**
+ * Decision interface consulted at every completed IPC bucket.
+ */
+class StopController
+{
+  public:
+    virtual ~StopController() = default;
+
+    /** Simulator state visible to the stop decision. */
+    struct Snapshot
+    {
+        uint64_t cycle = 0;           ///< current simulated cycle
+        uint64_t finishedCtas = 0;    ///< thread blocks fully retired
+        uint64_t totalCtas = 0;       ///< thread blocks in the grid
+        uint64_t waveSize = 0;        ///< CTAs filling the GPU at max occupancy
+        double windowIpcMean = 0.0;   ///< rolling-window IPC mean
+        double windowIpcStd = 0.0;    ///< rolling-window IPC std deviation
+        bool windowFull = false;      ///< rolling window has full history
+    };
+
+    /** Reset per-kernel state (called at kernel start). */
+    virtual void beginKernel(const Snapshot &initial) = 0;
+
+    /** @return true to terminate the kernel's simulation now. */
+    virtual bool shouldStop(const Snapshot &s) = 0;
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_STOP_CONTROLLER_HH

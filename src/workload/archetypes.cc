@@ -1,0 +1,216 @@
+#include "workload/archetypes.hh"
+
+#include <algorithm>
+
+#include "workload/builder.hh"
+
+namespace pka::workload::archetypes
+{
+
+namespace
+{
+
+/** Jitter an integer count by +/- `spread` fraction, keeping it >= 1. */
+uint32_t
+jc(Rng &rng, uint32_t base, double spread = 0.15)
+{
+    double v = base * (1.0 + rng.uniform(-spread, spread));
+    return std::max<uint32_t>(1, static_cast<uint32_t>(v + 0.5));
+}
+
+/** Jitter a real parameter by +/- `spread` fraction within [lo, hi]. */
+double
+jr(Rng &rng, double base, double spread, double lo, double hi)
+{
+    return std::clamp(base * (1.0 + rng.uniform(-spread, spread)), lo, hi);
+}
+
+} // namespace
+
+ProgramPtr
+compute(const std::string &name, Rng &rng, double intensity)
+{
+    uint32_t fp = jc(rng, static_cast<uint32_t>(24 * intensity));
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 2))
+        .seg(InstrClass::FpAlu, fp)
+        .seg(InstrClass::IntAlu, jc(rng, 6))
+        .seg(InstrClass::Branch, 1)
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 1.2, 0.1, 1, 32), jr(rng, 0.7, 0.1, 0, 1),
+             jr(rng, 0.8, 0.1, 0, 1))
+        .divergence(jr(rng, 0.98, 0.02, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+gemmTile(const std::string &name, Rng &rng, bool tensor_core)
+{
+    ProgramBuilder b(name);
+    b.seg(InstrClass::GlobalLoad, jc(rng, 4))
+        .seg(InstrClass::SharedStore, jc(rng, 4))
+        .seg(InstrClass::Sync, 1)
+        .seg(InstrClass::SharedLoad, jc(rng, 16));
+    if (tensor_core)
+        b.seg(InstrClass::Tensor, jc(rng, 8));
+    else
+        b.seg(InstrClass::FpAlu, jc(rng, 64));
+    b.seg(InstrClass::IntAlu, jc(rng, 8))
+        .seg(InstrClass::Branch, 1)
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 1.1, 0.05, 1, 32), jr(rng, 0.55, 0.1, 0, 1),
+             jr(rng, 0.85, 0.05, 0, 1))
+        .divergence(jr(rng, 1.0, 0.005, 0.03125, 1.0));
+    return b.build();
+}
+
+ProgramPtr
+convTile(const std::string &name, Rng &rng, bool tensor_core)
+{
+    ProgramBuilder b(name);
+    b.seg(InstrClass::GlobalLoad, jc(rng, 6))
+        .seg(InstrClass::SharedStore, jc(rng, 6))
+        .seg(InstrClass::Sync, 1)
+        .seg(InstrClass::SharedLoad, jc(rng, 18))
+        .seg(InstrClass::IntAlu, jc(rng, 20));
+    if (tensor_core)
+        b.seg(InstrClass::Tensor, jc(rng, 6));
+    else
+        b.seg(InstrClass::FpAlu, jc(rng, 48));
+    b.seg(InstrClass::Branch, jc(rng, 2))
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 1.4, 0.1, 1, 32), jr(rng, 0.6, 0.1, 0, 1),
+             jr(rng, 0.8, 0.08, 0, 1))
+        .divergence(jr(rng, 0.97, 0.02, 0.03125, 1.0));
+    return b.build();
+}
+
+ProgramPtr
+elementwise(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 2))
+        .seg(InstrClass::FpAlu, jc(rng, 3))
+        .seg(InstrClass::IntAlu, jc(rng, 3))
+        .seg(InstrClass::Branch, 1)
+        .seg(InstrClass::GlobalStore, jc(rng, 1))
+        .mem(jr(rng, 1.05, 0.03, 1, 32), jr(rng, 0.15, 0.3, 0, 1),
+             jr(rng, 0.35, 0.2, 0, 1))
+        .divergence(jr(rng, 1.0, 0.003, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+reduction(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 2))
+        .seg(InstrClass::SharedStore, jc(rng, 2))
+        .seg(InstrClass::Sync, 2)
+        .seg(InstrClass::SharedLoad, jc(rng, 6))
+        .seg(InstrClass::FpAlu, jc(rng, 6))
+        .seg(InstrClass::IntAlu, jc(rng, 5))
+        .seg(InstrClass::Branch, jc(rng, 3))
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 1.1, 0.05, 1, 32), jr(rng, 0.3, 0.2, 0, 1),
+             jr(rng, 0.5, 0.15, 0, 1))
+        .divergence(jr(rng, 0.8, 0.08, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+stencil(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 6))
+        .seg(InstrClass::FpAlu, jc(rng, 10))
+        .seg(InstrClass::IntAlu, jc(rng, 8))
+        .seg(InstrClass::Branch, jc(rng, 2))
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 1.6, 0.1, 1, 32), jr(rng, 0.55, 0.1, 0, 1),
+             jr(rng, 0.6, 0.1, 0, 1))
+        .divergence(jr(rng, 0.93, 0.03, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+graphTraversal(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 5))
+        .seg(InstrClass::IntAlu, jc(rng, 8))
+        .seg(InstrClass::Branch, jc(rng, 4))
+        .seg(InstrClass::GlobalAtomic, jc(rng, 1))
+        .seg(InstrClass::GlobalStore, jc(rng, 2))
+        .mem(jr(rng, 8.0, 0.3, 1, 32), jr(rng, 0.1, 0.4, 0, 1),
+             jr(rng, 0.35, 0.3, 0, 1))
+        .divergence(jr(rng, 0.4, 0.25, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+sparse(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 6))
+        .seg(InstrClass::FpAlu, jc(rng, 4))
+        .seg(InstrClass::IntAlu, jc(rng, 6))
+        .seg(InstrClass::Branch, jc(rng, 2))
+        .seg(InstrClass::GlobalStore, 1)
+        .mem(jr(rng, 6.0, 0.3, 1, 32), jr(rng, 0.2, 0.3, 0, 1),
+             jr(rng, 0.4, 0.2, 0, 1))
+        .divergence(jr(rng, 0.65, 0.15, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+atomicHistogram(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 2))
+        .seg(InstrClass::IntAlu, jc(rng, 6))
+        .seg(InstrClass::GlobalAtomic, jc(rng, 2))
+        .seg(InstrClass::Branch, jc(rng, 2))
+        .mem(jr(rng, 4.0, 0.3, 1, 32), jr(rng, 0.25, 0.3, 0, 1),
+             jr(rng, 0.6, 0.15, 0, 1))
+        .divergence(jr(rng, 0.75, 0.1, 0.03125, 1.0))
+        .build();
+}
+
+ProgramPtr
+rnnCell(const std::string &name, Rng &rng, bool tensor_core)
+{
+    ProgramBuilder b(name);
+    b.seg(InstrClass::GlobalLoad, jc(rng, 3))
+        .seg(InstrClass::SharedStore, jc(rng, 2))
+        .seg(InstrClass::Sync, 1)
+        .seg(InstrClass::SharedLoad, jc(rng, 6));
+    if (tensor_core)
+        b.seg(InstrClass::Tensor, jc(rng, 3));
+    else
+        b.seg(InstrClass::FpAlu, jc(rng, 20));
+    b.seg(InstrClass::Sfu, jc(rng, 4))
+        .seg(InstrClass::IntAlu, jc(rng, 5))
+        .seg(InstrClass::Branch, 1)
+        .seg(InstrClass::GlobalStore, jc(rng, 1))
+        .mem(jr(rng, 1.2, 0.08, 1, 32), jr(rng, 0.5, 0.15, 0, 1),
+             jr(rng, 0.7, 0.1, 0, 1))
+        .divergence(jr(rng, 0.99, 0.01, 0.03125, 1.0));
+    return b.build();
+}
+
+ProgramPtr
+dataMovement(const std::string &name, Rng &rng)
+{
+    return ProgramBuilder(name)
+        .seg(InstrClass::GlobalLoad, jc(rng, 4))
+        .seg(InstrClass::IntAlu, jc(rng, 4))
+        .seg(InstrClass::Branch, 1)
+        .seg(InstrClass::GlobalStore, jc(rng, 4))
+        .mem(jr(rng, 2.0, 0.2, 1, 32), jr(rng, 0.1, 0.4, 0, 1),
+             jr(rng, 0.3, 0.3, 0, 1))
+        .divergence(jr(rng, 1.0, 0.003, 0.03125, 1.0))
+        .build();
+}
+
+} // namespace pka::workload::archetypes

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Program archetype factories.
+ *
+ * Suite generators compose workloads out of a small set of behavioural
+ * archetypes (GEMM tiles, stencils, streaming element-wise ops, divergent
+ * graph traversals, ...). Each factory takes an Rng so distinct program
+ * instances within a family share a recognizable signature while differing
+ * enough that clustering is non-trivial — the property PKS exploits.
+ */
+
+#ifndef PKA_WORKLOAD_ARCHETYPES_HH
+#define PKA_WORKLOAD_ARCHETYPES_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "workload/kernel.hh"
+
+namespace pka::workload::archetypes
+{
+
+using pka::common::Rng;
+
+/** Dense compute-bound kernel (FP-heavy, well-coalesced, cache friendly). */
+ProgramPtr compute(const std::string &name, Rng &rng,
+                   double intensity = 1.0);
+
+/** GEMM inner-loop tile: shared-memory traffic + FMA or tensor-core MMA. */
+ProgramPtr gemmTile(const std::string &name, Rng &rng, bool tensor_core);
+
+/** Convolution tile: like GEMM but with extra index arithmetic + locality. */
+ProgramPtr convTile(const std::string &name, Rng &rng, bool tensor_core);
+
+/** Memory-bound streaming element-wise kernel (ReLU, axpy, ...). */
+ProgramPtr elementwise(const std::string &name, Rng &rng);
+
+/** Reduction kernel: shared-memory tree + syncs. */
+ProgramPtr reduction(const std::string &name, Rng &rng);
+
+/** Structured-grid stencil: neighbour loads, moderate locality. */
+ProgramPtr stencil(const std::string &name, Rng &rng);
+
+/** Divergent, scatter-heavy graph traversal (BFS-like). */
+ProgramPtr graphTraversal(const std::string &name, Rng &rng);
+
+/** Sparse matrix-vector style kernel: irregular gathers. */
+ProgramPtr sparse(const std::string &name, Rng &rng);
+
+/** Histogram/atomics-heavy kernel. */
+ProgramPtr atomicHistogram(const std::string &name, Rng &rng);
+
+/** Sequence/RNN cell: small GEMM + element-wise, latency sensitive. */
+ProgramPtr rnnCell(const std::string &name, Rng &rng, bool tensor_core);
+
+/** Data-movement kernel (transpose/pack/copy). */
+ProgramPtr dataMovement(const std::string &name, Rng &rng);
+
+} // namespace pka::workload::archetypes
+
+#endif // PKA_WORKLOAD_ARCHETYPES_HH

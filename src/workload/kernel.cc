@@ -1,0 +1,101 @@
+#include "workload/kernel.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace pka::workload
+{
+
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::IntAlu: return "int_alu";
+      case InstrClass::FpAlu: return "fp_alu";
+      case InstrClass::Sfu: return "sfu";
+      case InstrClass::Tensor: return "tensor";
+      case InstrClass::GlobalLoad: return "global_ld";
+      case InstrClass::GlobalStore: return "global_st";
+      case InstrClass::LocalLoad: return "local_ld";
+      case InstrClass::LocalStore: return "local_st";
+      case InstrClass::SharedLoad: return "shared_ld";
+      case InstrClass::SharedStore: return "shared_st";
+      case InstrClass::GlobalAtomic: return "global_atom";
+      case InstrClass::Branch: return "branch";
+      case InstrClass::Sync: return "sync";
+      default: break;
+    }
+    pka::common::panic("unknown instruction class");
+}
+
+bool
+isGlobalMemClass(InstrClass cls)
+{
+    return cls == InstrClass::GlobalLoad || cls == InstrClass::GlobalStore ||
+           cls == InstrClass::LocalLoad || cls == InstrClass::LocalStore ||
+           cls == InstrClass::GlobalAtomic;
+}
+
+uint64_t
+Program::instrsPerIteration() const
+{
+    uint64_t n = 0;
+    for (const auto &s : body)
+        n += s.count;
+    return n;
+}
+
+uint64_t
+Program::classInstrsPerIteration(InstrClass cls) const
+{
+    uint64_t n = 0;
+    for (const auto &s : body)
+        if (s.cls == cls)
+            n += s.count;
+    return n;
+}
+
+uint64_t
+KernelDescriptor::totalThreadInstructions() const
+{
+    PKA_ASSERT(program != nullptr, "launch has no program");
+    return totalThreads() * iterations * program->instrsPerIteration();
+}
+
+uint64_t
+KernelDescriptor::totalWarpInstructions() const
+{
+    PKA_ASSERT(program != nullptr, "launch has no program");
+    return numCtas() * warpsPerCta() * iterations *
+           program->instrsPerIteration();
+}
+
+uint64_t
+Workload::totalThreadInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &k : launches)
+        n += k.totalThreadInstructions();
+    return n;
+}
+
+uint64_t
+Workload::totalWarpInstructions() const
+{
+    uint64_t n = 0;
+    for (const auto &k : launches)
+        n += k.totalWarpInstructions();
+    return n;
+}
+
+size_t
+Workload::distinctPrograms() const
+{
+    std::unordered_set<const Program *> set;
+    for (const auto &k : launches)
+        set.insert(k.program.get());
+    return set.size();
+}
+
+} // namespace pka::workload

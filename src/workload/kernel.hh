@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The workload intermediate representation.
+ *
+ * A GPU application is modeled as a chronological stream of kernel launches
+ * (`Workload`). Each launch (`KernelDescriptor`) references a `Program` — the
+ * kernel *code identity* — plus launch-specific parameters: grid/block
+ * dimensions, per-thread loop trip count, resource usage and irregularity
+ * knobs. Programs are deliberately compact: a list of per-iteration
+ * instruction-class segments plus memory-behaviour parameters, which is
+ * exactly the information the paper's Table-2 microarchitecture-agnostic
+ * counters are derived from.
+ */
+
+#ifndef PKA_WORKLOAD_KERNEL_HH
+#define PKA_WORKLOAD_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pka::workload
+{
+
+/** CUDA-style 3D extent. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    uint64_t total() const
+    {
+        return static_cast<uint64_t>(x) * y * z;
+    }
+
+    bool operator==(const Dim3 &) const = default;
+};
+
+/** Instruction classes modeled by the simulator and profilers. */
+enum class InstrClass : uint8_t
+{
+    IntAlu,       ///< integer ALU op
+    FpAlu,        ///< single/double FP op
+    Sfu,          ///< special function (transcendental)
+    Tensor,       ///< tensor-core MMA
+    GlobalLoad,   ///< global-memory load
+    GlobalStore,  ///< global-memory store
+    LocalLoad,    ///< local-memory (spill) load
+    LocalStore,   ///< local-memory (spill) store
+    SharedLoad,   ///< shared-memory load
+    SharedStore,  ///< shared-memory store
+    GlobalAtomic, ///< global atomic
+    Branch,       ///< branch/control
+    Sync,         ///< barrier
+    NumClasses
+};
+
+/** Number of modeled instruction classes. */
+constexpr size_t kNumInstrClasses =
+    static_cast<size_t>(InstrClass::NumClasses);
+
+/** Human-readable instruction class name. */
+const char *instrClassName(InstrClass cls);
+
+/** True for classes that access the global-memory hierarchy. */
+bool isGlobalMemClass(InstrClass cls);
+
+/**
+ * One homogeneous run of instructions inside a loop iteration: `count`
+ * instructions of class `cls` executed by each thread.
+ */
+struct Segment
+{
+    InstrClass cls;
+    uint32_t count;
+};
+
+/**
+ * A kernel's code identity: the per-iteration instruction body plus
+ * architecture-agnostic memory-behaviour parameters.
+ */
+struct Program
+{
+    /** Kernel function name as a profiler would report it. */
+    std::string name;
+
+    /** Per-thread instruction body for one loop iteration. */
+    std::vector<Segment> body;
+
+    /**
+     * Average 32B sectors generated per global-memory warp access.
+     * 1.0 is perfectly coalesced, 32.0 fully scattered.
+     */
+    double sectorsPerAccess = 1.0;
+
+    /**
+     * Average fraction of threads active per issued warp instruction
+     * (Nsight's thread_inst_executed_per_inst_executed / 32). 1.0 means no
+     * control divergence.
+     */
+    double divergenceEff = 1.0;
+
+    /** Probability a global-memory sector hits in the L1 cache. */
+    double l1Locality = 0.5;
+
+    /** Probability an L1-missing sector hits in the L2 cache. */
+    double l2Locality = 0.5;
+
+    /** Per-thread instructions per loop iteration (sum over body). */
+    uint64_t instrsPerIteration() const;
+
+    /** Per-thread instructions of one class per loop iteration. */
+    uint64_t classInstrsPerIteration(InstrClass cls) const;
+};
+
+/** Shared immutable program handle. */
+using ProgramPtr = std::shared_ptr<const Program>;
+
+/**
+ * A single kernel launch: program + launch configuration. This is the unit
+ * PKS clusters and the unit the simulator executes.
+ */
+struct KernelDescriptor
+{
+    /** Chronological launch id within the owning workload. */
+    uint32_t launchId = 0;
+
+    /** Code identity. */
+    ProgramPtr program;
+
+    /** Grid dimensions (thread blocks). */
+    Dim3 grid;
+
+    /** Block dimensions (threads). */
+    Dim3 block;
+
+    /** Registers per thread (occupancy limiter). */
+    uint16_t regsPerThread = 32;
+
+    /** Static shared memory per block in bytes (occupancy limiter). */
+    uint32_t smemPerBlock = 0;
+
+    /** Per-thread loop trip count (dynamic work scale). */
+    uint32_t iterations = 1;
+
+    /**
+     * Coefficient of variation of per-CTA work, modeling data-dependent
+     * irregularity (e.g. BFS frontiers). 0 = perfectly regular.
+     */
+    double ctaWorkCv = 0.0;
+
+    /**
+     * Optional tensor-shape annotation mimicking PyProf NVTX metadata;
+     * empty for non-ML workloads. Only visible to lightweight profiling.
+     */
+    std::vector<uint32_t> tensorDims;
+
+    /** Thread blocks in the grid. */
+    uint64_t numCtas() const { return grid.total(); }
+
+    /** Threads per block. */
+    uint64_t threadsPerCta() const { return block.total(); }
+
+    /** Warps per block (32 threads per warp, rounded up). */
+    uint64_t warpsPerCta() const { return (threadsPerCta() + 31) / 32; }
+
+    /** Total threads in the launch. */
+    uint64_t totalThreads() const { return numCtas() * threadsPerCta(); }
+
+    /** Total per-launch thread instructions (all iterations). */
+    uint64_t totalThreadInstructions() const;
+
+    /** Total warp-level issue slots the simulator will execute. */
+    uint64_t totalWarpInstructions() const;
+};
+
+/**
+ * An application: a named, suite-tagged chronological stream of kernel
+ * launches.
+ */
+struct Workload
+{
+    /** Benchmark suite (e.g. "rodinia"). */
+    std::string suite;
+
+    /** Application name (e.g. "gaussian_208"). */
+    std::string name;
+
+    /** Stable id used to seed per-workload random streams. */
+    uint64_t seed = 0;
+
+    /**
+     * Scale factor applied when generating this workload relative to the
+     * paper's full-size run (1.0 = full size). Recorded so experiment
+     * output can document the substitution.
+     */
+    double scale = 1.0;
+
+    /** Chronological launch stream. */
+    std::vector<KernelDescriptor> launches;
+
+    /** Sum of totalThreadInstructions over all launches. */
+    uint64_t totalThreadInstructions() const;
+
+    /** Sum of warp-level issue slots over all launches. */
+    uint64_t totalWarpInstructions() const;
+
+    /** Number of distinct Program identities in the stream. */
+    size_t distinctPrograms() const;
+};
+
+} // namespace pka::workload
+
+#endif // PKA_WORKLOAD_KERNEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload registry: builds all 147 workloads and resolves workloads by
+ * name.
+ */
+
+#include "workload/suites.hh"
+
+#include "common/logging.hh"
+
+namespace pka::workload
+{
+
+std::vector<Workload>
+allWorkloads(const GenOptions &opts)
+{
+    std::vector<Workload> out;
+    auto append = [&out](std::vector<Workload> v) {
+        for (auto &w : v)
+            out.push_back(std::move(w));
+    };
+    append(buildRodinia(opts));
+    append(buildParboil(opts));
+    append(buildPolybench(opts));
+    append(buildCutlass(opts));
+    append(buildDeepbench(opts));
+    append(buildMlperf(opts));
+    return out;
+}
+
+std::optional<Workload>
+buildWorkload(const std::string &name, const GenOptions &opts)
+{
+    for (auto &w : allWorkloads(opts))
+        if (w.name == name)
+            return std::move(w);
+    return std::nullopt;
+}
+
+bool
+isProfilerSensitive(const std::string &name)
+{
+    if (name == "myocyte")
+        return true;
+    // Non-tensor-core DeepBench convolution training inputs.
+    return name.rfind("conv_train_in", 0) == 0;
+}
+
+} // namespace pka::workload

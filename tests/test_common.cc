@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the common substrate: formatting, RNG, rolling-window
+ * statistics, summary statistics and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace pka::common;
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, LongOutput)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123, 7), b(123, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, StreamsDiffer)
+{
+    Rng a(123, 1), b(123, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(10);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng r(11);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++hits[r.uniformInt(8)];
+    for (int h : hits)
+        EXPECT_GT(h, 300); // ~500 expected
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard)
+{
+    Rng r(12);
+    double sum = 0, sumsq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, JitterHasUnitMean)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.jitter(0.2);
+    EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, ForKeyIsDeterministicAndKeySensitive)
+{
+    Rng a = Rng::forKey(1, 2, 3);
+    Rng b = Rng::forKey(1, 2, 3);
+    Rng c = Rng::forKey(1, 2, 4);
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+    EXPECT_NE(a.nextU64(), c.nextU64());
+}
+
+TEST(RollingWindow, MeanAndStdOfConstantSignal)
+{
+    RollingWindow w(10);
+    for (int i = 0; i < 25; ++i)
+        w.push(3.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+    EXPECT_TRUE(w.full());
+}
+
+TEST(RollingWindow, EvictsOldSamples)
+{
+    RollingWindow w(4);
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0})
+        w.push(x);
+    // Window holds {3,4,5,6}.
+    EXPECT_DOUBLE_EQ(w.mean(), 4.5);
+}
+
+TEST(RollingWindow, PartialWindowStats)
+{
+    RollingWindow w(100);
+    w.push(2.0);
+    w.push(4.0);
+    EXPECT_FALSE(w.full());
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 1.0);
+}
+
+TEST(RollingWindow, CoefficientOfVariation)
+{
+    RollingWindow w(4);
+    for (double x : {10.0, 10.0, 10.0, 10.0})
+        w.push(x);
+    EXPECT_DOUBLE_EQ(w.coefficientOfVariation(), 0.0);
+    w.push(20.0);
+    EXPECT_GT(w.coefficientOfVariation(), 0.0);
+}
+
+TEST(RollingWindow, ClearResets)
+{
+    RollingWindow w(4);
+    w.push(5.0);
+    w.clear();
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(RollingWindow, MatchesBatchStatsOnRandomData)
+{
+    Rng r(77);
+    RollingWindow w(50);
+    std::vector<double> last;
+    for (int i = 0; i < 500; ++i) {
+        double x = r.uniform(0, 100);
+        w.push(x);
+        last.push_back(x);
+        if (last.size() > 50)
+            last.erase(last.begin());
+    }
+    EXPECT_NEAR(w.mean(), mean(last), 1e-9);
+    EXPECT_NEAR(w.stddev(), stddev(last), 1e-9);
+}
+
+TEST(RollingWindow, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(RollingWindow(0), "capacity");
+}
+
+TEST(Stats, MeanAndStd)
+{
+    std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({1, 4, 16}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Non-positive entries clamp to the floor instead of exploding.
+    EXPECT_GT(geomean({0.0, 1.0}), 0.0);
+}
+
+TEST(Stats, PctError)
+{
+    EXPECT_DOUBLE_EQ(pctError(110, 100), 10.0);
+    EXPECT_DOUBLE_EQ(pctError(90, 100), 10.0);
+    EXPECT_DOUBLE_EQ(pctError(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(pctError(5, 0), 100.0);
+}
+
+TEST(Stats, SpeedupAndMedian)
+{
+    EXPECT_DOUBLE_EQ(speedup(100, 25), 4.0);
+    EXPECT_TRUE(std::isinf(speedup(10, 0)));
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MeanAbs)
+{
+    EXPECT_DOUBLE_EQ(meanAbs({-2, 2, -4, 4}), 3.0);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("a").num(1.5);
+    t.row().cell("longer").intCell(10);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("x").cell("y");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, TooManyCellsPanics)
+{
+    TextTable t({"only"});
+    t.row().cell("one");
+    EXPECT_DEATH(t.cell("two"), "more cells");
+}
+
+TEST(Table, CellBeforeRowPanics)
+{
+    TextTable t({"c"});
+    EXPECT_DEATH(t.cell("x"), "row\\(\\)");
+}
+
+TEST(HumanTime, Scales)
+{
+    EXPECT_EQ(humanTime(0.5e-4), "50.0 us");
+    EXPECT_EQ(humanTime(0.5), "500.0 ms");
+    EXPECT_EQ(humanTime(30), "30.0 s");
+    EXPECT_EQ(humanTime(120), "2.0 m");
+    EXPECT_EQ(humanTime(7200), "2.0 h");
+    EXPECT_EQ(humanTime(86400 * 2), "2.0 d");
+    EXPECT_EQ(humanTime(86400 * 365 * 3), "3.0 y");
+    EXPECT_NE(humanTime(86400.0 * 365 * 250).find("centuries"),
+              std::string::npos);
+}
+
+TEST(HumanCount, Scales)
+{
+    EXPECT_EQ(humanCount(10), "10.0");
+    EXPECT_EQ(humanCount(1500), "1.5k");
+    EXPECT_EQ(humanCount(2.5e6), "2.5M");
+    EXPECT_EQ(humanCount(3e9), "3.0B");
+}
+
+/** Property sweep: rolling window matches batch stats at any capacity. */
+class RollingWindowCapacity : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RollingWindowCapacity, IncrementalEqualsBatch)
+{
+    size_t cap = GetParam();
+    Rng r(cap);
+    RollingWindow w(cap);
+    std::vector<double> tail;
+    for (int i = 0; i < 300; ++i) {
+        double x = r.normal(50, 10);
+        w.push(x);
+        tail.push_back(x);
+        if (tail.size() > cap)
+            tail.erase(tail.begin());
+        EXPECT_NEAR(w.mean(), mean(tail), 1e-8);
+        EXPECT_NEAR(w.stddev(), stddev(tail), 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RollingWindowCapacity,
+                         ::testing::Values(1, 2, 3, 7, 32, 100, 257));

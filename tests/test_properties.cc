@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cross-cutting property sweeps over real registry workloads: selection
+ * partitions, simulation conservation laws, silicon monotonicity and
+ * trace-replay equivalence must hold for every workload shape the
+ * generators produce, not just hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pks.hh"
+#include "silicon/profiler.hh"
+#include "silicon/silicon_gpu.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+#include "workload/suites.hh"
+
+using namespace pka;
+
+namespace
+{
+
+const std::vector<std::string> &
+sampleNames()
+{
+    // A spread across suites, structures and irregularity.
+    static const std::vector<std::string> names = {
+        "b+tree",     "bfs1MW",       "gauss_208",  "gauss_s16",
+        "hstort_r",   "kmeans_28k",   "lud_256",    "nw",
+        "srad_v2",    "cutcp",        "histo",      "spmv",
+        "3dconvolution", "fdtd2d",    "gsummv",     "syrk",
+        "sgemm_1024x1024x1024",       "wgemm_512x2048x512",
+        "conv_inf_in3", "gemm_train_tc_in2", "rnn_inf_in5",
+    };
+    return names;
+}
+
+workload::Workload
+get(const std::string &name)
+{
+    auto w = workload::buildWorkload(name);
+    EXPECT_TRUE(w.has_value()) << name;
+    return std::move(*w);
+}
+
+} // namespace
+
+class WorkloadProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadProperty, SelectionPartitionsTheLaunchStream)
+{
+    auto w = get(GetParam());
+    silicon::SiliconGpu gpu(silicon::voltaV100());
+    silicon::DetailedProfiler prof(gpu);
+    auto res = core::principalKernelSelection(prof.profile(w));
+
+    // Every launch appears in exactly one group; weights sum to n.
+    std::set<uint32_t> seen;
+    double weight = 0.0;
+    for (const auto &g : res.groups) {
+        EXPECT_FALSE(g.members.empty());
+        weight += g.weight;
+        EXPECT_DOUBLE_EQ(g.weight,
+                         static_cast<double>(g.members.size()));
+        for (uint32_t m : g.members) {
+            EXPECT_TRUE(seen.insert(m).second)
+                << "launch " << m << " in two groups";
+            EXPECT_LT(m, w.launches.size());
+        }
+        // First-chronological representative by default.
+        EXPECT_EQ(g.representative, g.members.front());
+    }
+    EXPECT_EQ(seen.size(), w.launches.size());
+    EXPECT_DOUBLE_EQ(weight, static_cast<double>(w.launches.size()));
+    // The K sweep honours the 5% target whenever it is achievable; it
+    // never reports a *worse* grouping than it found.
+    EXPECT_LT(res.projectedErrorPct, 100.0);
+}
+
+TEST_P(WorkloadProperty, SiliconMonotoneAcrossSmCounts)
+{
+    auto w = get(GetParam());
+    silicon::SiliconGpu full(silicon::voltaV100());
+    silicon::SiliconGpu half(
+        silicon::withSmCount(silicon::voltaV100(), 40));
+    // Halving the machine never makes the whole app materially faster
+    // (latency-bound small grids may tip within ~1% from the model's
+    // per-SM rounding, as on real parts).
+    EXPECT_GE(static_cast<double>(half.run(w).totalCycles),
+              static_cast<double>(full.run(w).totalCycles) * 0.98);
+}
+
+TEST_P(WorkloadProperty, SimulatorConservesWork)
+{
+    auto w = get(GetParam());
+    sim::GpuSimulator s(silicon::voltaV100());
+    // First and last launches: every CTA finishes and instruction
+    // counts match the trace-resolved totals.
+    for (size_t idx : {size_t{0}, w.launches.size() - 1}) {
+        const auto &k = w.launches[idx];
+        auto r = s.simulateKernel(k, w.seed);
+        EXPECT_EQ(r.finishedCtas, r.totalCtas) << idx;
+        sim::KernelTrace t = sim::captureTrace(k, w.seed);
+        EXPECT_EQ(r.warpInstructions, t.warpInstructions(k)) << idx;
+    }
+}
+
+TEST_P(WorkloadProperty, TraceReplayReproducesFirstKernel)
+{
+    auto w = get(GetParam());
+    sim::GpuSimulator s(silicon::voltaV100());
+    const auto &k = w.launches[0];
+    auto live = s.simulateKernel(k, w.seed);
+    sim::KernelTrace t = sim::captureTrace(k, w.seed);
+    sim::SimOptions opts;
+    opts.trace = &t;
+    auto replay = s.simulateKernel(k, w.seed, opts);
+    EXPECT_EQ(replay.cycles, live.cycles);
+    EXPECT_EQ(replay.warpInstructions, live.warpInstructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, WorkloadProperty, ::testing::ValuesIn(sampleNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });

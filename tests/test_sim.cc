@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Cycle-level simulator tests: memory-model timing and accounting, IPC
+ * tracking, SM/warp execution invariants, early-stop and truncation
+ * mechanisms, determinism, and device-scaling properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "silicon/gpu_spec.hh"
+#include "sim/ipc_tracker.hh"
+#include "sim/memory_model.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+#include "workload/builder.hh"
+#include "workload/suites.hh"
+
+using namespace pka::sim;
+using namespace pka::workload;
+using pka::silicon::voltaV100;
+using pka::silicon::withSmCount;
+
+namespace
+{
+
+ProgramPtr
+computeProg()
+{
+    return ProgramBuilder("compute")
+        .seg(InstrClass::FpAlu, 16)
+        .seg(InstrClass::IntAlu, 4)
+        .build();
+}
+
+ProgramPtr
+memProg(double l1 = 0.2, double l2 = 0.3)
+{
+    return ProgramBuilder("mem")
+        .seg(InstrClass::GlobalLoad, 4)
+        .seg(InstrClass::IntAlu, 2)
+        .seg(InstrClass::GlobalStore, 2)
+        .mem(4.0, l1, l2)
+        .build();
+}
+
+KernelDescriptor
+makeKernel(ProgramPtr p, uint32_t ctas, uint32_t threads, uint32_t iters)
+{
+    KernelDescriptor k;
+    k.program = std::move(p);
+    k.grid = {ctas, 1, 1};
+    k.block = {threads, 1, 1};
+    k.iterations = iters;
+    k.regsPerThread = 32;
+    return k;
+}
+
+} // namespace
+
+TEST(MemoryModel, HigherLocalityIsFaster)
+{
+    auto spec = voltaV100();
+    MemoryModel mem(spec, 1);
+    auto hot = memProg(0.95, 0.95);
+    auto cold = memProg(0.0, 0.0);
+    // Average across draws to smooth the stochastic spread.
+    double lat_hot = 0, lat_cold = 0;
+    for (uint64_t c = 0; c < 64; ++c) {
+        lat_hot += static_cast<double>(mem.access(*hot, c * 10000));
+        lat_cold += static_cast<double>(mem.access(*cold, c * 10000));
+    }
+    EXPECT_LT(lat_hot, lat_cold);
+}
+
+TEST(MemoryModel, AccountsDramTraffic)
+{
+    auto spec = voltaV100();
+    MemoryModel mem(spec, 1);
+    auto p = memProg(0.0, 0.0); // every sector goes to DRAM
+    mem.access(*p, 0);
+    // 4 sectors/access x 32B, all missing to DRAM.
+    EXPECT_NEAR(mem.dramBytes(), 4.0 * 32.0, 1e-9);
+    EXPECT_NEAR(mem.l2MissPct(), 100.0, 1e-9);
+}
+
+TEST(MemoryModel, PerfectLocalityTrafficVanishesOnceWarm)
+{
+    auto spec = voltaV100();
+    MemoryModel mem(spec, 1);
+    auto p = memProg(1.0, 1.0);
+    // Cold caches generate some early DRAM traffic...
+    for (int i = 0; i < 200000; ++i)
+        mem.access(*p, i);
+    double cold = mem.dramBytes();
+    EXPECT_GT(cold, 0.0);
+    // ...but a warmed cache with perfect locality adds almost nothing.
+    for (int i = 0; i < 1000; ++i)
+        mem.access(*p, 200000 + i);
+    EXPECT_LT(mem.dramBytes() - cold, 1000.0);
+}
+
+TEST(MemoryModel, CongestionGrowsUnderBurst)
+{
+    auto spec = voltaV100();
+    MemoryModel mem(spec, 1);
+    auto p = memProg(0.0, 0.0);
+    // Burst at the same cycle: queueing delay must grow.
+    uint64_t first = mem.access(*p, 0);
+    uint64_t last = first;
+    for (int i = 0; i < 400; ++i)
+        last = mem.access(*p, 0);
+    EXPECT_GT(last, first);
+}
+
+TEST(MemoryModel, ResetClearsCounters)
+{
+    auto spec = voltaV100();
+    MemoryModel mem(spec, 1);
+    mem.access(*memProg(0.0, 0.0), 0);
+    mem.reset();
+    EXPECT_DOUBLE_EQ(mem.dramBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(mem.l2MissPct(), 0.0);
+}
+
+TEST(IpcTracker, BucketsAndWindow)
+{
+    IpcTracker t(10, 4, false);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(t.push(5.0));
+    EXPECT_TRUE(t.push(5.0)); // completes bucket 1
+    EXPECT_DOUBLE_EQ(t.lastBucketIpc(), 5.0);
+    EXPECT_FALSE(t.windowFull());
+    for (int b = 0; b < 3; ++b)
+        for (int i = 0; i < 10; ++i)
+            t.push(5.0);
+    EXPECT_TRUE(t.windowFull());
+    EXPECT_DOUBLE_EQ(t.windowMean(), 5.0);
+    EXPECT_DOUBLE_EQ(t.windowStd(), 0.0);
+}
+
+TEST(IpcTracker, IdleAdvanceCompletesBuckets)
+{
+    IpcTracker t(10, 4, false);
+    t.push(100.0);
+    t.advanceIdle(25);
+    EXPECT_EQ(t.cycles(), 26u);
+    // Two buckets completed: first holds 100 insts / 10 cycles.
+    EXPECT_DOUBLE_EQ(t.lastBucketIpc(), 0.0);
+}
+
+TEST(IpcTracker, TraceRecordsSamples)
+{
+    IpcTracker t(5, 2, true);
+    for (int i = 0; i < 20; ++i)
+        t.push(2.0);
+    EXPECT_EQ(t.trace().size(), 4u);
+    t.annotateLastSample(40.0, 60.0);
+    EXPECT_DOUBLE_EQ(t.trace().back().l2MissPct, 40.0);
+    EXPECT_DOUBLE_EQ(t.trace().back().dramUtilPct, 60.0);
+}
+
+TEST(IpcTracker, ZeroBucketPanics)
+{
+    EXPECT_DEATH(IpcTracker(0, 4, false), "bucket");
+}
+
+TEST(Simulator, AllCtasFinish)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 200, 128, 4);
+    auto r = s.simulateKernel(k, 1);
+    EXPECT_EQ(r.finishedCtas, 200u);
+    EXPECT_EQ(r.totalCtas, 200u);
+    EXPECT_EQ(r.inFlightCtas, 0u);
+    EXPECT_FALSE(r.stoppedEarly);
+    EXPECT_FALSE(r.truncatedByBudget);
+}
+
+TEST(Simulator, ExecutesExpectedInstructionCount)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 50, 128, 3);
+    auto r = s.simulateKernel(k, 1);
+    // No ctaWorkCv: warp instructions are exact.
+    EXPECT_EQ(r.warpInstructions, k.totalWarpInstructions());
+    EXPECT_NEAR(r.threadInstructions,
+                static_cast<double>(k.totalWarpInstructions()) * 32.0, 1.0);
+}
+
+TEST(Simulator, Deterministic)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 100, 256, 4);
+    k.ctaWorkCv = 0.5;
+    auto a = s.simulateKernel(k, 9);
+    auto b = s.simulateKernel(k, 9);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.warpInstructions, b.warpInstructions);
+}
+
+TEST(Simulator, SeedAffectsIrregularKernels)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 100, 256, 8);
+    k.ctaWorkCv = 0.8;
+    auto a = s.simulateKernel(k, 1);
+    auto b = s.simulateKernel(k, 2);
+    EXPECT_NE(a.warpInstructions, b.warpInstructions);
+}
+
+TEST(Simulator, MoreSmsIsFaster)
+{
+    GpuSimulator big(voltaV100());
+    GpuSimulator small(withSmCount(voltaV100(), 20));
+    auto k = makeKernel(computeProg(), 640, 256, 8);
+    EXPECT_LT(big.simulateKernel(k, 1).cycles,
+              small.simulateKernel(k, 1).cycles);
+}
+
+TEST(Simulator, BreadthFirstDispatchUsesAllSms)
+{
+    // 80 single-warp CTAs on 80 SMs must run concurrently: the kernel
+    // should take barely more than one CTA's latency, not 80x.
+    GpuSimulator s(voltaV100());
+    auto one = makeKernel(computeProg(), 1, 32, 64);
+    auto eighty = makeKernel(computeProg(), 80, 32, 64);
+    auto r1 = s.simulateKernel(one, 1);
+    auto r80 = s.simulateKernel(eighty, 1);
+    EXPECT_LT(r80.cycles, r1.cycles * 2);
+}
+
+TEST(Simulator, InstructionBudgetTruncates)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 400, 256, 16);
+    SimOptions opts;
+    opts.maxThreadInstructions = 100000;
+    auto r = s.simulateKernel(k, 1, opts);
+    EXPECT_TRUE(r.truncatedByBudget);
+    EXPECT_LT(r.finishedCtas, r.totalCtas);
+    EXPECT_GE(r.threadInstructions, 100000.0);
+}
+
+TEST(Simulator, CycleCapTruncates)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 400, 256, 16);
+    SimOptions opts;
+    opts.maxCycles = 500;
+    auto r = s.simulateKernel(k, 1, opts);
+    EXPECT_TRUE(r.truncatedByBudget);
+}
+
+TEST(Simulator, TraceMatchesCycleCount)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 300, 256, 8);
+    SimOptions opts;
+    opts.traceIpc = true;
+    auto r = s.simulateKernel(k, 1, opts);
+    ASSERT_FALSE(r.trace.empty());
+    for (const auto &sample : r.trace) {
+        EXPECT_GE(sample.ipc, 0.0);
+        EXPECT_GE(sample.dramUtilPct, 0.0);
+        EXPECT_LE(sample.dramUtilPct, 100.0);
+    }
+    // Bucketed trace must cover roughly the simulated span.
+    EXPECT_NEAR(static_cast<double>(r.trace.back().cycle),
+                static_cast<double>(r.cycles),
+                static_cast<double>(opts.ipcBucketCycles) +
+                    voltaV100().launchOverheadCycles + 1);
+}
+
+namespace
+{
+
+/** Stop controller that fires after a fixed number of bucket polls. */
+class CountdownStop : public StopController
+{
+  public:
+    explicit CountdownStop(int polls) : remaining_(polls) {}
+
+    void beginKernel(const Snapshot &) override {}
+
+    bool
+    shouldStop(const Snapshot &) override
+    {
+        return --remaining_ <= 0;
+    }
+
+  private:
+    int remaining_;
+};
+
+} // namespace
+
+TEST(Simulator, StopControllerTerminatesEarly)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 2000, 256, 16);
+    auto full = s.simulateKernel(k, 1);
+
+    CountdownStop stop(3);
+    SimOptions opts;
+    opts.stop = &stop;
+    auto r = s.simulateKernel(k, 1, opts);
+    EXPECT_TRUE(r.stoppedEarly);
+    EXPECT_LT(r.cycles, full.cycles);
+    EXPECT_LT(r.finishedCtas, r.totalCtas);
+    EXPECT_EQ(r.finishedCtas + r.inFlightCtas,
+              std::min<uint64_t>(r.totalCtas,
+                                 r.finishedCtas + r.inFlightCtas));
+}
+
+TEST(Simulator, SnapshotExposesWaveSize)
+{
+    struct Capture : StopController
+    {
+        Snapshot last;
+        void beginKernel(const Snapshot &s) override { last = s; }
+        bool
+        shouldStop(const Snapshot &s) override
+        {
+            last = s;
+            return false;
+        }
+    } capture;
+
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 100, 256, 2);
+    SimOptions opts;
+    opts.stop = &capture;
+    s.simulateKernel(k, 1, opts);
+    EXPECT_EQ(capture.last.totalCtas, 100u);
+    EXPECT_GT(capture.last.waveSize, 0u);
+}
+
+TEST(Simulator, MemoryBoundKernelReportsDramUtil)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(0.0, 0.1), 500, 256, 8);
+    auto r = s.simulateKernel(k, 1);
+    EXPECT_GT(r.dramUtilPct, 10.0);
+    EXPECT_GT(r.l2MissPct, 50.0);
+}
+
+TEST(Simulator, ComputeBoundKernelLeavesDramIdle)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 500, 256, 8);
+    auto r = s.simulateKernel(k, 1);
+    EXPECT_DOUBLE_EQ(r.dramUtilPct, 0.0);
+}
+
+TEST(Simulator, IpcRampVisibleInTrace)
+{
+    GpuSimulator s(voltaV100());
+    // One wave only: occupancy ramps, then drains.
+    auto k = makeKernel(memProg(), 4000, 256, 12);
+    SimOptions opts;
+    opts.traceIpc = true;
+    auto r = s.simulateKernel(k, 1, opts);
+    ASSERT_GT(r.trace.size(), 10u);
+    // Steady-state IPC (middle) should exceed the first bucket (ramp).
+    double first = r.trace.front().ipc;
+    double mid = r.trace[r.trace.size() / 2].ipc;
+    EXPECT_GT(mid, first);
+}
+
+/** Determinism across every suite-provided workload kernel shape. */
+class SimWorkloadProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SimWorkloadProperty, FirstKernelDeterministicAndComplete)
+{
+    auto w = buildWorkload(GetParam());
+    ASSERT_TRUE(w.has_value());
+    GpuSimulator s(voltaV100());
+    auto a = s.simulateKernel(w->launches[0], w->seed);
+    auto b = s.simulateKernel(w->launches[0], w->seed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.finishedCtas, a.totalCtas);
+    EXPECT_GT(a.ipc(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SimWorkloadProperty,
+                         ::testing::Values("backprop", "bfs1MW", "histo",
+                                           "sgemm", "fdtd2d", "lavaMD",
+                                           "spmv", "gemm_inf_in0",
+                                           "rnn_inf_tc_in2", "nw"));
+
+TEST(Simulator, GtoSchedulerRunsToCompletion)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 120, 256, 6);
+    SimOptions opts;
+    opts.scheduler = SchedulerPolicy::Gto;
+    auto r = s.simulateKernel(k, 3, opts);
+    EXPECT_EQ(r.finishedCtas, r.totalCtas);
+    EXPECT_EQ(r.warpInstructions, k.totalWarpInstructions());
+}
+
+TEST(Simulator, SchedulerPoliciesDiffer)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 400, 256, 8);
+    SimOptions lrr, gto;
+    gto.scheduler = SchedulerPolicy::Gto;
+    auto a = s.simulateKernel(k, 3, lrr);
+    auto b = s.simulateKernel(k, 3, gto);
+    // Same work either way; timing may differ but not wildly.
+    EXPECT_EQ(a.warpInstructions, b.warpInstructions);
+    EXPECT_NE(a.cycles, 0u);
+    EXPECT_LT(static_cast<double>(b.cycles),
+              static_cast<double>(a.cycles) * 2.0);
+    EXPECT_GT(static_cast<double>(b.cycles),
+              static_cast<double>(a.cycles) * 0.5);
+}
+
+TEST(Simulator, GtoDeterministic)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 100, 256, 4);
+    k.ctaWorkCv = 0.4;
+    SimOptions opts;
+    opts.scheduler = SchedulerPolicy::Gto;
+    auto a = s.simulateKernel(k, 9, opts);
+    auto b = s.simulateKernel(k, 9, opts);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Trace, CaptureMatchesLiveSimulation)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 150, 256, 6);
+    k.ctaWorkCv = 0.7;
+    auto live = s.simulateKernel(k, 42);
+
+    KernelTrace trace = captureTrace(k, 42);
+    SimOptions opts;
+    opts.trace = &trace;
+    // Replaying the trace with a DIFFERENT seed still reproduces the
+    // traced run's work exactly.
+    auto replay = s.simulateKernel(k, 42, opts);
+    EXPECT_EQ(replay.warpInstructions, live.warpInstructions);
+    EXPECT_EQ(replay.cycles, live.cycles);
+}
+
+TEST(Trace, RoundTripThroughText)
+{
+    auto k1 = makeKernel(memProg(), 300, 256, 6);
+    k1.ctaWorkCv = 0.5;
+    k1.launchId = 0;
+    auto k2 = makeKernel(computeProg(), 64, 128, 3);
+    k2.launchId = 1;
+    std::vector<KernelTrace> traces = {captureTrace(k1, 7),
+                                       captureTrace(k2, 7)};
+    std::stringstream ss;
+    writeTraces(ss, traces);
+    auto back = readTraces(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].ctaIterations, traces[0].ctaIterations);
+    EXPECT_EQ(back[1].ctaIterations, traces[1].ctaIterations);
+    EXPECT_EQ(back[1].kernelName, "compute");
+    // Regular kernel encodes as a single run.
+    EXPECT_EQ(back[1].ctaIterations.size(), 64u);
+}
+
+TEST(Trace, RegularKernelTraceIsConstant)
+{
+    auto k = makeKernel(computeProg(), 20, 128, 5);
+    KernelTrace t = captureTrace(k, 1);
+    for (uint32_t it : t.ctaIterations)
+        EXPECT_EQ(it, 5u);
+}
+
+TEST(Trace, MismatchedTracePanics)
+{
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 20, 128, 5);
+    auto other = makeKernel(computeProg(), 40, 128, 5);
+    KernelTrace t = captureTrace(other, 1);
+    SimOptions opts;
+    opts.trace = &t;
+    EXPECT_DEATH(s.simulateKernel(k, 1, opts), "CTA count");
+}
+
+TEST(Trace, RejectsMalformedFile)
+{
+    std::stringstream bad("garbage\n");
+    EXPECT_DEATH(readTraces(bad), "magic");
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cross-module smoke tests: registry size, silicon execution, and a basic
+ * simulator run. Deeper per-module tests live in the other test files.
+ */
+
+#include <gtest/gtest.h>
+
+#include "silicon/profiler.hh"
+#include "silicon/silicon_gpu.hh"
+#include "sim/simulator.hh"
+#include "workload/suites.hh"
+
+using namespace pka;
+
+TEST(Registry, Has147Workloads)
+{
+    auto all = workload::allWorkloads();
+    EXPECT_EQ(all.size(), 147u);
+    for (const auto &w : all) {
+        EXPECT_FALSE(w.launches.empty()) << w.name;
+        EXPECT_FALSE(w.name.empty());
+    }
+}
+
+TEST(Silicon, RunsBackprop)
+{
+    auto w = workload::buildWorkload("backprop");
+    ASSERT_TRUE(w.has_value());
+    silicon::SiliconGpu gpu(silicon::voltaV100());
+    auto app = gpu.run(*w);
+    EXPECT_GT(app.totalCycles, 0u);
+    EXPECT_EQ(app.launches.size(), w->launches.size());
+}
+
+TEST(Simulator, RunsSingleKernel)
+{
+    auto w = workload::buildWorkload("nn");
+    ASSERT_TRUE(w.has_value());
+    sim::GpuSimulator simulator(silicon::voltaV100());
+    auto r = simulator.simulateKernel(w->launches[0], w->seed);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.finishedCtas, r.totalCtas);
+    EXPECT_GT(r.threadInstructions, 0.0);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the pka CLI: positional operands
+ * plus --flag / --flag value options.
+ */
+
+#ifndef PKA_TOOLS_CLI_ARGS_HH
+#define PKA_TOOLS_CLI_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pka::tools
+{
+
+/** Parsed command line: positionals + string-valued flags. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv[first..). Flags start with "--"; a flag named in
+     * `boolean_flags` consumes no value, every other flag consumes the
+     * next argument.
+     */
+    CliArgs(int argc, char **argv, int first,
+            const std::vector<std::string> &boolean_flags)
+    {
+        auto is_boolean = [&](const std::string &f) {
+            for (const auto &b : boolean_flags)
+                if (b == f)
+                    return true;
+            return false;
+        };
+        for (int i = first; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                std::string name = a.substr(2);
+                if (is_boolean(name)) {
+                    flags_[name] = "1";
+                } else {
+                    if (i + 1 >= argc)
+                        pka::common::fatal("flag --" + name +
+                                           " needs a value");
+                    flags_[name] = argv[++i];
+                }
+            } else {
+                positionals_.push_back(std::move(a));
+            }
+        }
+    }
+
+    /** Positional operands in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** True if the flag was given. */
+    bool has(const std::string &name) const
+    {
+        return flags_.count(name) > 0;
+    }
+
+    /** Flag value or default. */
+    std::string
+    get(const std::string &name, const std::string &def = "") const
+    {
+        auto it = flags_.find(name);
+        return it == flags_.end() ? def : it->second;
+    }
+
+    /** Numeric flag value or default; fatal on malformed numbers. */
+    double
+    getNum(const std::string &name, double def) const
+    {
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            return def;
+        try {
+            size_t pos = 0;
+            double v = std::stod(it->second, &pos);
+            if (pos != it->second.size())
+                throw std::invalid_argument("trailing");
+            return v;
+        } catch (const std::exception &) {
+            pka::common::fatal("flag --" + name +
+                               " expects a number, got '" + it->second +
+                               "'");
+        }
+    }
+
+  private:
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace pka::tools
+
+#endif // PKA_TOOLS_CLI_ARGS_HH

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * The `pka` command-line driver — the reproduction's equivalent of the
+ * paper artifact's automation scripts. The pipeline can run staged
+ * through files (profile -> select -> simulate) or end-to-end (analyze):
+ *
+ *   pka list [--suite S]
+ *   pka profile <workload> [--gpu G] [--limit N] [--light] [--out FILE]
+ *   pka select <workload> [--profiles FILE] [--target-error PCT]
+ *              [--max-k K] [--out FILE]
+ *   pka simulate <workload> [--gpu G] [--selection FILE] [--pkp]
+ *                [--threshold S] [--first-n INSTS]
+ *   pka analyze <workload> [--gpu G] [--mlperf-scale X]
+ *
+ * GPUs: volta (default), turing, ampere. MLPerf workloads honour
+ * --mlperf-scale everywhere.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cli_args.hh"
+#include "common/table.hh"
+#include "core/baselines.hh"
+#include "core/experiments.hh"
+#include "core/pka.hh"
+#include "core/serialize.hh"
+#include "sim/trace.hh"
+#include "silicon/profiler.hh"
+#include "silicon/silicon_gpu.hh"
+#include "sim/simulator.hh"
+#include "workload/suites.hh"
+
+using namespace pka;
+using pka::tools::CliArgs;
+
+namespace
+{
+
+const char *kUsage = R"(usage: pka <command> [options]
+
+commands:
+  list      list registry workloads        [--suite S]
+  profile   profile a workload on silicon  <workload> [--gpu G] [--limit N]
+                                           [--light] [--out FILE]
+  select    run Principal Kernel Selection <workload> [--profiles FILE]
+                                           [--target-error PCT] [--max-k K]
+                                           [--out FILE]
+  simulate  run the cycle-level simulator  <workload> [--gpu G] [--pkp]
+                                           [--selection FILE]
+                                           [--threshold S] [--first-n N]
+                                           [--force]
+  trace     capture kernel traces          <workload> [--limit N]
+                                           [--out FILE]
+  analyze   full PKA, end to end           <workload> [--gpu G]
+
+common options:
+  --gpu volta|turing|ampere   device (default volta)
+  --mlperf-scale X            MLPerf launch-count scale (default 0.02)
+)";
+
+silicon::GpuSpec
+specFor(const std::string &name)
+{
+    if (name == "volta")
+        return silicon::voltaV100();
+    if (name == "turing")
+        return silicon::turingRtx2060();
+    if (name == "ampere")
+        return silicon::ampereRtx3070();
+    common::fatal("unknown GPU '" + name +
+                  "' (expected volta, turing or ampere)");
+}
+
+workload::Workload
+loadWorkload(const CliArgs &args, size_t positional_idx)
+{
+    if (args.positionals().size() <= positional_idx)
+        common::fatal("missing workload name operand");
+    workload::GenOptions g;
+    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    auto w = workload::buildWorkload(args.positionals()[positional_idx], g);
+    if (!w)
+        common::fatal("unknown workload '" +
+                      args.positionals()[positional_idx] +
+                      "' (try `pka list`)");
+    return std::move(*w);
+}
+
+/** Write to --out or stdout. */
+void
+emit(const CliArgs &args, const std::string &content)
+{
+    std::string path = args.get("out");
+    if (path.empty()) {
+        std::cout << content;
+        return;
+    }
+    std::ofstream os(path);
+    if (!os)
+        common::fatal("cannot open '" + path + "' for writing");
+    os << content;
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+int
+cmdList(const CliArgs &args)
+{
+    workload::GenOptions g;
+    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    std::string suite = args.get("suite");
+    common::TextTable t({"suite", "workload", "launches",
+                         "distinct kernels", "warp instructions"});
+    for (const auto &w : workload::allWorkloads(g)) {
+        if (!suite.empty() && w.suite != suite)
+            continue;
+        t.row()
+            .cell(w.suite)
+            .cell(w.name)
+            .intCell(static_cast<long long>(w.launches.size()))
+            .intCell(static_cast<long long>(w.distinctPrograms()))
+            .cell(common::humanCount(
+                static_cast<double>(w.totalWarpInstructions())));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdProfile(const CliArgs &args)
+{
+    auto w = loadWorkload(args, 0);
+    silicon::SiliconGpu gpu(specFor(args.get("gpu", "volta")));
+    std::ostringstream out;
+    if (args.has("light")) {
+        silicon::LightweightProfiler prof(gpu);
+        core::writeLightProfiles(out, prof.profile(w));
+        std::fprintf(stderr,
+                     "lightweight profiling cost (modeled): %s\n",
+                     common::humanTime(prof.costSeconds(w)).c_str());
+    } else {
+        silicon::DetailedProfiler prof(gpu);
+        size_t limit =
+            static_cast<size_t>(args.getNum("limit", 0));
+        core::writeDetailedProfiles(out, prof.profile(w, limit));
+        std::fprintf(stderr, "detailed profiling cost (modeled): %s\n",
+                     common::humanTime(prof.costSeconds(w, limit)).c_str());
+    }
+    emit(args, out.str());
+    return 0;
+}
+
+int
+cmdSelect(const CliArgs &args)
+{
+    auto w = loadWorkload(args, 0);
+    silicon::SiliconGpu gpu(specFor(args.get("gpu", "volta")));
+
+    core::PkaOptions opts;
+    opts.pks.targetErrorPct = args.getNum("target-error", 5.0);
+    opts.pks.maxK =
+        static_cast<uint32_t>(args.getNum("max-k", 20));
+
+    core::SelectionOutcome sel;
+    if (args.has("profiles")) {
+        std::ifstream is(args.get("profiles"));
+        if (!is)
+            common::fatal("cannot read '" + args.get("profiles") + "'");
+        auto profiles = core::readDetailedProfiles(is);
+        auto pks = core::principalKernelSelection(profiles, opts.pks);
+        sel.groups = std::move(pks.groups);
+        sel.detailedCount = profiles.size();
+        std::fprintf(stderr, "selection from %zu profiles: %u groups, "
+                             "projected error %.2f%%\n",
+                     profiles.size(), pks.chosenK, pks.projectedErrorPct);
+    } else {
+        sel = core::selectKernels(w, gpu, opts);
+        std::fprintf(stderr, "selection: %zu groups (%s profiling, "
+                             "modeled cost %s)\n",
+                     sel.groups.size(),
+                     sel.usedTwoLevel ? "two-level" : "full detailed",
+                     common::humanTime(sel.profilingCostSec).c_str());
+    }
+    std::ostringstream out;
+    core::writeSelection(out, sel);
+    emit(args, out.str());
+    return 0;
+}
+
+int
+cmdSimulate(const CliArgs &args)
+{
+    auto w = loadWorkload(args, 0);
+    sim::GpuSimulator simulator(specFor(args.get("gpu", "volta")));
+
+    if (args.has("first-n")) {
+        auto res = core::firstNInstructions(
+            simulator, w,
+            static_cast<uint64_t>(args.getNum("first-n", 1e9)));
+        std::printf("first-N baseline: simulated %.3e cycles (%.3e "
+                    "thread insts), projected app cycles %.3e%s\n",
+                    res.simulatedCycles, res.simulatedThreadInsts,
+                    res.projectedAppCycles,
+                    res.completed ? " (budget never hit)" : "");
+        return 0;
+    }
+
+    if (args.has("selection")) {
+        std::ifstream is(args.get("selection"));
+        if (!is)
+            common::fatal("cannot read '" + args.get("selection") + "'");
+        core::SelectionOutcome sel = core::readSelection(is);
+        core::PkpOptions pkp;
+        pkp.threshold = args.getNum("threshold", 0.25);
+        core::AppProjection proj = core::simulateSelection(
+            simulator, w, sel, args.has("pkp") ? &pkp : nullptr);
+        std::printf("selection-based simulation (%zu representatives%s):\n"
+                    "  projected cycles %.4e, IPC %.1f, DRAM util %.1f%%\n"
+                    "  simulated cycles %.4e (%.1fs host)\n",
+                    sel.groups.size(), args.has("pkp") ? ", PKP" : "",
+                    proj.projectedCycles, proj.projectedIpc(),
+                    proj.projectedDramUtilPct, proj.simulatedCycles,
+                    proj.simulatedWallSeconds);
+        return 0;
+    }
+
+    if (!core::isFullySimulable(w) && !args.has("force"))
+        common::fatal(
+            "full simulation of an MLPerf-scale stream would take hours "
+            "to days on this host (that is the paper's premise); use "
+            "--selection/--pkp, or pass --force to insist");
+
+    core::FullSimResult fs = core::fullSimulate(simulator, w);
+    std::printf("full simulation: %.4e cycles, IPC %.1f, DRAM util "
+                "%.1f%% (%zu launches, %.1fs host, projected %s at "
+                "Accel-Sim rates)\n",
+                fs.cycles, fs.ipc(), fs.dramUtilPct, fs.perKernel.size(),
+                fs.wallSeconds,
+                common::humanTime(fs.cycles / core::kSimCyclesPerSecond)
+                    .c_str());
+    return 0;
+}
+
+int
+cmdTrace(const CliArgs &args)
+{
+    auto w = loadWorkload(args, 0);
+    size_t limit = static_cast<size_t>(args.getNum("limit", 0));
+    size_t count =
+        limit > 0 ? std::min(limit, w.launches.size()) : w.launches.size();
+    std::vector<sim::KernelTrace> traces;
+    traces.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        traces.push_back(sim::captureTrace(w.launches[i], w.seed));
+    std::ostringstream out;
+    sim::writeTraces(out, traces);
+    emit(args, out.str());
+    std::fprintf(stderr, "captured %zu launch traces\n", traces.size());
+    return 0;
+}
+
+int
+cmdAnalyze(const CliArgs &args)
+{
+    workload::GenOptions g;
+    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    workload::GenOptions gp = g;
+    gp.underProfiler = true;
+    if (args.positionals().empty())
+        common::fatal("missing workload name operand");
+    auto traced = workload::buildWorkload(args.positionals()[0], g);
+    auto profiled = workload::buildWorkload(args.positionals()[0], gp);
+    if (!traced || !profiled)
+        common::fatal("unknown workload '" + args.positionals()[0] + "'");
+
+    auto spec = specFor(args.get("gpu", "volta"));
+    silicon::SiliconGpu gpu(spec);
+    sim::GpuSimulator simulator(spec);
+    core::PkaAppResult res =
+        core::runPka(*traced, *profiled, gpu, simulator);
+    if (res.excluded) {
+        std::printf("EXCLUDED: %s\n", res.exclusionReason.c_str());
+        return 2;
+    }
+    auto sil = gpu.run(*traced);
+    double sil_cycles = static_cast<double>(sil.totalCycles);
+    std::printf("workload: %s on %s (%zu launches)\n",
+                traced->name.c_str(), spec.name.c_str(),
+                traced->launches.size());
+    std::printf("selection: %zu groups, %s profiling\n",
+                res.selection.groups.size(),
+                res.selection.usedTwoLevel ? "two-level" : "detailed");
+    std::printf("silicon:   %.4e cycles\n", sil_cycles);
+    std::printf("PKS:       %.4e projected (%.1f%% err), %.3e simulated\n",
+                res.pks.projectedCycles,
+                common::pctError(res.pks.projectedCycles, sil_cycles),
+                res.pks.simulatedCycles);
+    std::printf("PKA:       %.4e projected (%.1f%% err), %.3e simulated\n",
+                res.pka.projectedCycles,
+                common::pctError(res.pka.projectedCycles, sil_cycles),
+                res.pka.simulatedCycles);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fputs(kUsage, stderr);
+        return 1;
+    }
+    std::string cmd = argv[1];
+    CliArgs args(argc, argv, 2, {"light", "pkp", "force"});
+
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "profile")
+        return cmdProfile(args);
+    if (cmd == "select")
+        return cmdSelect(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    if (cmd == "--help" || cmd == "help") {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", cmd.c_str(),
+                 kUsage);
+    return 1;
+}
