@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pkp.dir/ablation_pkp.cc.o"
+  "CMakeFiles/ablation_pkp.dir/ablation_pkp.cc.o.d"
+  "ablation_pkp"
+  "ablation_pkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_representative.dir/ablation_representative.cc.o"
+  "CMakeFiles/ablation_representative.dir/ablation_representative.cc.o.d"
+  "ablation_representative"
+  "ablation_representative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_resnet_groups.dir/fig04_resnet_groups.cc.o"
+  "CMakeFiles/fig04_resnet_groups.dir/fig04_resnet_groups.cc.o.d"
+  "fig04_resnet_groups"
+  "fig04_resnet_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_resnet_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ipc_stability.dir/fig05_ipc_stability.cc.o"
+  "CMakeFiles/fig05_ipc_stability.dir/fig05_ipc_stability.cc.o.d"
+  "fig05_ipc_stability"
+  "fig05_ipc_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ipc_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

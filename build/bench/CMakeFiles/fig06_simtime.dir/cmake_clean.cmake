@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_simtime.dir/fig06_simtime.cc.o"
+  "CMakeFiles/fig06_simtime.dir/fig06_simtime.cc.o.d"
+  "fig06_simtime"
+  "fig06_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

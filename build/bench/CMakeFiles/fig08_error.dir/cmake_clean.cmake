@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_error.dir/fig08_error.cc.o"
+  "CMakeFiles/fig08_error.dir/fig08_error.cc.o.d"
+  "fig08_error"
+  "fig08_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_volta_turing.dir/fig09_volta_turing.cc.o"
+  "CMakeFiles/fig09_volta_turing.dir/fig09_volta_turing.cc.o.d"
+  "fig09_volta_turing"
+  "fig09_volta_turing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_volta_turing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

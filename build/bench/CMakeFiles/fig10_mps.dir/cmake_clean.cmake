@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mps.dir/fig10_mps.cc.o"
+  "CMakeFiles/fig10_mps.dir/fig10_mps.cc.o.d"
+  "fig10_mps"
+  "fig10_mps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_selection.dir/table03_selection.cc.o"
+  "CMakeFiles/table03_selection.dir/table03_selection.cc.o.d"
+  "table03_selection"
+  "table03_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_main.dir/table04_main.cc.o"
+  "CMakeFiles/table04_main.dir/table04_main.cc.o.d"
+  "table04_main"
+  "table04_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_single_iteration.dir/table05_single_iteration.cc.o"
+  "CMakeFiles/table05_single_iteration.dir/table05_single_iteration.cc.o.d"
+  "table05_single_iteration"
+  "table05_single_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_single_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

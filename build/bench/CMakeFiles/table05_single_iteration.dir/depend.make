@@ -1,0 +1,2 @@
+# Empty dependencies file for table05_single_iteration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_arch_comparison.dir/arch_comparison.cpp.o"
+  "CMakeFiles/example_arch_comparison.dir/arch_comparison.cpp.o.d"
+  "example_arch_comparison"
+  "example_arch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_arch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mlperf_campaign.dir/mlperf_campaign.cpp.o"
+  "CMakeFiles/example_mlperf_campaign.dir/mlperf_campaign.cpp.o.d"
+  "example_mlperf_campaign"
+  "example_mlperf_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mlperf_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

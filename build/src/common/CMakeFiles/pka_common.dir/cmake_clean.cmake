@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_common.dir/logging.cc.o"
+  "CMakeFiles/pka_common.dir/logging.cc.o.d"
+  "CMakeFiles/pka_common.dir/stats.cc.o"
+  "CMakeFiles/pka_common.dir/stats.cc.o.d"
+  "CMakeFiles/pka_common.dir/table.cc.o"
+  "CMakeFiles/pka_common.dir/table.cc.o.d"
+  "libpka_common.a"
+  "libpka_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/pka_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/pka_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/experiments.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/pka_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/features.cc.o.d"
+  "/root/repo/src/core/pka.cc" "src/core/CMakeFiles/pka_core.dir/pka.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/pka.cc.o.d"
+  "/root/repo/src/core/pkp.cc" "src/core/CMakeFiles/pka_core.dir/pkp.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/pkp.cc.o.d"
+  "/root/repo/src/core/pks.cc" "src/core/CMakeFiles/pka_core.dir/pks.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/pks.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/pka_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/two_level.cc" "src/core/CMakeFiles/pka_core.dir/two_level.cc.o" "gcc" "src/core/CMakeFiles/pka_core.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/pka_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pka_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/silicon/CMakeFiles/pka_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pka_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

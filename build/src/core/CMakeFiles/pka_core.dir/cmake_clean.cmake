@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_core.dir/baselines.cc.o"
+  "CMakeFiles/pka_core.dir/baselines.cc.o.d"
+  "CMakeFiles/pka_core.dir/experiments.cc.o"
+  "CMakeFiles/pka_core.dir/experiments.cc.o.d"
+  "CMakeFiles/pka_core.dir/features.cc.o"
+  "CMakeFiles/pka_core.dir/features.cc.o.d"
+  "CMakeFiles/pka_core.dir/pka.cc.o"
+  "CMakeFiles/pka_core.dir/pka.cc.o.d"
+  "CMakeFiles/pka_core.dir/pkp.cc.o"
+  "CMakeFiles/pka_core.dir/pkp.cc.o.d"
+  "CMakeFiles/pka_core.dir/pks.cc.o"
+  "CMakeFiles/pka_core.dir/pks.cc.o.d"
+  "CMakeFiles/pka_core.dir/serialize.cc.o"
+  "CMakeFiles/pka_core.dir/serialize.cc.o.d"
+  "CMakeFiles/pka_core.dir/two_level.cc.o"
+  "CMakeFiles/pka_core.dir/two_level.cc.o.d"
+  "libpka_core.a"
+  "libpka_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

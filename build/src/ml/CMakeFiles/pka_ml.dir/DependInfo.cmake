@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/pka_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/gaussian_nb.cc" "src/ml/CMakeFiles/pka_ml.dir/gaussian_nb.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/gaussian_nb.cc.o.d"
+  "/root/repo/src/ml/hierarchical.cc" "src/ml/CMakeFiles/pka_ml.dir/hierarchical.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/hierarchical.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/pka_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/mlp_classifier.cc" "src/ml/CMakeFiles/pka_ml.dir/mlp_classifier.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/mlp_classifier.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/ml/CMakeFiles/pka_ml.dir/pca.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/pca.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/pka_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/sgd_classifier.cc" "src/ml/CMakeFiles/pka_ml.dir/sgd_classifier.cc.o" "gcc" "src/ml/CMakeFiles/pka_ml.dir/sgd_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

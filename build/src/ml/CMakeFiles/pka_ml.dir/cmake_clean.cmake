@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_ml.dir/classifier.cc.o"
+  "CMakeFiles/pka_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/pka_ml.dir/gaussian_nb.cc.o"
+  "CMakeFiles/pka_ml.dir/gaussian_nb.cc.o.d"
+  "CMakeFiles/pka_ml.dir/hierarchical.cc.o"
+  "CMakeFiles/pka_ml.dir/hierarchical.cc.o.d"
+  "CMakeFiles/pka_ml.dir/kmeans.cc.o"
+  "CMakeFiles/pka_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/pka_ml.dir/mlp_classifier.cc.o"
+  "CMakeFiles/pka_ml.dir/mlp_classifier.cc.o.d"
+  "CMakeFiles/pka_ml.dir/pca.cc.o"
+  "CMakeFiles/pka_ml.dir/pca.cc.o.d"
+  "CMakeFiles/pka_ml.dir/scaler.cc.o"
+  "CMakeFiles/pka_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/pka_ml.dir/sgd_classifier.cc.o"
+  "CMakeFiles/pka_ml.dir/sgd_classifier.cc.o.d"
+  "libpka_ml.a"
+  "libpka_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

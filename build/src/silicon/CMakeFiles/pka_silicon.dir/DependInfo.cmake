@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silicon/gpu_spec.cc" "src/silicon/CMakeFiles/pka_silicon.dir/gpu_spec.cc.o" "gcc" "src/silicon/CMakeFiles/pka_silicon.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/silicon/profiler.cc" "src/silicon/CMakeFiles/pka_silicon.dir/profiler.cc.o" "gcc" "src/silicon/CMakeFiles/pka_silicon.dir/profiler.cc.o.d"
+  "/root/repo/src/silicon/silicon_gpu.cc" "src/silicon/CMakeFiles/pka_silicon.dir/silicon_gpu.cc.o" "gcc" "src/silicon/CMakeFiles/pka_silicon.dir/silicon_gpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pka_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_silicon.dir/gpu_spec.cc.o"
+  "CMakeFiles/pka_silicon.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/pka_silicon.dir/profiler.cc.o"
+  "CMakeFiles/pka_silicon.dir/profiler.cc.o.d"
+  "CMakeFiles/pka_silicon.dir/silicon_gpu.cc.o"
+  "CMakeFiles/pka_silicon.dir/silicon_gpu.cc.o.d"
+  "libpka_silicon.a"
+  "libpka_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

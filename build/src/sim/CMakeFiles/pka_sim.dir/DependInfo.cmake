@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ipc_tracker.cc" "src/sim/CMakeFiles/pka_sim.dir/ipc_tracker.cc.o" "gcc" "src/sim/CMakeFiles/pka_sim.dir/ipc_tracker.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/sim/CMakeFiles/pka_sim.dir/memory_model.cc.o" "gcc" "src/sim/CMakeFiles/pka_sim.dir/memory_model.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/pka_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/pka_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/sm_core.cc" "src/sim/CMakeFiles/pka_sim.dir/sm_core.cc.o" "gcc" "src/sim/CMakeFiles/pka_sim.dir/sm_core.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/pka_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/pka_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/silicon/CMakeFiles/pka_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pka_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_sim.dir/ipc_tracker.cc.o"
+  "CMakeFiles/pka_sim.dir/ipc_tracker.cc.o.d"
+  "CMakeFiles/pka_sim.dir/memory_model.cc.o"
+  "CMakeFiles/pka_sim.dir/memory_model.cc.o.d"
+  "CMakeFiles/pka_sim.dir/simulator.cc.o"
+  "CMakeFiles/pka_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/pka_sim.dir/sm_core.cc.o"
+  "CMakeFiles/pka_sim.dir/sm_core.cc.o.d"
+  "CMakeFiles/pka_sim.dir/trace.cc.o"
+  "CMakeFiles/pka_sim.dir/trace.cc.o.d"
+  "libpka_sim.a"
+  "libpka_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

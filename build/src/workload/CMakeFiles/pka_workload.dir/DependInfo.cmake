@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/archetypes.cc" "src/workload/CMakeFiles/pka_workload.dir/archetypes.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/archetypes.cc.o.d"
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/pka_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/cutlass.cc" "src/workload/CMakeFiles/pka_workload.dir/cutlass.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/cutlass.cc.o.d"
+  "/root/repo/src/workload/deepbench.cc" "src/workload/CMakeFiles/pka_workload.dir/deepbench.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/deepbench.cc.o.d"
+  "/root/repo/src/workload/kernel.cc" "src/workload/CMakeFiles/pka_workload.dir/kernel.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/kernel.cc.o.d"
+  "/root/repo/src/workload/mlperf.cc" "src/workload/CMakeFiles/pka_workload.dir/mlperf.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/mlperf.cc.o.d"
+  "/root/repo/src/workload/parboil.cc" "src/workload/CMakeFiles/pka_workload.dir/parboil.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/parboil.cc.o.d"
+  "/root/repo/src/workload/polybench.cc" "src/workload/CMakeFiles/pka_workload.dir/polybench.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/polybench.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/pka_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/rodinia.cc" "src/workload/CMakeFiles/pka_workload.dir/rodinia.cc.o" "gcc" "src/workload/CMakeFiles/pka_workload.dir/rodinia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_workload.dir/archetypes.cc.o"
+  "CMakeFiles/pka_workload.dir/archetypes.cc.o.d"
+  "CMakeFiles/pka_workload.dir/builder.cc.o"
+  "CMakeFiles/pka_workload.dir/builder.cc.o.d"
+  "CMakeFiles/pka_workload.dir/cutlass.cc.o"
+  "CMakeFiles/pka_workload.dir/cutlass.cc.o.d"
+  "CMakeFiles/pka_workload.dir/deepbench.cc.o"
+  "CMakeFiles/pka_workload.dir/deepbench.cc.o.d"
+  "CMakeFiles/pka_workload.dir/kernel.cc.o"
+  "CMakeFiles/pka_workload.dir/kernel.cc.o.d"
+  "CMakeFiles/pka_workload.dir/mlperf.cc.o"
+  "CMakeFiles/pka_workload.dir/mlperf.cc.o.d"
+  "CMakeFiles/pka_workload.dir/parboil.cc.o"
+  "CMakeFiles/pka_workload.dir/parboil.cc.o.d"
+  "CMakeFiles/pka_workload.dir/polybench.cc.o"
+  "CMakeFiles/pka_workload.dir/polybench.cc.o.d"
+  "CMakeFiles/pka_workload.dir/registry.cc.o"
+  "CMakeFiles/pka_workload.dir/registry.cc.o.d"
+  "CMakeFiles/pka_workload.dir/rodinia.cc.o"
+  "CMakeFiles/pka_workload.dir/rodinia.cc.o.d"
+  "libpka_workload.a"
+  "libpka_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

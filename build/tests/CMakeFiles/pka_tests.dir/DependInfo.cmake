@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/pka_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/pka_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pka_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_ml.cc" "tests/CMakeFiles/pka_tests.dir/test_ml.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_ml.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pka_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_silicon.cc" "tests/CMakeFiles/pka_tests.dir/test_silicon.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_silicon.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/pka_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/pka_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_tools.cc" "tests/CMakeFiles/pka_tests.dir/test_tools.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_tools.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/pka_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/pka_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pka_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/pka_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pka_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/silicon/CMakeFiles/pka_silicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pka_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka_tests.dir/test_common.cc.o"
+  "CMakeFiles/pka_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_core.cc.o"
+  "CMakeFiles/pka_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_integration.cc.o"
+  "CMakeFiles/pka_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_ml.cc.o"
+  "CMakeFiles/pka_tests.dir/test_ml.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_properties.cc.o"
+  "CMakeFiles/pka_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_silicon.cc.o"
+  "CMakeFiles/pka_tests.dir/test_silicon.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_sim.cc.o"
+  "CMakeFiles/pka_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_smoke.cc.o"
+  "CMakeFiles/pka_tests.dir/test_smoke.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_tools.cc.o"
+  "CMakeFiles/pka_tests.dir/test_tools.cc.o.d"
+  "CMakeFiles/pka_tests.dir/test_workload.cc.o"
+  "CMakeFiles/pka_tests.dir/test_workload.cc.o.d"
+  "pka_tests"
+  "pka_tests.pdb"
+  "pka_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pka.dir/pka_cli.cc.o"
+  "CMakeFiles/pka.dir/pka_cli.cc.o.d"
+  "pka"
+  "pka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
