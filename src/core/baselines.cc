@@ -31,17 +31,19 @@ expectedThreadInstructions(const Workload &w)
 } // namespace
 
 BaselineResult
-firstNInstructions(const sim::GpuSimulator &simulator, const Workload &w,
+firstNInstructions(const sim::SimEngine &engine,
+                   const sim::GpuSimulator &simulator, const Workload &w,
                    uint64_t instruction_budget)
 {
     BaselineResult res;
     double budget = static_cast<double>(instruction_budget);
     for (const auto &k : w.launches) {
-        sim::SimOptions opts;
-        opts.maxThreadInstructions = static_cast<uint64_t>(
+        sim::SimJob job;
+        job.kernel = &k;
+        job.workloadSeed = w.seed;
+        job.opts.maxThreadInstructions = static_cast<uint64_t>(
             std::max(1.0, budget - res.simulatedThreadInsts));
-        sim::KernelSimResult r =
-            simulator.simulateKernel(k, w.seed, opts);
+        sim::KernelSimResult r = engine.simulateOne(simulator, job);
         res.simulatedCycles += static_cast<double>(r.cycles);
         res.simulatedThreadInsts += r.threadInstructions;
         if (r.truncatedByBudget ||
@@ -60,6 +62,14 @@ firstNInstructions(const sim::GpuSimulator &simulator, const Workload &w,
     res.projectedAppCycles = res.simulatedCycles;
     res.completed = true;
     return res;
+}
+
+BaselineResult
+firstNInstructions(const sim::GpuSimulator &simulator, const Workload &w,
+                   uint64_t instruction_budget)
+{
+    return firstNInstructions(sim::SimEngine::shared(), simulator, w,
+                              instruction_budget);
 }
 
 TBPointResult
@@ -170,7 +180,9 @@ detectIterationPeriod(const std::vector<std::string> &names)
 }
 
 SingleIterationResult
-singleIterationBaseline(const sim::GpuSimulator &simulator, const Workload &w)
+singleIterationBaseline(const sim::SimEngine &engine,
+                        const sim::GpuSimulator &simulator,
+                        const Workload &w)
 {
     SingleIterationResult res;
     std::vector<std::string> names;
@@ -185,13 +197,22 @@ singleIterationBaseline(const sim::GpuSimulator &simulator, const Workload &w)
     res.periodLaunches = period;
     res.iterations = static_cast<double>(w.launches.size()) /
                      static_cast<double>(period);
+    std::vector<sim::SimJob> jobs(period);
     for (size_t i = 0; i < period; ++i) {
-        sim::KernelSimResult r =
-            simulator.simulateKernel(w.launches[i], w.seed);
-        res.simulatedCycles += static_cast<double>(r.cycles);
+        jobs[i].kernel = &w.launches[i];
+        jobs[i].workloadSeed = w.seed;
     }
+    for (const auto &r : engine.run(simulator, jobs))
+        res.simulatedCycles += static_cast<double>(r.cycles);
     res.projectedAppCycles = res.simulatedCycles * res.iterations;
     return res;
+}
+
+SingleIterationResult
+singleIterationBaseline(const sim::GpuSimulator &simulator,
+                        const Workload &w)
+{
+    return singleIterationBaseline(sim::SimEngine::shared(), simulator, w);
 }
 
 } // namespace pka::core

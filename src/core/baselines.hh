@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/pks.hh"
+#include "sim/engine.hh"
 #include "sim/simulator.hh"
 #include "workload/kernel.hh"
 
@@ -38,7 +39,17 @@ struct BaselineResult
 /**
  * Simulate launches in order until `instruction_budget` thread
  * instructions retire; extrapolate app cycles at the measured IPC.
+ * Inherently sequential (each launch's budget depends on what earlier
+ * launches retired), but still engine-routed so repeated launches hit
+ * the result cache.
  */
+BaselineResult
+firstNInstructions(const sim::SimEngine &engine,
+                   const sim::GpuSimulator &simulator,
+                   const pka::workload::Workload &w,
+                   uint64_t instruction_budget = 1'000'000'000ULL);
+
+/** firstNInstructions on the process-wide shared engine. */
 BaselineResult
 firstNInstructions(const sim::GpuSimulator &simulator,
                    const pka::workload::Workload &w,
@@ -112,8 +123,15 @@ struct SingleIterationResult
 
 /**
  * NVArchSim-style single-iteration scaling: simulate one iteration's
- * launches fully and multiply by the iteration count.
+ * launches fully (fanned out across the engine) and multiply by the
+ * iteration count.
  */
+SingleIterationResult
+singleIterationBaseline(const sim::SimEngine &engine,
+                        const sim::GpuSimulator &simulator,
+                        const pka::workload::Workload &w);
+
+/** singleIterationBaseline on the process-wide shared engine. */
 SingleIterationResult
 singleIterationBaseline(const sim::GpuSimulator &simulator,
                         const pka::workload::Workload &w);

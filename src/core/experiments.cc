@@ -1,7 +1,5 @@
 #include "core/experiments.hh"
 
-#include <chrono>
-
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -36,14 +34,26 @@ buildAllPairs(const GenOptions &g)
 }
 
 FullSimResult
-fullSimulate(const sim::GpuSimulator &simulator, const Workload &w)
+fullSimulate(const sim::SimEngine &engine,
+             const sim::GpuSimulator &simulator, const Workload &w)
 {
     FullSimResult out;
-    auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<sim::SimJob> jobs(w.launches.size());
+    for (size_t i = 0; i < w.launches.size(); ++i) {
+        jobs[i].kernel = &w.launches[i];
+        jobs[i].workloadSeed = w.seed;
+    }
+    sim::EngineStats stats;
+    std::vector<sim::KernelSimResult> results =
+        engine.run(simulator, jobs, &stats);
+
+    // Reduce in launch order — bit-identical for any thread count.
     out.perKernel.reserve(w.launches.size());
     double util_weight = 0.0;
-    for (const auto &k : w.launches) {
-        sim::KernelSimResult r = simulator.simulateKernel(k, w.seed);
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &k = w.launches[i];
+        const sim::KernelSimResult &r = results[i];
         out.cycles += static_cast<double>(r.cycles);
         out.threadInsts += r.threadInstructions;
         out.dramUtilPct += r.dramUtilPct * static_cast<double>(r.cycles);
@@ -61,10 +71,17 @@ fullSimulate(const sim::GpuSimulator &simulator, const Workload &w)
     }
     if (util_weight > 0)
         out.dramUtilPct /= util_weight;
-    out.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    out.wallSeconds = stats.wallSeconds;
+    out.cpuSeconds = stats.cpuSeconds;
+    out.cacheHits = stats.cacheHits;
+    out.cacheMisses = stats.cacheMisses;
     return out;
+}
+
+FullSimResult
+fullSimulate(const sim::GpuSimulator &simulator, const Workload &w)
+{
+    return fullSimulate(sim::SimEngine::shared(), simulator, w);
 }
 
 bool
@@ -77,8 +94,11 @@ isFullySimulable(const Workload &w)
 
 AppEvaluation
 evaluateApp(const WorkloadPair &pair, const silicon::SiliconGpu &gpu,
-            const sim::GpuSimulator &simulator, const EvalOptions &options)
+            const sim::GpuSimulator &simulator, const EvalOptions &options,
+            const sim::SimEngine *engine)
 {
+    const sim::SimEngine &eng =
+        engine ? *engine : sim::SimEngine::shared();
     const Workload &w = pair.traced;
     AppEvaluation ev;
     ev.suite = w.suite;
@@ -95,7 +115,7 @@ evaluateApp(const WorkloadPair &pair, const silicon::SiliconGpu &gpu,
         ev.siliconCycles > 0 ? sil_insts / ev.siliconCycles : 0.0;
 
     // PKA (selection happens on the profiled variant).
-    ev.pka = runPka(w, pair.profiled, gpu, simulator, options.pka);
+    ev.pka = runPka(eng, w, pair.profiled, gpu, simulator, options.pka);
     if (ev.pka.excluded) {
         ev.excluded = true;
         ev.exclusionReason = ev.pka.exclusionReason;
@@ -125,7 +145,7 @@ evaluateApp(const WorkloadPair &pair, const silicon::SiliconGpu &gpu,
 
     if (options.runFullSim && isFullySimulable(w)) {
         ev.fullySimulated = true;
-        ev.fullSim = fullSimulate(simulator, w);
+        ev.fullSim = fullSimulate(eng, simulator, w);
         ev.simErrorPct =
             pka::common::pctError(ev.fullSim.cycles, ev.siliconCycles);
         ev.fullIpcErrorPct =
@@ -155,9 +175,10 @@ evaluateAll(const silicon::GpuSpec &spec, const GenOptions &gen,
 {
     silicon::SiliconGpu gpu(spec);
     sim::GpuSimulator simulator(spec);
+    const sim::SimEngine &engine = sim::SimEngine::shared();
     std::vector<AppEvaluation> out;
     for (const auto &pair : buildAllPairs(gen))
-        out.push_back(evaluateApp(pair, gpu, simulator, options));
+        out.push_back(evaluateApp(pair, gpu, simulator, options, &engine));
     return out;
 }
 

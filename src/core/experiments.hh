@@ -60,6 +60,15 @@ struct FullSimResult
     double threadInsts = 0.0;
     double dramUtilPct = 0.0; ///< cycle-weighted average
     double wallSeconds = 0.0;
+
+    /**
+     * Summed per-kernel simulation time (serial-equivalent cost). Under
+     * a parallel engine wallSeconds shrinks while this stays put, which
+     * keeps speedup-vs-serial figures (fig06/fig07 axes) comparable.
+     */
+    double cpuSeconds = 0.0;
+    uint64_t cacheHits = 0;   ///< launches answered from the result cache
+    uint64_t cacheMisses = 0; ///< launches actually simulated
     std::vector<TBPointKernelStats> perKernel;
 
     double ipc() const
@@ -68,8 +77,16 @@ struct FullSimResult
     }
 };
 
-/** Simulate every launch of `w` to completion, collecting per-kernel
- *  stats (TBPoint's required input). */
+/**
+ * Simulate every launch of `w` to completion across `engine`, collecting
+ * per-kernel stats (TBPoint's required input) and reducing in launch
+ * order — aggregates are bit-identical for any thread count.
+ */
+FullSimResult fullSimulate(const sim::SimEngine &engine,
+                           const sim::GpuSimulator &simulator,
+                           const pka::workload::Workload &w);
+
+/** fullSimulate on the process-wide shared engine. */
 FullSimResult fullSimulate(const sim::GpuSimulator &simulator,
                            const pka::workload::Workload &w);
 
@@ -118,12 +135,14 @@ struct EvalOptions
 
 /**
  * Evaluate one workload pair against a device. Runs silicon, full
- * simulation (when tractable), PKS and PKA.
+ * simulation (when tractable), PKS and PKA. All simulation goes through
+ * `engine` (the process-wide shared engine when null).
  */
 AppEvaluation evaluateApp(const WorkloadPair &pair,
                           const silicon::SiliconGpu &gpu,
                           const sim::GpuSimulator &simulator,
-                          const EvalOptions &options = {});
+                          const EvalOptions &options = {},
+                          const sim::SimEngine *engine = nullptr);
 
 /** Evaluate every registry workload on one device spec. */
 std::vector<AppEvaluation>

@@ -1,6 +1,8 @@
 #include "core/pka.hh"
 
-#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "silicon/profiler.hh"
@@ -54,23 +56,42 @@ selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
 }
 
 AppProjection
-simulateSelection(const sim::GpuSimulator &simulator, const Workload &w,
+simulateSelection(const sim::SimEngine &engine,
+                  const sim::GpuSimulator &simulator, const Workload &w,
                   const SelectionOutcome &selection, const PkpOptions *pkp)
 {
     AppProjection out;
-    double util_weight = 0.0;
 
-    IpcStabilityController controller(pkp ? *pkp : PkpOptions{});
-    auto t0 = std::chrono::steady_clock::now();
+    std::vector<sim::SimJob> jobs;
+    jobs.reserve(selection.groups.size());
     for (const auto &g : selection.groups) {
         PKA_ASSERT(g.representative < w.launches.size(),
                    "representative outside the traced stream");
-        const auto &k = w.launches[g.representative];
+        sim::SimJob job;
+        job.kernel = &w.launches[g.representative];
+        job.workloadSeed = w.seed;
+        if (pkp) {
+            // One fresh controller per kernel: PKP stability state must
+            // never leak between representatives, and per-task
+            // construction is what makes the fan-out race-free.
+            PkpOptions cfg = *pkp;
+            job.makeStop = [cfg] {
+                return std::make_unique<IpcStabilityController>(cfg);
+            };
+            job.stopConfigKey = pkpStopConfigKey(cfg);
+        }
+        jobs.push_back(std::move(job));
+    }
 
-        sim::SimOptions opts;
-        if (pkp)
-            opts.stop = &controller;
-        sim::KernelSimResult r = simulator.simulateKernel(k, w.seed, opts);
+    sim::EngineStats stats;
+    std::vector<sim::KernelSimResult> results =
+        engine.run(simulator, jobs, &stats);
+
+    // Reduce in group order — bit-identical for any thread count.
+    double util_weight = 0.0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &g = selection.groups[i];
+        const sim::KernelSimResult &r = results[i];
         PkpProjection proj = projectKernel(r);
 
         out.projectedCycles +=
@@ -82,18 +103,27 @@ simulateSelection(const sim::GpuSimulator &simulator, const Workload &w,
         util_weight += cw;
         out.simulatedCycles += static_cast<double>(r.cycles);
     }
-    out.simulatedWallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    out.simulatedWallSeconds = stats.wallSeconds;
+    out.simulatedCpuSeconds = stats.cpuSeconds;
+    out.cacheHits = stats.cacheHits;
+    out.cacheMisses = stats.cacheMisses;
     if (util_weight > 0)
         out.projectedDramUtilPct /= util_weight;
     return out;
 }
 
+AppProjection
+simulateSelection(const sim::GpuSimulator &simulator, const Workload &w,
+                  const SelectionOutcome &selection, const PkpOptions *pkp)
+{
+    return simulateSelection(sim::SimEngine::shared(), simulator, w,
+                             selection, pkp);
+}
+
 PkaAppResult
-runPka(const Workload &traced, const Workload &profiled,
-       const silicon::SiliconGpu &gpu, const sim::GpuSimulator &simulator,
-       const PkaOptions &options)
+runPka(const sim::SimEngine &engine, const Workload &traced,
+       const Workload &profiled, const silicon::SiliconGpu &gpu,
+       const sim::GpuSimulator &simulator, const PkaOptions &options)
 {
     PkaAppResult res;
     if (traced.launches.size() != profiled.launches.size()) {
@@ -106,10 +136,20 @@ runPka(const Workload &traced, const Workload &profiled,
     }
 
     res.selection = selectKernels(profiled, gpu, options);
-    res.pks = simulateSelection(simulator, traced, res.selection, nullptr);
-    res.pka =
-        simulateSelection(simulator, traced, res.selection, &options.pkp);
+    res.pks =
+        simulateSelection(engine, simulator, traced, res.selection, nullptr);
+    res.pka = simulateSelection(engine, simulator, traced, res.selection,
+                                &options.pkp);
     return res;
+}
+
+PkaAppResult
+runPka(const Workload &traced, const Workload &profiled,
+       const silicon::SiliconGpu &gpu, const sim::GpuSimulator &simulator,
+       const PkaOptions &options)
+{
+    return runPka(sim::SimEngine::shared(), traced, profiled, gpu,
+                  simulator, options);
 }
 
 } // namespace pka::core

@@ -16,6 +16,7 @@
 #include "core/pks.hh"
 #include "core/two_level.hh"
 #include "silicon/silicon_gpu.hh"
+#include "sim/engine.hh"
 #include "sim/simulator.hh"
 #include "workload/kernel.hh"
 
@@ -66,6 +67,16 @@ struct AppProjection
     double simulatedCycles = 0.0;      ///< simulation cost actually paid
     double simulatedWallSeconds = 0.0; ///< host wall time of that cost
 
+    /**
+     * Summed per-kernel simulation time — the serial-equivalent cost.
+     * Equals simulatedWallSeconds at one thread (minus pool overhead);
+     * under a parallel engine, wall shrinks while this stays put, so
+     * speedup-over-serial comparisons stay honest.
+     */
+    double simulatedCpuSeconds = 0.0;
+    uint64_t cacheHits = 0;   ///< launches answered from the result cache
+    uint64_t cacheMisses = 0; ///< launches actually simulated
+
     /** Projected whole-app IPC. */
     double projectedIpc() const
     {
@@ -75,10 +86,21 @@ struct AppProjection
 };
 
 /**
- * Simulate each group's representative and scale by group weight.
+ * Simulate each group's representative and scale by group weight,
+ * fanning representatives out across `engine` and reducing in group
+ * order (aggregates are bit-identical for any thread count). Every
+ * representative gets its own IpcStabilityController, so PKP state
+ * never leaks between kernels.
  * @param pkp nullptr = run representatives to completion (PKS-only);
  *            non-null = stop on IPC stability and project (full PKA).
  */
+AppProjection simulateSelection(const sim::SimEngine &engine,
+                                const sim::GpuSimulator &simulator,
+                                const pka::workload::Workload &w,
+                                const SelectionOutcome &selection,
+                                const PkpOptions *pkp);
+
+/** Same, on the process-wide shared engine. */
 AppProjection simulateSelection(const sim::GpuSimulator &simulator,
                                 const pka::workload::Workload &w,
                                 const SelectionOutcome &selection,
@@ -103,6 +125,14 @@ struct PkaAppResult
  *        cuDNN algorithm-selection quirk)
  */
 PkaAppResult runPka(const pka::workload::Workload &traced,
+                    const pka::workload::Workload &profiled,
+                    const silicon::SiliconGpu &gpu,
+                    const sim::GpuSimulator &simulator,
+                    const PkaOptions &options = {});
+
+/** runPka with an explicit campaign engine. */
+PkaAppResult runPka(const sim::SimEngine &engine,
+                    const pka::workload::Workload &traced,
                     const pka::workload::Workload &profiled,
                     const silicon::SiliconGpu &gpu,
                     const sim::GpuSimulator &simulator,

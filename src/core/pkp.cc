@@ -1,11 +1,27 @@
 #include "core/pkp.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 
 namespace pka::core
 {
+
+uint64_t
+pkpStopConfigKey(const PkpOptions &options)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &options.threshold, sizeof bits);
+    // SplitMix-style scramble over (tag, threshold, fullWave); the tag
+    // keeps PKP keys disjoint from any future stop policy's keys.
+    uint64_t z = 0x504B50ULL ^ bits ^
+                 (options.requireFullWave ? 0x8000000000000000ULL : 0);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z | 1; // never zero: zero means "uncacheable" to the engine
+}
 
 IpcStabilityController::IpcStabilityController(PkpOptions options)
     : opts_(options)

@@ -36,6 +36,13 @@ struct PkpOptions
 };
 
 /**
+ * Nonzero cache key identifying a PKP stop configuration for the
+ * engine's memoization cache: equal-config controllers make identical
+ * decisions, so their results may be shared.
+ */
+uint64_t pkpStopConfigKey(const PkpOptions &options);
+
+/**
  * The IPC-stability stop policy. Plug into SimOptions::stop.
  */
 class IpcStabilityController : public sim::StopController

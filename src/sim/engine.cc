@@ -1,0 +1,265 @@
+#include "sim/engine.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "sim/fnv.hh"
+
+namespace pka::sim
+{
+
+using pka::silicon::GpuSpec;
+using pka::workload::KernelDescriptor;
+
+namespace
+{
+
+uint64_t
+hashKey(const KernelSimKey &k)
+{
+    Fnv f;
+    f.u64(k.specHash);
+    f.u64(k.contentHash);
+    f.u64(k.workloadSeed);
+    f.u64(k.seedSalt);
+    f.u64(k.stopConfigKey);
+    f.u64(k.maxThreadInstructions);
+    f.u64(k.maxCycles);
+    f.u64(k.ipcBucketCycles);
+    f.u64(k.ipcWindowBuckets);
+    f.u64(k.scheduler);
+    return f.h;
+}
+
+struct KeyHasher
+{
+    size_t operator()(const KernelSimKey &k) const
+    {
+        return static_cast<size_t>(hashKey(k));
+    }
+};
+
+} // namespace
+
+uint64_t
+specContentHash(const GpuSpec &spec)
+{
+    Fnv f;
+    f.str(spec.name);
+    f.u64(static_cast<uint64_t>(spec.generation));
+    f.u64(spec.numSms);
+    f.u64(spec.maxThreadsPerSm);
+    f.u64(spec.maxCtasPerSm);
+    f.u64(spec.maxWarpsPerSm);
+    f.u64(spec.regFilePerSm);
+    f.u64(spec.smemPerSm);
+    f.u64(spec.issueWidth);
+    f.f64(spec.coreClockGhz);
+    for (double t : spec.classThroughput)
+        f.f64(t);
+    for (double l : spec.classLatency)
+        f.f64(l);
+    f.f64(spec.l1LatencyCycles);
+    f.f64(spec.l2LatencyCycles);
+    f.f64(spec.dramLatencyCycles);
+    f.f64(spec.l2BandwidthBytesPerClk);
+    f.f64(spec.dramBandwidthGBs);
+    f.f64(spec.launchOverheadCycles);
+    return f.h;
+}
+
+/** One lock-sharded slice of the result cache. */
+struct SimEngine::Shard
+{
+    std::mutex m;
+    std::unordered_map<KernelSimKey, KernelSimResult, KeyHasher> map;
+};
+
+SimEngine::SimEngine(EngineOptions options)
+    : opts_(options)
+{
+    if (opts_.cacheShards == 0)
+        opts_.cacheShards = 1;
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    shards_ = std::make_unique<Shard[]>(opts_.cacheShards);
+}
+
+SimEngine::~SimEngine() = default;
+
+KernelSimResult
+SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
+                  const SimJob &job, double *task_seconds,
+                  bool *was_hit) const
+{
+    PKA_ASSERT(job.kernel != nullptr, "SimJob has no kernel");
+    PKA_ASSERT(job.opts.stop == nullptr,
+               "SimJob must not carry a shared StopController; "
+               "use makeStop so every task gets a fresh one");
+
+    SimOptions opts = job.opts;
+    opts.contentSeed = opts.contentSeed || opts_.contentSeed;
+
+    // Traced/IPC-traced runs carry heavyweight payloads and replay
+    // external data; keep them out of the cache. Stop policies are only
+    // cacheable when the job identifies their configuration.
+    const bool cacheable = opts_.memoize && opts.trace == nullptr &&
+                           !opts.traceIpc &&
+                           (!job.makeStop || job.stopConfigKey != 0);
+
+    KernelSimKey key;
+    Shard *shard = nullptr;
+    if (cacheable) {
+        key.specHash = spec_hash;
+        key.contentHash = launchContentHash(*job.kernel);
+        key.workloadSeed = job.workloadSeed;
+        key.seedSalt = opts.contentSeed ? key.contentHash
+                                        : job.kernel->launchId;
+        key.stopConfigKey = job.makeStop ? job.stopConfigKey : 0;
+        key.maxThreadInstructions = opts.maxThreadInstructions;
+        key.maxCycles = opts.maxCycles;
+        key.ipcBucketCycles = opts.ipcBucketCycles;
+        key.ipcWindowBuckets = opts.ipcWindowBuckets;
+        key.scheduler = static_cast<uint8_t>(opts.scheduler);
+
+        shard = &shards_[hashKey(key) % opts_.cacheShards];
+        std::lock_guard<std::mutex> lk(shard->m);
+        auto it = shard->map.find(key);
+        if (it != shard->map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            *was_hit = true;
+            *task_seconds = 0.0;
+            return it->second;
+        }
+    }
+
+    std::unique_ptr<StopController> stop;
+    if (job.makeStop) {
+        stop = job.makeStop();
+        opts.stop = stop.get();
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    KernelSimResult r =
+        simulator.simulateKernel(*job.kernel, job.workloadSeed, opts);
+    *task_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    *was_hit = false;
+
+    if (cacheable) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(shard->m);
+        // A racing task may have inserted the same key; results are
+        // deterministic so either copy is the same bits.
+        shard->map.emplace(key, r);
+    }
+    return r;
+}
+
+std::vector<KernelSimResult>
+SimEngine::run(const GpuSimulator &simulator,
+               const std::vector<SimJob> &jobs, EngineStats *stats) const
+{
+    const uint64_t spec_hash = specContentHash(simulator.spec());
+    std::vector<KernelSimResult> results(jobs.size());
+    std::vector<double> task_seconds(jobs.size(), 0.0);
+    std::vector<uint8_t> hit(jobs.size(), 0);
+
+    auto t0 = std::chrono::steady_clock::now();
+    pool_->parallelFor(jobs.size(), [&](size_t i) {
+        bool h = false;
+        results[i] =
+            runJob(simulator, spec_hash, jobs[i], &task_seconds[i], &h);
+        hit[i] = h ? 1 : 0;
+    });
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (stats) {
+        stats->launches += jobs.size();
+        stats->wallSeconds += wall;
+        // Reduce per-task accounting serially in job order so even the
+        // diagnostic aggregates are thread-count-invariant.
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            stats->cpuSeconds += task_seconds[i];
+            if (hit[i])
+                ++stats->cacheHits;
+            else
+                ++stats->cacheMisses;
+        }
+    }
+    return results;
+}
+
+KernelSimResult
+SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
+                       EngineStats *stats) const
+{
+    double secs = 0.0;
+    bool h = false;
+    auto t0 = std::chrono::steady_clock::now();
+    KernelSimResult r =
+        runJob(simulator, specContentHash(simulator.spec()), job, &secs, &h);
+    if (stats) {
+        ++stats->launches;
+        stats->wallSeconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        stats->cpuSeconds += secs;
+        if (h)
+            ++stats->cacheHits;
+        else
+            ++stats->cacheMisses;
+    }
+    return r;
+}
+
+size_t
+SimEngine::cacheSize() const
+{
+    size_t total = 0;
+    for (unsigned s = 0; s < opts_.cacheShards; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].m);
+        total += shards_[s].map.size();
+    }
+    return total;
+}
+
+void
+SimEngine::clearCache()
+{
+    for (unsigned s = 0; s < opts_.cacheShards; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].m);
+        shards_[s].map.clear();
+    }
+    hits_.store(0);
+    misses_.store(0);
+}
+
+namespace
+{
+
+std::mutex g_shared_m;
+std::unique_ptr<SimEngine> g_shared;
+
+} // namespace
+
+SimEngine &
+SimEngine::shared()
+{
+    std::lock_guard<std::mutex> lk(g_shared_m);
+    if (!g_shared)
+        g_shared = std::make_unique<SimEngine>();
+    return *g_shared;
+}
+
+void
+SimEngine::configureShared(const EngineOptions &options)
+{
+    std::lock_guard<std::mutex> lk(g_shared_m);
+    g_shared = std::make_unique<SimEngine>(options);
+}
+
+} // namespace pka::sim

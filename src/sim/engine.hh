@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The parallel campaign engine: fans independent kernel launches out
+ * across a ThreadPool and reduces results in launch-index order, so
+ * campaign aggregates are bit-identical for any thread count. A
+ * content-addressed memoization cache sits in front of the simulator —
+ * MLPerf-scale streams relaunch identical kernels thousands of times, so
+ * repeated launches hit the cache instead of re-simulating.
+ *
+ * Cache-key anatomy (all of it must match for a hit):
+ *   - device spec content hash (every timing-relevant GpuSpec field)
+ *   - launch content hash (program body + memory behaviour + grid/block
+ *     + registers/smem + iteration count + CTA-work CV)
+ *   - workload seed and the launch's seed salt
+ *   - scheduler policy, instruction/cycle budgets, IPC bucket/window
+ *   - stop-policy config key (0 = run to completion)
+ *
+ * The seed salt is the honesty mechanism for the launch-id-mixed RNG
+ * seeding: by default the simulator salts its memory-model and per-CTA
+ * work RNG streams with `KernelDescriptor::launchId`, so two launches of
+ * identical content still jitter differently and their keys differ (the
+ * cache never manufactures false hits). With
+ * `EngineOptions::contentSeed`, seeding becomes content-based instead:
+ * identical launches are bit-identical by construction and memoization
+ * turns O(launches) campaigns into O(distinct kernels).
+ */
+
+#ifndef PKA_SIM_ENGINE_HH
+#define PKA_SIM_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/thread_pool.hh"
+
+namespace pka::sim
+{
+
+/** Engine-wide configuration. */
+struct EngineOptions
+{
+    /** Total concurrency; 0 = hardware_concurrency(). */
+    unsigned threads = 0;
+
+    /** Memoize kernel results in the content-addressed cache. */
+    bool memoize = true;
+
+    /**
+     * Seed per-launch RNG streams from launch *content* instead of
+     * launch id, making identical launches bit-identical (and therefore
+     * cacheable across a stream). See the file comment for the
+     * semantic-honesty discussion.
+     */
+    bool contentSeed = false;
+
+    /** Lock shards in the result cache. */
+    unsigned cacheShards = 16;
+};
+
+/** Aggregate accounting for one engine run. */
+struct EngineStats
+{
+    uint64_t launches = 0;    ///< jobs submitted
+    uint64_t cacheHits = 0;   ///< jobs answered from the cache
+    uint64_t cacheMisses = 0; ///< jobs actually simulated
+    double wallSeconds = 0.0; ///< host wall-clock time of the run
+    double cpuSeconds = 0.0;  ///< summed per-task simulation time
+
+    /** Cache hit rate in percent (0 when nothing was cacheable). */
+    double hitRatePct() const
+    {
+        uint64_t total = cacheHits + cacheMisses;
+        return total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(cacheHits) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * One kernel launch to simulate. Do not set `opts.stop` directly — a
+ * shared controller would leak PKP state between kernels and race across
+ * threads. Provide `makeStop` instead: the engine constructs a fresh
+ * controller per task, and `stopConfigKey` (any nonzero value unique to
+ * the stop policy's configuration) keys the cache. A job with `makeStop`
+ * but a zero `stopConfigKey` is simulated uncached.
+ */
+struct SimJob
+{
+    const pka::workload::KernelDescriptor *kernel = nullptr;
+    uint64_t workloadSeed = 0;
+    SimOptions opts;
+    std::function<std::unique_ptr<StopController>()> makeStop;
+    uint64_t stopConfigKey = 0;
+};
+
+/** Memoization key; see the file comment for field semantics. */
+struct KernelSimKey
+{
+    uint64_t specHash = 0;
+    uint64_t contentHash = 0;
+    uint64_t workloadSeed = 0;
+    uint64_t seedSalt = 0;
+    uint64_t stopConfigKey = 0;
+    uint64_t maxThreadInstructions = 0;
+    uint64_t maxCycles = 0;
+    uint32_t ipcBucketCycles = 0;
+    uint32_t ipcWindowBuckets = 0;
+    uint8_t scheduler = 0;
+
+    bool operator==(const KernelSimKey &) const = default;
+};
+
+/**
+ * Parallel, memoizing campaign engine. Thread-safe: run() may be called
+ * from multiple threads (runs serialize on the pool) and the cache is
+ * internally sharded. One engine can serve simulators of different
+ * device specs — the spec is part of the cache key.
+ */
+class SimEngine
+{
+  public:
+    explicit SimEngine(EngineOptions options = {});
+    ~SimEngine();
+
+    SimEngine(const SimEngine &) = delete;
+    SimEngine &operator=(const SimEngine &) = delete;
+
+    /** The engine's configuration. */
+    const EngineOptions &options() const { return opts_; }
+
+    /** Total concurrency the pool provides. */
+    unsigned threads() const { return pool_->size(); }
+
+    /**
+     * Simulate every job against `simulator`; results are returned in
+     * job order regardless of execution interleaving, so any reduction
+     * over them is deterministic for every thread count.
+     */
+    std::vector<KernelSimResult>
+    run(const GpuSimulator &simulator, const std::vector<SimJob> &jobs,
+        EngineStats *stats = nullptr) const;
+
+    /** Simulate one job on the calling thread (cache-aware). */
+    KernelSimResult simulateOne(const GpuSimulator &simulator,
+                                const SimJob &job,
+                                EngineStats *stats = nullptr) const;
+
+    /** Cumulative cache hits since construction/clearCache(). */
+    uint64_t cacheHits() const { return hits_.load(); }
+
+    /** Cumulative cache misses since construction/clearCache(). */
+    uint64_t cacheMisses() const { return misses_.load(); }
+
+    /** Distinct results currently cached. */
+    size_t cacheSize() const;
+
+    /** Drop every cached result and reset the hit/miss counters. */
+    void clearCache();
+
+    /**
+     * The process-wide default engine, used by the legacy serial entry
+     * points (fullSimulate / simulateSelection / baselines without an
+     * explicit engine argument).
+     */
+    static SimEngine &shared();
+
+    /**
+     * Replace the shared engine's configuration (e.g. the CLI's
+     * --threads knob). Call before any shared() user starts running.
+     */
+    static void configureShared(const EngineOptions &options);
+
+  private:
+    struct Shard;
+
+    KernelSimResult runJob(const GpuSimulator &simulator,
+                           uint64_t spec_hash, const SimJob &job,
+                           double *task_seconds, bool *was_hit) const;
+
+    EngineOptions opts_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<Shard[]> shards_;
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+};
+
+/** Content hash of a device spec (every timing-relevant field). */
+uint64_t specContentHash(const pka::silicon::GpuSpec &spec);
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_ENGINE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FNV-1a accumulator over typed fields, shared by the simulator's
+ * content-based seeding and the engine's cache keys so both sides of the
+ * memoization contract hash a launch identically.
+ */
+
+#ifndef PKA_SIM_FNV_HH
+#define PKA_SIM_FNV_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pka::sim
+{
+
+/** Incremental FNV-1a 64-bit hash. */
+struct Fnv
+{
+    uint64_t h = 1469598103934665603ULL;
+
+    void bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ULL;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+
+    void f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        bytes(s.data(), s.size());
+        u64(s.size());
+    }
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_FNV_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/fnv.hh"
 #include "sim/memory_model.hh"
 #include "sim/sm_core.hh"
 
@@ -19,6 +20,35 @@ namespace
 constexpr uint64_t kHardCycleCap = 4'000'000'000ULL;
 
 } // namespace
+
+uint64_t
+launchContentHash(const KernelDescriptor &k)
+{
+    PKA_ASSERT(k.program != nullptr, "launch has no program");
+    Fnv f;
+    const auto &p = *k.program;
+    f.str(p.name);
+    f.u64(p.body.size());
+    for (const auto &seg : p.body) {
+        f.u64(static_cast<uint64_t>(seg.cls));
+        f.u64(seg.count);
+    }
+    f.f64(p.sectorsPerAccess);
+    f.f64(p.divergenceEff);
+    f.f64(p.l1Locality);
+    f.f64(p.l2Locality);
+    f.u64(k.grid.x);
+    f.u64(k.grid.y);
+    f.u64(k.grid.z);
+    f.u64(k.block.x);
+    f.u64(k.block.y);
+    f.u64(k.block.z);
+    f.u64(k.regsPerThread);
+    f.u64(k.smemPerBlock);
+    f.u64(k.iterations);
+    f.f64(k.ctaWorkCv);
+    return f.h;
+}
 
 GpuSimulator::GpuSimulator(GpuSpec spec)
     : spec_(std::move(spec))
@@ -43,14 +73,20 @@ GpuSimulator::simulateKernel(const KernelDescriptor &k,
                    "trace kernel name does not match the launch");
     }
 
-    MemoryModel mem(spec_, workload_seed ^ (k.launchId * 0x9E3779B9ULL));
+    // The per-launch RNG salt: launch id by default (independent jitter
+    // per launch), or the launch's content hash under content seeding
+    // (identical launches become bit-identical, hence cacheable).
+    const uint64_t launch_salt =
+        opts.contentSeed ? launchContentHash(k) : k.launchId;
+    MemoryModel mem(spec_, workload_seed ^ (launch_salt * 0x9E3779B9ULL));
     std::vector<SmCore> sms;
     sms.reserve(spec_.numSms);
     for (uint32_t s = 0; s < spec_.numSms; ++s)
         sms.emplace_back(spec_, k, mem, workload_seed, occ,
                          opts.scheduler,
                          opts.trace ? &opts.trace->ctaIterations
-                                    : nullptr);
+                                    : nullptr,
+                         launch_salt);
 
     uint64_t next_cta = 0;
     // Breadth-first dispatch (one CTA per SM per pass), matching how GPUs

@@ -54,6 +54,16 @@ struct SimOptions
 
     /** Hard cycle cap (0 = off). */
     uint64_t maxCycles = 0;
+
+    /**
+     * Salt the memory-model and per-CTA work RNG streams with the
+     * launch's *content* hash instead of its launch id. Identical
+     * launches then produce bit-identical results, which is what makes
+     * the engine's memoization cache semantically honest; the default
+     * (launch-id salting) gives every launch of the same kernel
+     * independent jitter.
+     */
+    bool contentSeed = false;
 };
 
 /** Result of simulating one kernel launch. */
@@ -83,6 +93,16 @@ struct KernelSimResult
                                  static_cast<double>(cycles);
     }
 };
+
+/**
+ * Content hash of a launch: program identity (name, body, memory
+ * behaviour) and launch configuration (grid/block, registers, shared
+ * memory, iteration count, CTA-work CV), excluding the launch id and
+ * profiling-only annotations. Used as the RNG salt under
+ * SimOptions::contentSeed and as the engine's cache-key component, so
+ * both sides of the memoization contract agree on launch identity.
+ */
+uint64_t launchContentHash(const pka::workload::KernelDescriptor &k);
 
 /**
  * Cycle-level device simulator. Stateless between kernels: each

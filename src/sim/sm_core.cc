@@ -15,9 +15,11 @@ using pka::workload::KernelDescriptor;
 SmCore::SmCore(const pka::silicon::GpuSpec &spec, const KernelDescriptor &k,
                MemoryModel &mem, uint64_t workload_seed,
                uint32_t max_resident_ctas, SchedulerPolicy policy,
-               const std::vector<uint32_t> *cta_iterations)
+               const std::vector<uint32_t> *cta_iterations,
+               uint64_t launch_salt)
     : spec_(spec), k_(k), mem_(mem), seed_(workload_seed),
-      policy_(policy), trace_iters_(cta_iterations)
+      launch_salt_(launch_salt), policy_(policy),
+      trace_iters_(cta_iterations)
 {
     PKA_ASSERT(max_resident_ctas > 0, "SM needs at least one CTA slot");
     const uint32_t warps_per_cta = static_cast<uint32_t>(k.warpsPerCta());
@@ -42,9 +44,10 @@ SmCore::assignCta(uint64_t cta_id)
 
     // Data-dependent per-CTA work: from the trace when replaying one,
     // otherwise resolved from the workload seed.
-    uint32_t iters = trace_iters_
-                         ? (*trace_iters_)[cta_id]
-                         : resolveCtaIterations(k_, seed_, cta_id);
+    uint32_t iters =
+        trace_iters_
+            ? (*trace_iters_)[cta_id]
+            : resolveCtaIterations(k_, seed_, cta_id, launch_salt_);
 
     const uint32_t warps_per_cta = static_cast<uint32_t>(k_.warpsPerCta());
     slot_live_warps_[slot] = warps_per_cta;

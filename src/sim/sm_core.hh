@@ -47,12 +47,16 @@ class SmCore
      * @param max_resident_ctas occupancy limit for this kernel
      * @param cta_iterations optional traced per-CTA trip counts; when
      *        null, trip counts are resolved from the workload seed
+     * @param launch_salt per-launch RNG salt for data-dependent CTA
+     *        work (launch id, or the content hash under content
+     *        seeding)
      */
     SmCore(const pka::silicon::GpuSpec &spec,
            const pka::workload::KernelDescriptor &k, MemoryModel &mem,
            uint64_t workload_seed, uint32_t max_resident_ctas,
            SchedulerPolicy policy = SchedulerPolicy::Lrr,
-           const std::vector<uint32_t> *cta_iterations = nullptr);
+           const std::vector<uint32_t> *cta_iterations = nullptr,
+           uint64_t launch_salt = 0);
 
     /** True if another CTA can be made resident. */
     bool hasFreeSlot() const { return !free_slot_ids_.empty(); }
@@ -98,6 +102,7 @@ class SmCore
     const pka::workload::KernelDescriptor &k_;
     MemoryModel &mem_;
     uint64_t seed_;
+    uint64_t launch_salt_;
 
     std::vector<Warp> warps_;
     std::vector<uint32_t> slot_live_warps_;

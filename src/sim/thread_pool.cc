@@ -1,0 +1,101 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+
+namespace pka::sim
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 0 ? hw : 1;
+    }
+    // Guard against nonsense (e.g. a negative flag value cast to
+    // unsigned) that would otherwise try to spawn billions of threads.
+    size_ = std::min(threads, kMaxThreads);
+    workers_.reserve(size_ - 1);
+    for (unsigned t = 0; t + 1 < size_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Batch *b = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            b = batch_;
+            if (b)
+                ++active_workers_; // pin the batch while we hold `b`
+        }
+        if (!b)
+            continue;
+        runBatch(*b);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            --active_workers_;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+void
+ThreadPool::runBatch(Batch &b)
+{
+    size_t i;
+    while ((i = b.next.fetch_add(1, std::memory_order_relaxed)) < b.n) {
+        b.fn(i);
+        b.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> serial(run_m_);
+    if (size_ == 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch b{fn, n};
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        batch_ = &b;
+        ++generation_;
+    }
+    cv_.notify_all();
+    runBatch(b); // the caller is a worker too
+
+    // The batch may only leave this frame once every index executed AND
+    // no worker still holds a pointer into it.
+    std::unique_lock<std::mutex> lk(m_);
+    batch_ = nullptr; // late wakers see null and go back to sleep
+    cv_done_.wait(lk, [&] {
+        return active_workers_ == 0 &&
+               b.done.load(std::memory_order_acquire) >= b.n;
+    });
+}
+
+} // namespace pka::sim

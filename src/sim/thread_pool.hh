@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small persistent worker pool with a dynamically-scheduled
+ * parallel-for. Workers pull indices from a shared atomic counter, so
+ * load imbalance between tasks (kernels whose simulation cost spans
+ * orders of magnitude) self-balances without static chunking. The pool
+ * makes no ordering promises — callers that need determinism must write
+ * task `i`'s output to slot `i` and reduce serially afterwards, which is
+ * exactly what SimEngine does.
+ */
+
+#ifndef PKA_SIM_THREAD_POOL_HH
+#define PKA_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pka::sim
+{
+
+/**
+ * Fixed-size thread pool. `threads` counts total concurrency including
+ * the calling thread: parallelFor(n, fn) runs on `threads - 1` workers
+ * plus the caller, and a pool of size 1 executes inline with no
+ * synchronization at all (the serial baseline really is serial).
+ */
+class ThreadPool
+{
+  public:
+    /** Upper bound on pool size (guards absurd/overflowed requests). */
+    static constexpr unsigned kMaxThreads = 512;
+
+    /** @param threads total concurrency, clamped to kMaxThreads;
+     *  0 = hardware_concurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + calling thread). */
+    unsigned size() const { return size_; }
+
+    /**
+     * Run fn(i) once for every i in [0, n), distributed across the pool;
+     * blocks until all n calls completed. Concurrent parallelFor calls
+     * from different threads are serialized against each other.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Batch
+    {
+        const std::function<void(size_t)> &fn;
+        size_t n;
+        std::atomic<size_t> next{0}; ///< next index to claim
+        std::atomic<size_t> done{0}; ///< indices fully executed
+    };
+
+    void workerLoop();
+    void runBatch(Batch &b);
+
+    unsigned size_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex m_;
+    std::condition_variable cv_;      ///< wakes workers on a new batch
+    std::condition_variable cv_done_; ///< wakes the caller on completion
+    Batch *batch_ = nullptr;
+    uint64_t generation_ = 0;
+    unsigned active_workers_ = 0; ///< workers holding a pointer to batch_
+    bool stop_ = false;
+
+    std::mutex run_m_; ///< serializes concurrent parallelFor calls
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_THREAD_POOL_HH

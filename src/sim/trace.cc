@@ -17,15 +17,22 @@ using pka::workload::KernelDescriptor;
 
 uint32_t
 resolveCtaIterations(const KernelDescriptor &k, uint64_t workload_seed,
-                     uint64_t cta_id)
+                     uint64_t cta_id, uint64_t launch_salt)
 {
     if (k.ctaWorkCv <= 0.0)
         return k.iterations;
-    Rng crng = Rng::forKey(workload_seed, k.launchId, cta_id);
+    Rng crng = Rng::forKey(workload_seed, launch_salt, cta_id);
     double sigma = std::sqrt(std::log(1.0 + k.ctaWorkCv * k.ctaWorkCv));
     return std::max<uint32_t>(
         1, static_cast<uint32_t>(
                std::lround(k.iterations * crng.jitter(sigma))));
+}
+
+uint32_t
+resolveCtaIterations(const KernelDescriptor &k, uint64_t workload_seed,
+                     uint64_t cta_id)
+{
+    return resolveCtaIterations(k, workload_seed, cta_id, k.launchId);
 }
 
 KernelTrace

@@ -56,9 +56,15 @@ KernelTrace captureTrace(const pka::workload::KernelDescriptor &k,
                          uint64_t workload_seed);
 
 /**
- * The per-CTA iteration count the simulator uses for (k, seed, cta_id);
- * shared between live simulation and trace capture so they agree.
+ * The per-CTA iteration count the simulator uses for (k, seed, cta_id)
+ * under an explicit per-launch RNG salt; shared between live simulation
+ * and trace capture so they agree.
  */
+uint32_t resolveCtaIterations(const pka::workload::KernelDescriptor &k,
+                              uint64_t workload_seed, uint64_t cta_id,
+                              uint64_t launch_salt);
+
+/** Launch-id-salted convenience overload (the historical behaviour). */
 uint32_t resolveCtaIterations(const pka::workload::KernelDescriptor &k,
                               uint64_t workload_seed, uint64_t cta_id);
 

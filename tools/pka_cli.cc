@@ -27,6 +27,7 @@
 #include "core/experiments.hh"
 #include "core/pka.hh"
 #include "core/serialize.hh"
+#include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
@@ -59,6 +60,12 @@ commands:
 common options:
   --gpu volta|turing|ampere   device (default volta)
   --mlperf-scale X            MLPerf launch-count scale (default 0.02)
+  --threads N                 simulation worker threads
+                              (default: hardware concurrency)
+  --no-memo                   disable the kernel-result cache
+  --content-seed              seed stochastic structure from launch
+                              content rather than launch id, so
+                              identical launches share cache entries
 )";
 
 silicon::GpuSpec
@@ -218,11 +225,14 @@ cmdSimulate(const CliArgs &args)
             simulator, w, sel, args.has("pkp") ? &pkp : nullptr);
         std::printf("selection-based simulation (%zu representatives%s):\n"
                     "  projected cycles %.4e, IPC %.1f, DRAM util %.1f%%\n"
-                    "  simulated cycles %.4e (%.1fs host)\n",
+                    "  simulated cycles %.4e (%.2fs wall, %.2fs cpu, "
+                    "%llu cache hits / %llu misses)\n",
                     sel.groups.size(), args.has("pkp") ? ", PKP" : "",
                     proj.projectedCycles, proj.projectedIpc(),
                     proj.projectedDramUtilPct, proj.simulatedCycles,
-                    proj.simulatedWallSeconds);
+                    proj.simulatedWallSeconds, proj.simulatedCpuSeconds,
+                    static_cast<unsigned long long>(proj.cacheHits),
+                    static_cast<unsigned long long>(proj.cacheMisses));
         return 0;
     }
 
@@ -234,10 +244,13 @@ cmdSimulate(const CliArgs &args)
 
     core::FullSimResult fs = core::fullSimulate(simulator, w);
     std::printf("full simulation: %.4e cycles, IPC %.1f, DRAM util "
-                "%.1f%% (%zu launches, %.1fs host, projected %s at "
+                "%.1f%% (%zu launches, %.2fs wall / %.2fs cpu, "
+                "%llu cache hits / %llu misses, projected %s at "
                 "Accel-Sim rates)\n",
                 fs.cycles, fs.ipc(), fs.dramUtilPct, fs.perKernel.size(),
-                fs.wallSeconds,
+                fs.wallSeconds, fs.cpuSeconds,
+                static_cast<unsigned long long>(fs.cacheHits),
+                static_cast<unsigned long long>(fs.cacheMisses),
                 common::humanTime(fs.cycles / core::kSimCyclesPerSecond)
                     .c_str());
     return 0;
@@ -314,7 +327,18 @@ main(int argc, char **argv)
         return 1;
     }
     std::string cmd = argv[1];
-    CliArgs args(argc, argv, 2, {"light", "pkp", "force"});
+    CliArgs args(argc, argv, 2,
+                 {"light", "pkp", "force", "no-memo", "content-seed"});
+
+    double threads = args.getNum("threads", 0);
+    if (threads < 0 || threads != static_cast<double>(
+                                      static_cast<unsigned>(threads)))
+        common::fatal("flag --threads expects a non-negative integer");
+    sim::EngineOptions eo;
+    eo.threads = static_cast<unsigned>(threads);
+    eo.memoize = !args.has("no-memo");
+    eo.contentSeed = args.has("content-seed");
+    sim::SimEngine::configureShared(eo);
 
     if (cmd == "list")
         return cmdList(args);
