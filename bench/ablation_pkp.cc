@@ -67,6 +67,8 @@ runSweep(const sim::GpuSimulator &simulator,
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Ablation: PKP threshold s, window length n, and the "
                   "full-wave constraint");
 

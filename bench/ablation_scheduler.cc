@@ -22,6 +22,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Ablation: warp scheduler (LRR vs GTO)");
 
     auto spec = silicon::voltaV100();

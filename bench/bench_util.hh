@@ -1,7 +1,8 @@
 /**
  * @file
- * Small shared helpers for the benchmark harnesses (banner printing and
- * sorted-series output). Experiment logic lives in pka::core::experiments.
+ * Small shared helpers for the benchmark harnesses (banner printing,
+ * sorted-series output, and PKA_CACHE_DIR wiring). Experiment logic
+ * lives in pka::core::experiments.
  */
 
 #ifndef PKA_BENCH_BENCH_UTIL_HH
@@ -9,11 +10,37 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "sim/engine.hh"
+#include "store/file_store.hh"
+
 namespace pka::bench
 {
+
+/**
+ * Wire the process-wide shared engine to a persistent result store when
+ * PKA_CACHE_DIR is set, so repeated harness runs (and harnesses sharing
+ * kernels) answer cached launches from disk instead of re-simulating.
+ * Call once at the top of main(), before any simulation. No-op when the
+ * variable is unset or empty.
+ */
+inline void
+configureSharedEngineFromEnv()
+{
+    const char *dir = std::getenv("PKA_CACHE_DIR");
+    if (!dir || !*dir)
+        return;
+    // The store must outlive every shared-engine user; a function-local
+    // static lives until process exit.
+    static pka::store::KernelResultStore store{std::string(dir)};
+    pka::sim::EngineOptions eo;
+    eo.store = &store;
+    pka::sim::SimEngine::configureShared(eo);
+    std::fprintf(stderr, "bench: persistent result store at '%s'\n", dir);
+}
 
 /** Print a section banner. */
 inline void

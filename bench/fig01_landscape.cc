@@ -24,6 +24,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Figure 1: silicon vs profiler vs projected simulation "
                   "time (147 workloads, V100)");
 

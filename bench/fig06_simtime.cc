@@ -22,6 +22,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner(
         "Figure 6: simulation time — full simulation vs PKS vs PKA");
 

@@ -21,6 +21,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Figure 7: speedup over full simulation — PKA vs "
                   "TBPoint vs 1B instructions");
 

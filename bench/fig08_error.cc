@@ -21,6 +21,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Figure 8: absolute % IPC error vs silicon — FullSim / "
                   "1B / PKA / TBPoint");
 

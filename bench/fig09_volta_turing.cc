@@ -22,6 +22,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Figure 9: V100-over-RTX2060 speedup — silicon vs full "
                   "simulation vs 1B vs PKA");
 

@@ -23,6 +23,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Figure 10: 80-SM over 40-SM V100 speedup — silicon vs "
                   "full simulation vs 1B vs PKA");
 

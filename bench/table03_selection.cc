@@ -22,6 +22,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Table 3: Principal Kernel Selection output examples "
                   "(target error 5%)");
 

@@ -60,6 +60,8 @@ familyOf(const std::string &suite, const std::string &name)
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Table 4: PKS/PKA error and speedup, silicon and "
                   "simulation (Volta-selected kernels)");
 

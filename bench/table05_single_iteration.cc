@@ -22,6 +22,8 @@ using namespace pka;
 int
 main()
 {
+    bench::configureSharedEngineFromEnv();
+
     bench::banner("Single-iteration scaling (NVArchSim practice) vs "
                   "PKS/PKA on MLPerf ResNet");
 

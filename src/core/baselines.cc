@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "core/pka.hh"
 #include "ml/hierarchical.hh"
 #include "ml/scaler.hh"
+#include "sim/fnv.hh"
+#include "store/journal.hh"
 
 namespace pka::core
 {
@@ -36,6 +40,7 @@ firstNInstructions(const sim::SimEngine &engine,
                    uint64_t instruction_budget)
 {
     BaselineResult res;
+    sim::EngineStats stats;
     double budget = static_cast<double>(instruction_budget);
     for (const auto &k : w.launches) {
         sim::SimJob job;
@@ -43,7 +48,13 @@ firstNInstructions(const sim::SimEngine &engine,
         job.workloadSeed = w.seed;
         job.opts.maxThreadInstructions = static_cast<uint64_t>(
             std::max(1.0, budget - res.simulatedThreadInsts));
-        sim::KernelSimResult r = engine.simulateOne(simulator, job);
+        // Inherently sequential (each budget depends on what already
+        // retired), but engine-routed: identical re-runs hit the memory
+        // cache or the persistent store instead of re-simulating.
+        sim::KernelSimResult r = engine.simulateOne(simulator, job, &stats);
+        res.cacheHits = stats.cacheHits;
+        res.storeHits = stats.storeHits;
+        res.cacheMisses = stats.cacheMisses;
         res.simulatedCycles += static_cast<double>(r.cycles);
         res.simulatedThreadInsts += r.threadInstructions;
         if (r.truncatedByBudget ||
@@ -182,7 +193,8 @@ detectIterationPeriod(const std::vector<std::string> &names)
 SingleIterationResult
 singleIterationBaseline(const sim::SimEngine &engine,
                         const sim::GpuSimulator &simulator,
-                        const Workload &w)
+                        const Workload &w,
+                        const CampaignCheckpoint *checkpoint)
 {
     SingleIterationResult res;
     std::vector<std::string> names;
@@ -202,7 +214,24 @@ singleIterationBaseline(const sim::SimEngine &engine,
         jobs[i].kernel = &w.launches[i];
         jobs[i].workloadSeed = w.seed;
     }
-    for (const auto &r : engine.run(simulator, jobs))
+
+    std::unique_ptr<store::CampaignJournal> journal;
+    if (checkpoint && !checkpoint->dir.empty()) {
+        // The detected period is part of the campaign's identity: a
+        // journal recorded against a different period (e.g. after a
+        // generator change) must never resume.
+        sim::Fnv f;
+        f.u64(campaignKey(simulator, w, engine, "single-iter"));
+        f.u64(period);
+        journal = std::make_unique<store::CampaignJournal>(
+            journalPath(checkpoint->dir, "single-iter", f.h), f.h,
+            jobs.size(), checkpoint->resume);
+    }
+
+    for (const auto &r :
+         runJobsCheckpointed(engine, simulator, jobs, nullptr,
+                             journal.get(),
+                             checkpoint ? checkpoint->chunkLaunches : 0))
         res.simulatedCycles += static_cast<double>(r.cycles);
     res.projectedAppCycles = res.simulatedCycles * res.iterations;
     return res;

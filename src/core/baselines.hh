@@ -27,6 +27,8 @@
 namespace pka::core
 {
 
+struct CampaignCheckpoint;
+
 /** Outcome common to the app-level baselines. */
 struct BaselineResult
 {
@@ -34,6 +36,9 @@ struct BaselineResult
     double simulatedCycles = 0.0;     ///< cycles actually simulated (cost)
     double simulatedThreadInsts = 0.0;
     bool completed = false;           ///< budget never hit (ran everything)
+    uint64_t cacheHits = 0;  ///< launches answered from the memory cache
+    uint64_t storeHits = 0;  ///< launches answered from the disk store
+    uint64_t cacheMisses = 0; ///< launches actually simulated
 };
 
 /**
@@ -124,12 +129,14 @@ struct SingleIterationResult
 /**
  * NVArchSim-style single-iteration scaling: simulate one iteration's
  * launches fully (fanned out across the engine) and multiply by the
- * iteration count.
+ * iteration count. With `checkpoint`, the iteration campaign journals
+ * per-launch completion and can resume (see core/pka.hh).
  */
 SingleIterationResult
 singleIterationBaseline(const sim::SimEngine &engine,
                         const sim::GpuSimulator &simulator,
-                        const pka::workload::Workload &w);
+                        const pka::workload::Workload &w,
+                        const CampaignCheckpoint *checkpoint = nullptr);
 
 /** singleIterationBaseline on the process-wide shared engine. */
 SingleIterationResult

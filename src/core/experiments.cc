@@ -1,7 +1,10 @@
 #include "core/experiments.hh"
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "store/journal.hh"
 
 namespace pka::core
 {
@@ -37,6 +40,14 @@ FullSimResult
 fullSimulate(const sim::SimEngine &engine,
              const sim::GpuSimulator &simulator, const Workload &w)
 {
+    return fullSimulate(engine, simulator, w, nullptr);
+}
+
+FullSimResult
+fullSimulate(const sim::SimEngine &engine,
+             const sim::GpuSimulator &simulator, const Workload &w,
+             const CampaignCheckpoint *checkpoint)
+{
     FullSimResult out;
 
     std::vector<sim::SimJob> jobs(w.launches.size());
@@ -44,9 +55,20 @@ fullSimulate(const sim::SimEngine &engine,
         jobs[i].kernel = &w.launches[i];
         jobs[i].workloadSeed = w.seed;
     }
+
+    std::unique_ptr<store::CampaignJournal> journal;
+    if (checkpoint && !checkpoint->dir.empty()) {
+        uint64_t key = campaignKey(simulator, w, engine, "fullsim");
+        journal = std::make_unique<store::CampaignJournal>(
+            journalPath(checkpoint->dir, "fullsim", key), key,
+            jobs.size(), checkpoint->resume);
+        out.resumedLaunches = journal->resumedCount();
+    }
+
     sim::EngineStats stats;
-    std::vector<sim::KernelSimResult> results =
-        engine.run(simulator, jobs, &stats);
+    std::vector<sim::KernelSimResult> results = runJobsCheckpointed(
+        engine, simulator, jobs, &stats, journal.get(),
+        checkpoint ? checkpoint->chunkLaunches : 0);
 
     // Reduce in launch order — bit-identical for any thread count.
     out.perKernel.reserve(w.launches.size());
@@ -74,7 +96,9 @@ fullSimulate(const sim::SimEngine &engine,
     out.wallSeconds = stats.wallSeconds;
     out.cpuSeconds = stats.cpuSeconds;
     out.cacheHits = stats.cacheHits;
+    out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
+    out.corruptSkipped = stats.corruptSkipped;
     return out;
 }
 

@@ -67,8 +67,11 @@ struct FullSimResult
      * keeps speedup-vs-serial figures (fig06/fig07 axes) comparable.
      */
     double cpuSeconds = 0.0;
-    uint64_t cacheHits = 0;   ///< launches answered from the result cache
+    uint64_t cacheHits = 0;   ///< launches answered from the memory cache
+    uint64_t storeHits = 0;   ///< launches answered from the disk store
     uint64_t cacheMisses = 0; ///< launches actually simulated
+    uint64_t corruptSkipped = 0;  ///< corrupt store records skipped
+    uint64_t resumedLaunches = 0; ///< journaled complete before this run
     std::vector<TBPointKernelStats> perKernel;
 
     double ipc() const
@@ -85,6 +88,18 @@ struct FullSimResult
 FullSimResult fullSimulate(const sim::SimEngine &engine,
                            const sim::GpuSimulator &simulator,
                            const pka::workload::Workload &w);
+
+/**
+ * fullSimulate with journaled checkpointing: launch completion is
+ * recorded in `checkpoint->dir` after every chunk, and with
+ * checkpoint->resume an interrupted campaign restarts from the last
+ * completed launch (completed results return from the engine's
+ * persistent store) with bit-identical aggregates.
+ */
+FullSimResult fullSimulate(const sim::SimEngine &engine,
+                           const sim::GpuSimulator &simulator,
+                           const pka::workload::Workload &w,
+                           const CampaignCheckpoint *checkpoint);
 
 /** fullSimulate on the process-wide shared engine. */
 FullSimResult fullSimulate(const sim::GpuSimulator &simulator,

@@ -1,16 +1,84 @@
 #include "core/pka.hh"
 
+#include <filesystem>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "silicon/profiler.hh"
+#include "sim/fnv.hh"
+#include "store/journal.hh"
 
 namespace pka::core
 {
 
 using pka::workload::Workload;
+
+uint64_t
+campaignKey(const sim::GpuSimulator &simulator, const Workload &w,
+            const sim::SimEngine &engine, const std::string &stage)
+{
+    sim::Fnv f;
+    f.str(stage);
+    f.u64(sim::specContentHash(simulator.spec()));
+    f.u64(w.seed);
+    f.u64(engine.options().contentSeed ? 1 : 0);
+    f.u64(w.launches.size());
+    for (const auto &k : w.launches) {
+        f.u64(k.launchId);
+        f.u64(sim::launchContentHash(k));
+    }
+    return f.h;
+}
+
+std::string
+journalPath(const std::string &dir, const std::string &stage,
+            uint64_t campaign_key)
+{
+    return (std::filesystem::path(dir) /
+            common::strfmt("journal-%s-%016llx.pkj", stage.c_str(),
+                           static_cast<unsigned long long>(campaign_key)))
+        .string();
+}
+
+std::vector<sim::KernelSimResult>
+runJobsCheckpointed(const sim::SimEngine &engine,
+                    const sim::GpuSimulator &simulator,
+                    const std::vector<sim::SimJob> &jobs,
+                    sim::EngineStats *stats,
+                    store::CampaignJournal *journal,
+                    size_t chunk_launches)
+{
+    if (!journal)
+        return engine.run(simulator, jobs, stats);
+    if (chunk_launches == 0)
+        chunk_launches = 256;
+
+    // Every launch still flows through the engine — completed ones come
+    // back from the memory cache or the persistent store, so resuming
+    // costs store reads, not simulation — and results land in job order,
+    // keeping the reduction bit-identical to an uninterrupted run.
+    std::vector<sim::KernelSimResult> results;
+    results.reserve(jobs.size());
+    std::vector<size_t> chunk_indices;
+    for (size_t begin = 0; begin < jobs.size(); begin += chunk_launches) {
+        size_t end = std::min(begin + chunk_launches, jobs.size());
+        std::vector<sim::SimJob> chunk(jobs.begin() + begin,
+                                       jobs.begin() + end);
+        std::vector<sim::KernelSimResult> part =
+            engine.run(simulator, chunk, stats);
+        results.insert(results.end(),
+                       std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+
+        chunk_indices.clear();
+        for (size_t i = begin; i < end; ++i)
+            chunk_indices.push_back(i);
+        journal->markDone(chunk_indices);
+    }
+    return results;
+}
 
 SelectionOutcome
 selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
@@ -58,7 +126,8 @@ selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
 AppProjection
 simulateSelection(const sim::SimEngine &engine,
                   const sim::GpuSimulator &simulator, const Workload &w,
-                  const SelectionOutcome &selection, const PkpOptions *pkp)
+                  const SelectionOutcome &selection, const PkpOptions *pkp,
+                  const CampaignCheckpoint *checkpoint)
 {
     AppProjection out;
 
@@ -83,9 +152,28 @@ simulateSelection(const sim::SimEngine &engine,
         jobs.push_back(std::move(job));
     }
 
+    std::unique_ptr<store::CampaignJournal> journal;
+    if (checkpoint && !checkpoint->dir.empty()) {
+        // The selection (group membership, representatives, stop
+        // policy) is part of the campaign's identity: a journal from a
+        // different selection over the same stream must never resume.
+        const char *stage = pkp ? "pka" : "pks";
+        sim::Fnv f;
+        f.u64(campaignKey(simulator, w, engine, stage));
+        f.u64(pkp ? pkpStopConfigKey(*pkp) : 0);
+        for (const auto &g : selection.groups) {
+            f.u64(g.representative);
+            f.f64(g.weight);
+        }
+        journal = std::make_unique<store::CampaignJournal>(
+            journalPath(checkpoint->dir, stage, f.h), f.h, jobs.size(),
+            checkpoint->resume);
+    }
+
     sim::EngineStats stats;
-    std::vector<sim::KernelSimResult> results =
-        engine.run(simulator, jobs, &stats);
+    std::vector<sim::KernelSimResult> results = runJobsCheckpointed(
+        engine, simulator, jobs, &stats, journal.get(),
+        checkpoint ? checkpoint->chunkLaunches : 0);
 
     // Reduce in group order — bit-identical for any thread count.
     double util_weight = 0.0;
@@ -106,7 +194,9 @@ simulateSelection(const sim::SimEngine &engine,
     out.simulatedWallSeconds = stats.wallSeconds;
     out.simulatedCpuSeconds = stats.cpuSeconds;
     out.cacheHits = stats.cacheHits;
+    out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
+    out.corruptSkipped = stats.corruptSkipped;
     if (util_weight > 0)
         out.projectedDramUtilPct /= util_weight;
     return out;
@@ -123,7 +213,8 @@ simulateSelection(const sim::GpuSimulator &simulator, const Workload &w,
 PkaAppResult
 runPka(const sim::SimEngine &engine, const Workload &traced,
        const Workload &profiled, const silicon::SiliconGpu &gpu,
-       const sim::GpuSimulator &simulator, const PkaOptions &options)
+       const sim::GpuSimulator &simulator, const PkaOptions &options,
+       const CampaignCheckpoint *checkpoint)
 {
     PkaAppResult res;
     if (traced.launches.size() != profiled.launches.size()) {
@@ -136,10 +227,10 @@ runPka(const sim::SimEngine &engine, const Workload &traced,
     }
 
     res.selection = selectKernels(profiled, gpu, options);
-    res.pks =
-        simulateSelection(engine, simulator, traced, res.selection, nullptr);
+    res.pks = simulateSelection(engine, simulator, traced, res.selection,
+                                nullptr, checkpoint);
     res.pka = simulateSelection(engine, simulator, traced, res.selection,
-                                &options.pkp);
+                                &options.pkp, checkpoint);
     return res;
 }
 

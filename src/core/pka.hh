@@ -20,8 +20,64 @@
 #include "sim/simulator.hh"
 #include "workload/kernel.hh"
 
+namespace pka::store
+{
+class CampaignJournal;
+}
+
 namespace pka::core
 {
+
+/**
+ * Checkpoint/resume configuration for long simulation campaigns. When
+ * `dir` is set, each campaign stage keeps an append-only completion
+ * journal there (see store/journal.hh); with resume=true an interrupted
+ * campaign restarts from its last completed launch — completed results
+ * come back from the engine's persistent store, the remainder simulate,
+ * and the launch-order reduction makes the aggregates bit-identical to
+ * an uninterrupted run.
+ */
+struct CampaignCheckpoint
+{
+    /** Journal directory (conventionally the --cache-dir). Empty = off. */
+    std::string dir;
+
+    /** Load a matching journal instead of restarting the campaign. */
+    bool resume = false;
+
+    /** Launches fanned out between journal checkpoints. */
+    size_t chunkLaunches = 256;
+};
+
+/**
+ * Identity hash of one simulation campaign: device spec, launch stream
+ * content and ordering, engine seeding mode, and a stage salt (distinct
+ * stages of one run — PKS vs PKA vs full-sim — journal separately).
+ * Everything that determines the campaign's result bits participates, so
+ * a stale journal can never validate against a different campaign.
+ */
+uint64_t campaignKey(const sim::GpuSimulator &simulator,
+                     const pka::workload::Workload &w,
+                     const sim::SimEngine &engine,
+                     const std::string &stage);
+
+/** Journal file path for one campaign stage under `dir`. */
+std::string journalPath(const std::string &dir, const std::string &stage,
+                        uint64_t campaign_key);
+
+/**
+ * Run `jobs` through the engine in journal-checkpointed chunks: after
+ * each chunk completes, its launch indices are journaled and flushed.
+ * Results are returned in job order (the usual deterministic-reduction
+ * contract). `journal` may be null (plain single fan-out).
+ */
+std::vector<sim::KernelSimResult>
+runJobsCheckpointed(const sim::SimEngine &engine,
+                    const sim::GpuSimulator &simulator,
+                    const std::vector<sim::SimJob> &jobs,
+                    sim::EngineStats *stats,
+                    store::CampaignJournal *journal,
+                    size_t chunk_launches);
 
 /** Whole-methodology options; the paper's defaults everywhere. */
 struct PkaOptions
@@ -74,8 +130,10 @@ struct AppProjection
      * speedup-over-serial comparisons stay honest.
      */
     double simulatedCpuSeconds = 0.0;
-    uint64_t cacheHits = 0;   ///< launches answered from the result cache
+    uint64_t cacheHits = 0;   ///< launches answered from the memory cache
+    uint64_t storeHits = 0;   ///< launches answered from the disk store
     uint64_t cacheMisses = 0; ///< launches actually simulated
+    uint64_t corruptSkipped = 0; ///< corrupt store records skipped
 
     /** Projected whole-app IPC. */
     double projectedIpc() const
@@ -93,12 +151,15 @@ struct AppProjection
  * never leaks between kernels.
  * @param pkp nullptr = run representatives to completion (PKS-only);
  *            non-null = stop on IPC stability and project (full PKA).
+ * @param checkpoint optional journaled checkpoint/resume context.
  */
 AppProjection simulateSelection(const sim::SimEngine &engine,
                                 const sim::GpuSimulator &simulator,
                                 const pka::workload::Workload &w,
                                 const SelectionOutcome &selection,
-                                const PkpOptions *pkp);
+                                const PkpOptions *pkp,
+                                const CampaignCheckpoint *checkpoint =
+                                    nullptr);
 
 /** Same, on the process-wide shared engine. */
 AppProjection simulateSelection(const sim::GpuSimulator &simulator,
@@ -130,13 +191,17 @@ PkaAppResult runPka(const pka::workload::Workload &traced,
                     const sim::GpuSimulator &simulator,
                     const PkaOptions &options = {});
 
-/** runPka with an explicit campaign engine. */
+/**
+ * runPka with an explicit campaign engine and optional checkpointing
+ * (the PKS and PKA stages journal independently).
+ */
 PkaAppResult runPka(const sim::SimEngine &engine,
                     const pka::workload::Workload &traced,
                     const pka::workload::Workload &profiled,
                     const silicon::SiliconGpu &gpu,
                     const sim::GpuSimulator &simulator,
-                    const PkaOptions &options = {});
+                    const PkaOptions &options = {},
+                    const CampaignCheckpoint *checkpoint = nullptr);
 
 } // namespace pka::core
 

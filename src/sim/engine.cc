@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "sim/fnv.hh"
+#include "store/file_store.hh"
 
 namespace pka::sim
 {
@@ -14,28 +15,11 @@ using pka::workload::KernelDescriptor;
 namespace
 {
 
-uint64_t
-hashKey(const KernelSimKey &k)
-{
-    Fnv f;
-    f.u64(k.specHash);
-    f.u64(k.contentHash);
-    f.u64(k.workloadSeed);
-    f.u64(k.seedSalt);
-    f.u64(k.stopConfigKey);
-    f.u64(k.maxThreadInstructions);
-    f.u64(k.maxCycles);
-    f.u64(k.ipcBucketCycles);
-    f.u64(k.ipcWindowBuckets);
-    f.u64(k.scheduler);
-    return f.h;
-}
-
 struct KeyHasher
 {
     size_t operator()(const KernelSimKey &k) const
     {
-        return static_cast<size_t>(hashKey(k));
+        return static_cast<size_t>(kernelSimKeyHash(k));
     }
 };
 
@@ -88,8 +72,7 @@ SimEngine::~SimEngine() = default;
 
 KernelSimResult
 SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
-                  const SimJob &job, double *task_seconds,
-                  bool *was_hit) const
+                  const SimJob &job, TaskOutcome *outcome) const
 {
     PKA_ASSERT(job.kernel != nullptr, "SimJob has no kernel");
     PKA_ASSERT(job.opts.stop == nullptr,
@@ -121,14 +104,36 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
         key.ipcWindowBuckets = opts.ipcWindowBuckets;
         key.scheduler = static_cast<uint8_t>(opts.scheduler);
 
-        shard = &shards_[hashKey(key) % opts_.cacheShards];
-        std::lock_guard<std::mutex> lk(shard->m);
-        auto it = shard->map.find(key);
-        if (it != shard->map.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            *was_hit = true;
-            *task_seconds = 0.0;
-            return it->second;
+        shard = &shards_[kernelSimKeyHash(key) % opts_.cacheShards];
+        {
+            std::lock_guard<std::mutex> lk(shard->m);
+            auto it = shard->map.find(key);
+            if (it != shard->map.end()) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                outcome->memoryHit = 1;
+                return it->second;
+            }
+        }
+
+        // Memory missed; probe the persistent store (outside the shard
+        // lock — disk IO must never serialize the other workers).
+        if (opts_.store) {
+            KernelSimResult r;
+            switch (opts_.store->get(key, &r)) {
+            case store::Lookup::kHit: {
+                storeHits_.fetch_add(1, std::memory_order_relaxed);
+                outcome->storeHit = 1;
+                std::lock_guard<std::mutex> lk(shard->m);
+                shard->map.emplace(key, r);
+                return r;
+            }
+            case store::Lookup::kCorrupt:
+                corrupt_.fetch_add(1, std::memory_order_relaxed);
+                outcome->corruptSkipped = 1;
+                break; // fall through to simulation
+            case store::Lookup::kMiss:
+                break;
+            }
         }
     }
 
@@ -141,17 +146,22 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
     auto t0 = std::chrono::steady_clock::now();
     KernelSimResult r =
         simulator.simulateKernel(*job.kernel, job.workloadSeed, opts);
-    *task_seconds =
+    outcome->seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    *was_hit = false;
 
     if (cacheable) {
         misses_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lk(shard->m);
-        // A racing task may have inserted the same key; results are
-        // deterministic so either copy is the same bits.
-        shard->map.emplace(key, r);
+        {
+            std::lock_guard<std::mutex> lk(shard->m);
+            // A racing task may have inserted the same key; results are
+            // deterministic so either copy is the same bits.
+            shard->map.emplace(key, r);
+        }
+        // Persist after publishing to memory, also outside the lock. A
+        // racing writer of the same key produces identical bytes.
+        if (opts_.store)
+            opts_.store->put(key, r);
     }
     return r;
 }
@@ -162,15 +172,11 @@ SimEngine::run(const GpuSimulator &simulator,
 {
     const uint64_t spec_hash = specContentHash(simulator.spec());
     std::vector<KernelSimResult> results(jobs.size());
-    std::vector<double> task_seconds(jobs.size(), 0.0);
-    std::vector<uint8_t> hit(jobs.size(), 0);
+    std::vector<TaskOutcome> outcomes(jobs.size());
 
     auto t0 = std::chrono::steady_clock::now();
     pool_->parallelFor(jobs.size(), [&](size_t i) {
-        bool h = false;
-        results[i] =
-            runJob(simulator, spec_hash, jobs[i], &task_seconds[i], &h);
-        hit[i] = h ? 1 : 0;
+        results[i] = runJob(simulator, spec_hash, jobs[i], &outcomes[i]);
     });
     double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -181,12 +187,16 @@ SimEngine::run(const GpuSimulator &simulator,
         stats->wallSeconds += wall;
         // Reduce per-task accounting serially in job order so even the
         // diagnostic aggregates are thread-count-invariant.
-        for (size_t i = 0; i < jobs.size(); ++i) {
-            stats->cpuSeconds += task_seconds[i];
-            if (hit[i])
+        for (const TaskOutcome &o : outcomes) {
+            stats->cpuSeconds += o.seconds;
+            if (o.memoryHit)
                 ++stats->cacheHits;
+            else if (o.storeHit)
+                ++stats->storeHits;
             else
                 ++stats->cacheMisses;
+            if (o.corruptSkipped)
+                ++stats->corruptSkipped;
         }
     }
     return results;
@@ -196,22 +206,25 @@ KernelSimResult
 SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
                        EngineStats *stats) const
 {
-    double secs = 0.0;
-    bool h = false;
+    TaskOutcome o;
     auto t0 = std::chrono::steady_clock::now();
     KernelSimResult r =
-        runJob(simulator, specContentHash(simulator.spec()), job, &secs, &h);
+        runJob(simulator, specContentHash(simulator.spec()), job, &o);
     if (stats) {
         ++stats->launches;
         stats->wallSeconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
                 .count();
-        stats->cpuSeconds += secs;
-        if (h)
+        stats->cpuSeconds += o.seconds;
+        if (o.memoryHit)
             ++stats->cacheHits;
+        else if (o.storeHit)
+            ++stats->storeHits;
         else
             ++stats->cacheMisses;
+        if (o.corruptSkipped)
+            ++stats->corruptSkipped;
     }
     return r;
 }
@@ -235,7 +248,9 @@ SimEngine::clearCache()
         shards_[s].map.clear();
     }
     hits_.store(0);
+    storeHits_.store(0);
     misses_.store(0);
+    corrupt_.store(0);
 }
 
 namespace

@@ -23,6 +23,11 @@
  * `EngineOptions::contentSeed`, seeding becomes content-based instead:
  * identical launches are bit-identical by construction and memoization
  * turns O(launches) campaigns into O(distinct kernels).
+ *
+ * An optional persistent store (EngineOptions::store) extends the same
+ * contract across processes: lookups go memory -> disk -> simulate, every
+ * simulated result is persisted, and corrupt or key-mismatched records
+ * are skipped (counted in EngineStats::corruptSkipped), never served.
  */
 
 #ifndef PKA_SIM_ENGINE_HH
@@ -36,8 +41,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/fnv.hh"
 #include "sim/simulator.hh"
 #include "sim/thread_pool.hh"
+
+namespace pka::store
+{
+class KernelResultStore;
+}
 
 namespace pka::sim
 {
@@ -50,6 +61,14 @@ struct EngineOptions
 
     /** Memoize kernel results in the content-addressed cache. */
     bool memoize = true;
+
+    /**
+     * Optional persistent result store probed *under* the in-memory
+     * cache (memory -> disk -> simulate) and populated on every miss,
+     * so warm re-runs across processes collapse to store reads. Not
+     * owned; must outlive the engine. nullptr = in-memory only.
+     */
+    const store::KernelResultStore *store = nullptr;
 
     /**
      * Seed per-launch RNG streams from launch *content* instead of
@@ -66,18 +85,21 @@ struct EngineOptions
 /** Aggregate accounting for one engine run. */
 struct EngineStats
 {
-    uint64_t launches = 0;    ///< jobs submitted
-    uint64_t cacheHits = 0;   ///< jobs answered from the cache
-    uint64_t cacheMisses = 0; ///< jobs actually simulated
-    double wallSeconds = 0.0; ///< host wall-clock time of the run
-    double cpuSeconds = 0.0;  ///< summed per-task simulation time
+    uint64_t launches = 0;       ///< jobs submitted
+    uint64_t cacheHits = 0;      ///< jobs answered from the memory cache
+    uint64_t storeHits = 0;      ///< jobs answered from the disk store
+    uint64_t cacheMisses = 0;    ///< jobs actually simulated
+    uint64_t corruptSkipped = 0; ///< store records rejected and skipped
+    double wallSeconds = 0.0;    ///< host wall-clock time of the run
+    double cpuSeconds = 0.0;     ///< summed per-task simulation time
 
-    /** Cache hit rate in percent (0 when nothing was cacheable). */
+    /** Memory+store hit rate in percent (0 when nothing was cacheable). */
     double hitRatePct() const
     {
-        uint64_t total = cacheHits + cacheMisses;
+        uint64_t hits = cacheHits + storeHits;
+        uint64_t total = hits + cacheMisses;
         return total == 0 ? 0.0
-                          : 100.0 * static_cast<double>(cacheHits) /
+                          : 100.0 * static_cast<double>(hits) /
                                 static_cast<double>(total);
     }
 };
@@ -117,6 +139,28 @@ struct KernelSimKey
 };
 
 /**
+ * 64-bit hash of a cache key. Inline so the disk store can *name*
+ * records by it without linking the engine; the store still verifies the
+ * full key echo on read, so this hash is an address, never an identity.
+ */
+inline uint64_t
+kernelSimKeyHash(const KernelSimKey &k)
+{
+    Fnv f;
+    f.u64(k.specHash);
+    f.u64(k.contentHash);
+    f.u64(k.workloadSeed);
+    f.u64(k.seedSalt);
+    f.u64(k.stopConfigKey);
+    f.u64(k.maxThreadInstructions);
+    f.u64(k.maxCycles);
+    f.u64(k.ipcBucketCycles);
+    f.u64(k.ipcWindowBuckets);
+    f.u64(k.scheduler);
+    return f.h;
+}
+
+/**
  * Parallel, memoizing campaign engine. Thread-safe: run() may be called
  * from multiple threads (runs serialize on the pool) and the cache is
  * internally sharded. One engine can serve simulators of different
@@ -151,11 +195,17 @@ class SimEngine
                                 const SimJob &job,
                                 EngineStats *stats = nullptr) const;
 
-    /** Cumulative cache hits since construction/clearCache(). */
+    /** Cumulative memory-cache hits since construction/clearCache(). */
     uint64_t cacheHits() const { return hits_.load(); }
+
+    /** Cumulative disk-store hits since construction/clearCache(). */
+    uint64_t storeHits() const { return storeHits_.load(); }
 
     /** Cumulative cache misses since construction/clearCache(). */
     uint64_t cacheMisses() const { return misses_.load(); }
+
+    /** Corrupt store records skipped since construction/clearCache(). */
+    uint64_t corruptSkipped() const { return corrupt_.load(); }
 
     /** Distinct results currently cached. */
     size_t cacheSize() const;
@@ -179,15 +229,26 @@ class SimEngine
   private:
     struct Shard;
 
+    /** Where one task's answer came from, for per-run accounting. */
+    struct TaskOutcome
+    {
+        double seconds = 0.0;     ///< simulation time (0 on any hit)
+        uint8_t memoryHit = 0;    ///< answered from the in-memory cache
+        uint8_t storeHit = 0;     ///< answered from the disk store
+        uint8_t corruptSkipped = 0; ///< a corrupt store record was skipped
+    };
+
     KernelSimResult runJob(const GpuSimulator &simulator,
                            uint64_t spec_hash, const SimJob &job,
-                           double *task_seconds, bool *was_hit) const;
+                           TaskOutcome *outcome) const;
 
     EngineOptions opts_;
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<Shard[]> shards_;
     mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> storeHits_{0};
     mutable std::atomic<uint64_t> misses_{0};
+    mutable std::atomic<uint64_t> corrupt_{0};
 };
 
 /** Content hash of a device spec (every timing-relevant field). */

@@ -1,0 +1,51 @@
+#include "store/crc32.hh"
+
+namespace pka::store
+{
+
+namespace
+{
+
+/** Byte-wise lookup table, built once on first use. */
+struct Crc32Table
+{
+    uint32_t t[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+const Crc32Table &
+table()
+{
+    static const Crc32Table t;
+    return t;
+}
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *p, size_t n)
+{
+    const auto *b = static_cast<const unsigned char *>(p);
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    const Crc32Table &tab = table();
+    for (size_t i = 0; i < n; ++i)
+        c = tab.t[(c ^ b[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const void *p, size_t n)
+{
+    return crc32Update(0, p, n);
+}
+
+} // namespace pka::store

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+ * Guards every on-disk store record against torn writes and bit rot; the
+ * store treats a CRC mismatch as "record absent", never as an error.
+ */
+
+#ifndef PKA_STORE_CRC32_HH
+#define PKA_STORE_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pka::store
+{
+
+/** CRC-32 of `n` bytes starting at `p` (initial value 0). */
+uint32_t crc32(const void *p, size_t n);
+
+/** Incrementally extend a previous crc32() value with more bytes. */
+uint32_t crc32Update(uint32_t crc, const void *p, size_t n);
+
+} // namespace pka::store
+
+#endif // PKA_STORE_CRC32_HH

@@ -1,0 +1,171 @@
+#include "store/file_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+#include "store/record.hh"
+
+namespace fs = std::filesystem;
+
+namespace pka::store
+{
+
+using pka::common::strfmt;
+using pka::common::warn;
+
+namespace
+{
+
+/** 16-hex-digit lowercase rendering of a 64-bit hash. */
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+} // namespace
+
+KernelResultStore::KernelResultStore(std::string root)
+    : root_(std::move(root))
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / "objects", ec);
+    if (!ec)
+        fs::create_directories(fs::path(root_) / "tmp", ec);
+    if (ec)
+        pka::common::fatal(strfmt("cannot create result store at '%s': %s",
+                                  root_.c_str(), ec.message().c_str()));
+}
+
+std::string
+KernelResultStore::recordPath(const sim::KernelSimKey &key) const
+{
+    std::string h = hex16(sim::kernelSimKeyHash(key));
+    return (fs::path(root_) / "objects" / h.substr(0, 2) / (h + ".pkr"))
+        .string();
+}
+
+Lookup
+KernelResultStore::get(const sim::KernelSimKey &key,
+                       sim::KernelSimResult *out) const
+{
+    std::string path = recordPath(key);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        return Lookup::kMiss;
+    }
+    // Over-read by one byte so a record with trailing junk fails the
+    // size check instead of validating its prefix.
+    std::string bytes(kRecordSize + 1, '\0');
+    is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    size_t got = static_cast<size_t>(is.gcount());
+    stats_.bytesRead.fetch_add(got, std::memory_order_relaxed);
+
+    switch (decodeRecord(bytes.data(), got, key, out)) {
+    case DecodeStatus::kOk:
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        return Lookup::kHit;
+    case DecodeStatus::kKeyMismatch:
+        // A 64-bit-hash collision (or a record keyed under an older
+        // schema): not our result, so it is simply not a hit.
+        stats_.keyMismatches.fetch_add(1, std::memory_order_relaxed);
+        warn(strfmt("result store: key echo mismatch in '%s' (hash "
+                    "collision or schema drift); treating as a miss",
+                    path.c_str()));
+        return Lookup::kMiss;
+    case DecodeStatus::kCorrupt:
+    default:
+        stats_.corruptSkipped.fetch_add(1, std::memory_order_relaxed);
+        warn(strfmt("result store: skipping corrupt record '%s' "
+                    "(%zu bytes)",
+                    path.c_str(), got));
+        return Lookup::kCorrupt;
+    }
+}
+
+void
+KernelResultStore::put(const sim::KernelSimKey &key,
+                       const sim::KernelSimResult &result) const
+{
+    std::string bytes = encodeRecord(key, result);
+    std::string final_path = recordPath(key);
+
+    std::error_code ec;
+    fs::create_directories(fs::path(final_path).parent_path(), ec);
+    if (ec) {
+        stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
+        warn(strfmt("result store: cannot create shard dir for '%s': %s",
+                    final_path.c_str(), ec.message().c_str()));
+        return;
+    }
+
+    // Unique temp name per (store, write): concurrent writers never
+    // share a staging file, and rename() is atomic within the store's
+    // filesystem.
+    uint64_t n = tempCounter_.fetch_add(1, std::memory_order_relaxed);
+    fs::path tmp = fs::path(root_) / "tmp" /
+                   strfmt("%s.%llu.tmp",
+                          fs::path(final_path).stem().string().c_str(),
+                          static_cast<unsigned long long>(n));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (os)
+            os.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+        if (!os) {
+            stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
+            warn(strfmt("result store: cannot write '%s'",
+                        tmp.string().c_str()));
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+        stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
+        warn(strfmt("result store: cannot publish '%s': %s",
+                    final_path.c_str(), ec.message().c_str()));
+        fs::remove(tmp, ec);
+        return;
+    }
+    stats_.puts.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytesWritten.fetch_add(bytes.size(),
+                                  std::memory_order_relaxed);
+}
+
+uint64_t
+KernelResultStore::recordCount() const
+{
+    uint64_t count = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root_) / "objects", ec);
+    if (ec)
+        return 0;
+    for (const auto &entry : it)
+        if (entry.is_regular_file(ec) && entry.path().extension() == ".pkr")
+            ++count;
+    return count;
+}
+
+uint64_t
+KernelResultStore::recordBytes() const
+{
+    uint64_t bytes = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root_) / "objects", ec);
+    if (ec)
+        return 0;
+    for (const auto &entry : it)
+        if (entry.is_regular_file(ec) && entry.path().extension() == ".pkr")
+            bytes += entry.file_size(ec);
+    return bytes;
+}
+
+} // namespace pka::store

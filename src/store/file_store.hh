@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The persistent content-addressed kernel-result store. One store maps a
+ * KernelSimKey to a KernelSimResult through fixed-size binary records on
+ * disk:
+ *
+ *   <root>/objects/<hh>/<hash16>.pkr   — hh = first hex byte of the key
+ *                                        hash (256-way directory shard)
+ *   <root>/tmp/                        — staging area for atomic writes
+ *
+ * Records are written to a unique temp file and renamed into place, so a
+ * concurrent reader sees either the old record or the complete new one,
+ * never a torn write; racing writers of the same key produce identical
+ * bytes (results are deterministic), so last-rename-wins is safe. Reads
+ * re-verify everything (size, CRC, full key echo — see record.hh): a
+ * corrupt or mismatched record is a warned-once miss, never fatal.
+ *
+ * Thread-safe: lookups and insertions may run concurrently from every
+ * engine pool worker. The store sits *under* SimEngine's in-memory cache
+ * — the engine probes memory first, then disk, then simulates — so warm
+ * re-runs of whole campaigns collapse to store reads.
+ */
+
+#ifndef PKA_STORE_FILE_STORE_HH
+#define PKA_STORE_FILE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hh"
+#include "sim/simulator.hh"
+#include "store/stats.hh"
+
+namespace pka::store
+{
+
+/** Outcome of one disk lookup. */
+enum class Lookup
+{
+    kHit,     ///< valid record, key echo matched
+    kMiss,    ///< no record on disk (or a collided record for another key)
+    kCorrupt, ///< record present but failed validation (skipped)
+};
+
+/** Content-addressed on-disk result store rooted at one directory. */
+class KernelResultStore
+{
+  public:
+    /**
+     * Open (creating directories as needed) a store rooted at `root`.
+     * fatal() when the root cannot be created — a user-supplied
+     * --cache-dir that cannot exist is a configuration error.
+     */
+    explicit KernelResultStore(std::string root);
+
+    KernelResultStore(const KernelResultStore &) = delete;
+    KernelResultStore &operator=(const KernelResultStore &) = delete;
+
+    /** The store's root directory. */
+    const std::string &root() const { return root_; }
+
+    /**
+     * Look `key` up on disk. On kHit fills `*out`; kCorrupt means a
+     * record existed but was rejected (already warned and counted).
+     */
+    Lookup get(const sim::KernelSimKey &key,
+               sim::KernelSimResult *out) const;
+
+    /**
+     * Persist `result` under `key` (atomic write-to-temp-then-rename).
+     * Best-effort: a failed write warns and counts, never aborts the
+     * campaign.
+     */
+    void put(const sim::KernelSimKey &key,
+             const sim::KernelSimResult &result) const;
+
+    /** Counters snapshot (hits/misses/corrupt/puts/bytes). */
+    StoreStatsSnapshot stats() const { return stats_.snapshot(); }
+
+    /** Number of record files currently on disk (walks the tree). */
+    uint64_t recordCount() const;
+
+    /** Total bytes of record files currently on disk. */
+    uint64_t recordBytes() const;
+
+  private:
+    std::string recordPath(const sim::KernelSimKey &key) const;
+
+    std::string root_;
+    mutable StoreStats stats_;
+    mutable std::atomic<uint64_t> tempCounter_{0};
+};
+
+} // namespace pka::store
+
+#endif // PKA_STORE_FILE_STORE_HH

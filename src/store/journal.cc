@@ -1,0 +1,135 @@
+#include "store/journal.hh"
+
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pka::store
+{
+
+using pka::common::strfmt;
+using pka::common::warn;
+
+namespace
+{
+
+constexpr const char *kMagicLine = "# pka-journal v1";
+
+} // namespace
+
+CampaignJournal::CampaignJournal(std::string path, uint64_t campaign_key,
+                                 size_t launches, bool resume)
+    : path_(std::move(path)), done_(launches, 0)
+{
+    if (resume && loadExisting(campaign_key)) {
+        resumedCount_ = doneCount_;
+        appendFile_ = std::fopen(path_.c_str(), "a");
+        if (!appendFile_)
+            warn(strfmt("campaign journal: cannot reopen '%s' for "
+                        "append; progress will not be checkpointed",
+                        path_.c_str()));
+        return;
+    }
+    startFresh(campaign_key);
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (appendFile_)
+        std::fclose(appendFile_);
+}
+
+bool
+CampaignJournal::loadExisting(uint64_t campaign_key)
+{
+    std::ifstream is(path_);
+    if (!is)
+        return false; // nothing to resume — silently start fresh
+
+    auto reject = [&](const std::string &why) {
+        warn(strfmt("campaign journal '%s': %s; restarting the campaign "
+                    "from scratch",
+                    path_.c_str(), why.c_str()));
+        std::fill(done_.begin(), done_.end(), 0);
+        doneCount_ = 0;
+        return false;
+    };
+
+    std::string line;
+    if (!std::getline(is, line) || line != kMagicLine)
+        return reject("not a pka journal (missing magic header)");
+
+    uint64_t key = 0;
+    if (!std::getline(is, line) ||
+        std::sscanf(line.c_str(), "campaign,%" SCNx64, &key) != 1)
+        return reject("malformed campaign-key line");
+    if (key != campaign_key)
+        return reject(strfmt("campaign key %016" PRIx64
+                             " does not match this run's %016" PRIx64,
+                             key, campaign_key));
+
+    unsigned long long launches = 0;
+    if (!std::getline(is, line) ||
+        std::sscanf(line.c_str(), "launches,%llu", &launches) != 1 ||
+        launches != static_cast<unsigned long long>(done_.size()))
+        return reject("launch count does not match this campaign");
+
+    // Entry lines. A torn final line (the crash that interrupted the
+    // previous run) or any other garbage ends the readable prefix — the
+    // entries before it are still trusted.
+    while (std::getline(is, line)) {
+        unsigned long long idx = 0;
+        if (std::sscanf(line.c_str(), "done,%llu", &idx) != 1 ||
+            idx >= static_cast<unsigned long long>(done_.size())) {
+            warn(strfmt("campaign journal '%s': ignoring unreadable "
+                        "tail starting at '%.32s'",
+                        path_.c_str(), line.c_str()));
+            break;
+        }
+        if (!done_[idx]) {
+            done_[idx] = 1;
+            ++doneCount_;
+        }
+    }
+    return true;
+}
+
+void
+CampaignJournal::startFresh(uint64_t campaign_key)
+{
+    std::fill(done_.begin(), done_.end(), 0);
+    doneCount_ = 0;
+    appendFile_ = std::fopen(path_.c_str(), "w");
+    if (!appendFile_) {
+        warn(strfmt("campaign journal: cannot create '%s'; progress "
+                    "will not be checkpointed",
+                    path_.c_str()));
+        return;
+    }
+    std::fprintf(appendFile_, "%s\ncampaign,%016" PRIx64 "\n"
+                              "launches,%zu\n",
+                 kMagicLine, campaign_key, done_.size());
+    std::fflush(appendFile_);
+}
+
+void
+CampaignJournal::markDone(const std::vector<size_t> &indices)
+{
+    bool wrote = false;
+    for (size_t idx : indices) {
+        if (idx >= done_.size() || done_[idx])
+            continue;
+        done_[idx] = 1;
+        ++doneCount_;
+        if (appendFile_) {
+            std::fprintf(appendFile_, "done,%zu\n", idx);
+            wrote = true;
+        }
+    }
+    if (wrote)
+        std::fflush(appendFile_);
+}
+
+} // namespace pka::store

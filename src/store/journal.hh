@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Append-only campaign checkpoint journal. A long campaign (fullSimulate
+ * over an MLPerf-scale stream, a PKS/PKA selection sweep) journals each
+ * completed launch index; an interrupted run reopened with resume=true
+ * learns exactly which launches already completed, and — because every
+ * completed launch's result is in the content-addressed store and the
+ * reduction always runs in launch order — restarts from the last
+ * completed launch with bit-identical aggregates.
+ *
+ * File format (line-oriented text, flushed after every checkpoint):
+ *
+ *   # pka-journal v1
+ *   campaign,<16-hex campaign key>
+ *   launches,<count>
+ *   done,<index>
+ *   ...
+ *
+ * The campaign key hashes everything that determines the campaign's
+ * results (device spec, launch stream content, engine seeding mode, stop
+ * policy), so a journal can never resume a *different* campaign: on any
+ * mismatch — or any malformed content, e.g. a line torn by the crash
+ * that interrupted the run — the journal warns and starts fresh rather
+ * than failing.
+ */
+
+#ifndef PKA_STORE_JOURNAL_HH
+#define PKA_STORE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pka::store
+{
+
+/** Per-launch completion ledger for one campaign. */
+class CampaignJournal
+{
+  public:
+    /**
+     * Open the journal at `path` for a campaign of `launches` launches
+     * identified by `campaignKey`. With resume=true a matching existing
+     * journal is loaded (completed() reports its entries) and appended
+     * to; otherwise, or on key/count mismatch or corruption, the journal
+     * restarts empty. Opening never fails fatally: an unwritable path
+     * degrades to a warned no-op journal.
+     */
+    CampaignJournal(std::string path, uint64_t campaignKey,
+                    size_t launches, bool resume);
+    ~CampaignJournal();
+
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    /** Completion bitmap, indexed by launch index. */
+    const std::vector<uint8_t> &completed() const { return done_; }
+
+    /** True when `index` was journaled as completed. */
+    bool isDone(size_t index) const
+    {
+        return index < done_.size() && done_[index] != 0;
+    }
+
+    /** Number of launches journaled as completed. */
+    size_t completedCount() const { return doneCount_; }
+
+    /** Launches journaled as completed before this run (resume credit). */
+    size_t resumedCount() const { return resumedCount_; }
+
+    /**
+     * Journal `indices` as completed and flush, so a crash immediately
+     * after still finds them on resume. Already-done indices are
+     * ignored.
+     */
+    void markDone(const std::vector<size_t> &indices);
+
+    /** The journal file path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    bool loadExisting(uint64_t campaign_key);
+    void startFresh(uint64_t campaign_key);
+
+    std::string path_;
+    std::vector<uint8_t> done_;
+    size_t doneCount_ = 0;
+    size_t resumedCount_ = 0;
+    std::FILE *appendFile_ = nullptr;
+};
+
+} // namespace pka::store
+
+#endif // PKA_STORE_JOURNAL_HH

@@ -1,0 +1,176 @@
+#include "store/record.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "store/crc32.hh"
+
+namespace pka::store
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'P', 'K', 'R', '1'};
+constexpr uint32_t kVersion = 1;
+
+/** Fixed-width append-only writer over a preallocated byte string. */
+struct Writer
+{
+    std::string out;
+
+    void bytes(const void *p, size_t n)
+    {
+        out.append(static_cast<const char *>(p), n);
+    }
+    void u32(uint32_t v) { bytes(&v, sizeof v); }
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void f64(double v) { bytes(&v, sizeof v); }
+};
+
+/** Bounds-checked reader; `ok` latches false on any over-read. */
+struct Reader
+{
+    const unsigned char *p;
+    size_t left;
+    bool ok = true;
+
+    void bytes(void *dst, size_t n)
+    {
+        if (n > left) {
+            ok = false;
+            std::memset(dst, 0, n);
+            return;
+        }
+        std::memcpy(dst, p, n);
+        p += n;
+        left -= n;
+    }
+    uint32_t u32()
+    {
+        uint32_t v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+    uint64_t u64()
+    {
+        uint64_t v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+    double f64()
+    {
+        double v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+};
+
+void
+writeKey(Writer &w, const sim::KernelSimKey &k)
+{
+    w.u64(k.specHash);
+    w.u64(k.contentHash);
+    w.u64(k.workloadSeed);
+    w.u64(k.seedSalt);
+    w.u64(k.stopConfigKey);
+    w.u64(k.maxThreadInstructions);
+    w.u64(k.maxCycles);
+    w.u32(k.ipcBucketCycles);
+    w.u32(k.ipcWindowBuckets);
+    w.u32(k.scheduler);
+}
+
+sim::KernelSimKey
+readKey(Reader &r)
+{
+    sim::KernelSimKey k;
+    k.specHash = r.u64();
+    k.contentHash = r.u64();
+    k.workloadSeed = r.u64();
+    k.seedSalt = r.u64();
+    k.stopConfigKey = r.u64();
+    k.maxThreadInstructions = r.u64();
+    k.maxCycles = r.u64();
+    k.ipcBucketCycles = r.u32();
+    k.ipcWindowBuckets = r.u32();
+    k.scheduler = static_cast<uint8_t>(r.u32());
+    return k;
+}
+
+} // namespace
+
+std::string
+encodeRecord(const sim::KernelSimKey &key,
+             const sim::KernelSimResult &result)
+{
+    PKA_ASSERT(result.trace.empty(),
+               "traced results are not cacheable and never reach the "
+               "store codec");
+    Writer w;
+    w.out.reserve(kRecordSize);
+    w.bytes(kMagic, sizeof kMagic);
+    w.u32(kVersion);
+    writeKey(w, key);
+    w.u64(result.cycles);
+    w.f64(result.threadInstructions);
+    w.u64(result.warpInstructions);
+    w.u64(result.finishedCtas);
+    w.u64(result.inFlightCtas);
+    w.u64(result.totalCtas);
+    w.u64(result.waveSize);
+    w.u64(result.expectedWarpInstructions);
+    w.u32(result.stoppedEarly ? 1 : 0);
+    w.u32(result.truncatedByBudget ? 1 : 0);
+    w.f64(result.dramUtilPct);
+    w.f64(result.l2MissPct);
+    w.u32(crc32(w.out.data(), w.out.size()));
+    PKA_ASSERT(w.out.size() == kRecordSize,
+               "record codec drifted from kRecordSize");
+    return std::move(w.out);
+}
+
+DecodeStatus
+decodeRecord(const void *data, size_t size, const sim::KernelSimKey &want,
+             sim::KernelSimResult *out)
+{
+    if (size != kRecordSize)
+        return DecodeStatus::kCorrupt;
+
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, bytes + kRecordSize - 4, 4);
+    if (crc32(bytes, kRecordSize - 4) != stored_crc)
+        return DecodeStatus::kCorrupt;
+
+    Reader r{bytes, kRecordSize - 4};
+    char magic[4];
+    r.bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        return DecodeStatus::kCorrupt;
+    if (r.u32() != kVersion)
+        return DecodeStatus::kCorrupt;
+
+    if (readKey(r) != want)
+        return DecodeStatus::kKeyMismatch;
+
+    sim::KernelSimResult res;
+    res.cycles = r.u64();
+    res.threadInstructions = r.f64();
+    res.warpInstructions = r.u64();
+    res.finishedCtas = r.u64();
+    res.inFlightCtas = r.u64();
+    res.totalCtas = r.u64();
+    res.waveSize = r.u64();
+    res.expectedWarpInstructions = r.u64();
+    res.stoppedEarly = r.u32() != 0;
+    res.truncatedByBudget = r.u32() != 0;
+    res.dramUtilPct = r.f64();
+    res.l2MissPct = r.f64();
+    if (!r.ok || r.left != 0)
+        return DecodeStatus::kCorrupt;
+    *out = std::move(res);
+    return DecodeStatus::kOk;
+}
+
+} // namespace pka::store

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * CSV-dialect hardening tests: csvEscape/csvSplit round-trips over
+ * adversarial field content (embedded quotes, commas, newlines), and
+ * readSelection's behaviour on truncated or malformed input — every
+ * truncation point must fatal() with a diagnostic, never return a
+ * silently partial selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pka.hh"
+#include "core/serialize.hh"
+
+using pka::core::csvEscape;
+using pka::core::csvSplit;
+using pka::core::readSelection;
+using pka::core::writeSelection;
+
+namespace
+{
+
+/** Join escaped fields into one CSV line. */
+std::string
+joinCsv(const std::vector<std::string> &fields)
+{
+    std::string line;
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            line += ',';
+        line += csvEscape(fields[i]);
+    }
+    return line;
+}
+
+/** A selection with enough structure to exercise every row type. */
+pka::core::SelectionOutcome
+sampleSelection()
+{
+    pka::core::SelectionOutcome sel;
+    sel.usedTwoLevel = true;
+    sel.detailedCount = 100;
+    sel.profilingCostSec = 12.5;
+    sel.ensembleUnanimity = 0.875;
+    for (uint32_t g = 0; g < 3; ++g) {
+        pka::core::KernelGroup grp;
+        grp.representative = g * 10;
+        grp.representativeCycles = 1000 + g;
+        grp.weight = 2.5 + g;
+        grp.members = {g * 10, g * 10 + 1, g * 10 + 2};
+        sel.groups.push_back(std::move(grp));
+    }
+    return sel;
+}
+
+} // namespace
+
+TEST(CsvDialect, PlainFieldsPassThroughUnquoted)
+{
+    EXPECT_EQ(csvEscape("gemm_128"), "gemm_128");
+    EXPECT_EQ(csvEscape(""), "");
+    auto f = csvSplit("a,b,,d");
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[2], "");
+    EXPECT_EQ(f[3], "d");
+}
+
+TEST(CsvDialect, RoundTripsEmbeddedQuotesCommasAndNewlines)
+{
+    // Kernel names are attacker-ish input: templated C++ symbols carry
+    // commas, and nothing stops a quote or newline from appearing.
+    const std::vector<std::string> nasty = {
+        "kernel<float, 4>",
+        "say \"cheese\"",
+        "line1\nline2",
+        "\"",
+        "\"\"",
+        ",,,",
+        "trailing,",
+        ",leading",
+        "mix\"of,every\nthing\"",
+        "plain",
+        "",
+    };
+    for (const auto &field : nasty) {
+        auto f = csvSplit(csvEscape(field));
+        ASSERT_EQ(f.size(), 1u) << "field '" << field << "'";
+        EXPECT_EQ(f[0], field);
+    }
+
+    // And as a multi-field row.
+    auto f = csvSplit(joinCsv(nasty));
+    ASSERT_EQ(f.size(), nasty.size());
+    for (size_t i = 0; i < nasty.size(); ++i)
+        EXPECT_EQ(f[i], nasty[i]) << "field " << i;
+}
+
+TEST(CsvDialect, SplitHonoursQuotedCommas)
+{
+    auto f = csvSplit("1,\"a,b\",2");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], "1");
+    EXPECT_EQ(f[1], "a,b");
+    EXPECT_EQ(f[2], "2");
+
+    // Doubled quote inside a quoted field is one literal quote.
+    f = csvSplit("\"he said \"\"hi\"\"\",x");
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[0], "he said \"hi\"");
+    EXPECT_EQ(f[1], "x");
+}
+
+TEST(Selection, WriteReadRoundTrip)
+{
+    pka::core::SelectionOutcome sel = sampleSelection();
+    std::ostringstream os;
+    writeSelection(os, sel);
+    std::istringstream is(os.str());
+    pka::core::SelectionOutcome back = readSelection(is);
+
+    EXPECT_EQ(back.usedTwoLevel, sel.usedTwoLevel);
+    EXPECT_EQ(back.detailedCount, sel.detailedCount);
+    EXPECT_EQ(back.profilingCostSec, sel.profilingCostSec);
+    EXPECT_EQ(back.ensembleUnanimity, sel.ensembleUnanimity);
+    ASSERT_EQ(back.groups.size(), sel.groups.size());
+    for (size_t g = 0; g < sel.groups.size(); ++g) {
+        EXPECT_EQ(back.groups[g].representative,
+                  sel.groups[g].representative);
+        EXPECT_EQ(back.groups[g].representativeCycles,
+                  sel.groups[g].representativeCycles);
+        EXPECT_EQ(back.groups[g].weight, sel.groups[g].weight);
+        EXPECT_EQ(back.groups[g].members, sel.groups[g].members);
+    }
+}
+
+TEST(SelectionDeathTest, EveryTruncationPointIsFatal)
+{
+    // Serialize once, then replay every strictly shorter line-prefix:
+    // readSelection must fatal() on each, never return a partial
+    // selection as if it were complete.
+    std::ostringstream os;
+    writeSelection(os, sampleSelection());
+    std::vector<std::string> lines;
+    {
+        std::istringstream is(os.str());
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 3u);
+
+    for (size_t keep = 0; keep < lines.size(); ++keep) {
+        std::string truncated;
+        for (size_t i = 0; i < keep; ++i)
+            truncated += lines[i] + "\n";
+        std::istringstream is(truncated);
+        EXPECT_DEATH(readSelection(is), "truncated|magic")
+            << "kept " << keep << " of " << lines.size() << " lines";
+    }
+}
+
+TEST(SelectionDeathTest, MalformedContentIsFatal)
+{
+    std::istringstream not_magic("something else\n");
+    EXPECT_DEATH(readSelection(not_magic), "magic");
+
+    std::istringstream wrong_key(
+        "# pka-selection v1\nnot_two_level,1\n");
+    EXPECT_DEATH(readSelection(wrong_key), "expected 'two_level'");
+
+    // Valid prefix, garbage group row.
+    std::ostringstream os;
+    writeSelection(os, sampleSelection());
+    std::string text = os.str();
+    std::string::size_type last = text.rfind("\n", text.size() - 2);
+    std::string bad_row = text.substr(0, last + 1) + "0,zzz,1,1.0,0\n";
+    std::istringstream is(bad_row);
+    EXPECT_DEATH(readSelection(is), "malformed");
+}

@@ -7,7 +7,10 @@
 #ifndef PKA_TOOLS_CLI_ARGS_HH
 #define PKA_TOOLS_CLI_ARGS_HH
 
+#include <cstdint>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -90,6 +93,77 @@ class CliArgs
                                " expects a number, got '" + it->second +
                                "'");
         }
+    }
+
+    /**
+     * Numeric flag required to lie in [lo, hi]; fatal outside (NaN
+     * included). The default is returned unchecked, so callers may keep
+     * sentinel defaults outside the user-facing range.
+     */
+    double
+    getNumInRange(const std::string &name, double def, double lo,
+                  double hi) const
+    {
+        if (!has(name))
+            return def;
+        double v = getNum(name, def);
+        if (!(v >= lo && v <= hi))
+            pka::common::fatal(pka::common::strfmt(
+                "flag --%s expects a number in [%g, %g], got %g",
+                name.c_str(), lo, hi, v));
+        return v;
+    }
+
+    /** Strictly positive numeric flag in (0, hi]; fatal otherwise. */
+    double
+    getPositiveNum(const std::string &name, double def,
+                   double hi = std::numeric_limits<double>::infinity())
+        const
+    {
+        if (!has(name))
+            return def;
+        double v = getNum(name, def);
+        if (!(v > 0.0 && v <= hi))
+            pka::common::fatal(pka::common::strfmt(
+                "flag --%s expects a positive number <= %g, got %g",
+                name.c_str(), hi, v));
+        return v;
+    }
+
+    /**
+     * Unsigned-integer flag in [lo, hi]; fatal on signs, fractions,
+     * trailing garbage or out-of-range values. Parsed with stoull (not
+     * via double) so the full 64-bit range stays exact.
+     */
+    uint64_t
+    getUint(const std::string &name, uint64_t def, uint64_t lo = 0,
+            uint64_t hi = std::numeric_limits<uint64_t>::max()) const
+    {
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            return def;
+        const std::string &s = it->second;
+        uint64_t v = 0;
+        try {
+            // stoull silently wraps "-5" around; reject signs up front.
+            if (s.find_first_of("-+") != std::string::npos)
+                throw std::invalid_argument("signed");
+            size_t pos = 0;
+            v = std::stoull(s, &pos);
+            if (pos != s.size())
+                throw std::invalid_argument("trailing");
+        } catch (const std::exception &) {
+            pka::common::fatal("flag --" + name +
+                               " expects a non-negative integer, got '" +
+                               s + "'");
+        }
+        if (v < lo || v > hi)
+            pka::common::fatal(pka::common::strfmt(
+                "flag --%s expects an integer in [%llu, %llu], got %llu",
+                name.c_str(), static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(v)));
+        return v;
     }
 
   private:

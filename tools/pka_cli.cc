@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "cli_args.hh"
@@ -29,6 +30,7 @@
 #include "core/serialize.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
+#include "store/file_store.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
 #include "sim/simulator.hh"
@@ -66,6 +68,15 @@ common options:
   --content-seed              seed stochastic structure from launch
                               content rather than launch id, so
                               identical launches share cache entries
+  --cache-dir DIR             persist kernel results in a content-
+                              addressed store under DIR; warm re-runs
+                              answer cached launches from disk instead
+                              of re-simulating
+  --resume                    resume an interrupted campaign from DIR's
+                              journal (requires --cache-dir); resumed
+                              runs are bit-identical to uninterrupted
+                              ones
+  --store-stats               print persistent-store counters on exit
 )";
 
 silicon::GpuSpec
@@ -81,13 +92,24 @@ specFor(const std::string &name)
                   "' (expected volta, turing or ampere)");
 }
 
+/** Journaled-checkpoint config from --cache-dir/--resume (dir may be
+ *  empty, meaning checkpointing is off). */
+core::CampaignCheckpoint
+checkpointFor(const CliArgs &args)
+{
+    core::CampaignCheckpoint cp;
+    cp.dir = args.get("cache-dir");
+    cp.resume = args.has("resume");
+    return cp;
+}
+
 workload::Workload
 loadWorkload(const CliArgs &args, size_t positional_idx)
 {
     if (args.positionals().size() <= positional_idx)
         common::fatal("missing workload name operand");
     workload::GenOptions g;
-    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    g.mlperfScale = args.getPositiveNum("mlperf-scale", 0.02);
     auto w = workload::buildWorkload(args.positionals()[positional_idx], g);
     if (!w)
         common::fatal("unknown workload '" +
@@ -116,7 +138,7 @@ int
 cmdList(const CliArgs &args)
 {
     workload::GenOptions g;
-    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    g.mlperfScale = args.getPositiveNum("mlperf-scale", 0.02);
     std::string suite = args.get("suite");
     common::TextTable t({"suite", "workload", "launches",
                          "distinct kernels", "warp instructions"});
@@ -149,8 +171,7 @@ cmdProfile(const CliArgs &args)
                      common::humanTime(prof.costSeconds(w)).c_str());
     } else {
         silicon::DetailedProfiler prof(gpu);
-        size_t limit =
-            static_cast<size_t>(args.getNum("limit", 0));
+        size_t limit = static_cast<size_t>(args.getUint("limit", 0));
         core::writeDetailedProfiles(out, prof.profile(w, limit));
         std::fprintf(stderr, "detailed profiling cost (modeled): %s\n",
                      common::humanTime(prof.costSeconds(w, limit)).c_str());
@@ -166,9 +187,10 @@ cmdSelect(const CliArgs &args)
     silicon::SiliconGpu gpu(specFor(args.get("gpu", "volta")));
 
     core::PkaOptions opts;
-    opts.pks.targetErrorPct = args.getNum("target-error", 5.0);
-    opts.pks.maxK =
-        static_cast<uint32_t>(args.getNum("max-k", 20));
+    opts.pks.targetErrorPct =
+        args.getPositiveNum("target-error", 5.0, 100.0);
+    opts.pks.maxK = static_cast<uint32_t>(
+        args.getUint("max-k", 20, 1, 1u << 20));
 
     core::SelectionOutcome sel;
     if (args.has("profiles")) {
@@ -205,7 +227,7 @@ cmdSimulate(const CliArgs &args)
     if (args.has("first-n")) {
         auto res = core::firstNInstructions(
             simulator, w,
-            static_cast<uint64_t>(args.getNum("first-n", 1e9)));
+            static_cast<uint64_t>(args.getPositiveNum("first-n", 1e9)));
         std::printf("first-N baseline: simulated %.3e cycles (%.3e "
                     "thread insts), projected app cycles %.3e%s\n",
                     res.simulatedCycles, res.simulatedThreadInsts,
@@ -220,18 +242,22 @@ cmdSimulate(const CliArgs &args)
             common::fatal("cannot read '" + args.get("selection") + "'");
         core::SelectionOutcome sel = core::readSelection(is);
         core::PkpOptions pkp;
-        pkp.threshold = args.getNum("threshold", 0.25);
+        pkp.threshold = args.getPositiveNum("threshold", 0.25);
+        core::CampaignCheckpoint cp = checkpointFor(args);
         core::AppProjection proj = core::simulateSelection(
-            simulator, w, sel, args.has("pkp") ? &pkp : nullptr);
+            sim::SimEngine::shared(), simulator, w, sel,
+            args.has("pkp") ? &pkp : nullptr,
+            cp.dir.empty() ? nullptr : &cp);
         std::printf("selection-based simulation (%zu representatives%s):\n"
                     "  projected cycles %.4e, IPC %.1f, DRAM util %.1f%%\n"
                     "  simulated cycles %.4e (%.2fs wall, %.2fs cpu, "
-                    "%llu cache hits / %llu misses)\n",
+                    "%llu cache hits / %llu store hits / %llu misses)\n",
                     sel.groups.size(), args.has("pkp") ? ", PKP" : "",
                     proj.projectedCycles, proj.projectedIpc(),
                     proj.projectedDramUtilPct, proj.simulatedCycles,
                     proj.simulatedWallSeconds, proj.simulatedCpuSeconds,
                     static_cast<unsigned long long>(proj.cacheHits),
+                    static_cast<unsigned long long>(proj.storeHits),
                     static_cast<unsigned long long>(proj.cacheMisses));
         return 0;
     }
@@ -242,14 +268,23 @@ cmdSimulate(const CliArgs &args)
             "to days on this host (that is the paper's premise); use "
             "--selection/--pkp, or pass --force to insist");
 
-    core::FullSimResult fs = core::fullSimulate(simulator, w);
+    core::CampaignCheckpoint cp = checkpointFor(args);
+    core::FullSimResult fs =
+        core::fullSimulate(sim::SimEngine::shared(), simulator, w,
+                           cp.dir.empty() ? nullptr : &cp);
+    if (fs.resumedLaunches > 0)
+        std::fprintf(stderr, "resumed: %llu of %zu launches already "
+                             "journaled complete\n",
+                     static_cast<unsigned long long>(fs.resumedLaunches),
+                     w.launches.size());
     std::printf("full simulation: %.4e cycles, IPC %.1f, DRAM util "
                 "%.1f%% (%zu launches, %.2fs wall / %.2fs cpu, "
-                "%llu cache hits / %llu misses, projected %s at "
-                "Accel-Sim rates)\n",
+                "%llu cache hits / %llu store hits / %llu misses, "
+                "projected %s at Accel-Sim rates)\n",
                 fs.cycles, fs.ipc(), fs.dramUtilPct, fs.perKernel.size(),
                 fs.wallSeconds, fs.cpuSeconds,
                 static_cast<unsigned long long>(fs.cacheHits),
+                static_cast<unsigned long long>(fs.storeHits),
                 static_cast<unsigned long long>(fs.cacheMisses),
                 common::humanTime(fs.cycles / core::kSimCyclesPerSecond)
                     .c_str());
@@ -260,7 +295,7 @@ int
 cmdTrace(const CliArgs &args)
 {
     auto w = loadWorkload(args, 0);
-    size_t limit = static_cast<size_t>(args.getNum("limit", 0));
+    size_t limit = static_cast<size_t>(args.getUint("limit", 0));
     size_t count =
         limit > 0 ? std::min(limit, w.launches.size()) : w.launches.size();
     std::vector<sim::KernelTrace> traces;
@@ -278,7 +313,7 @@ int
 cmdAnalyze(const CliArgs &args)
 {
     workload::GenOptions g;
-    g.mlperfScale = args.getNum("mlperf-scale", 0.02);
+    g.mlperfScale = args.getPositiveNum("mlperf-scale", 0.02);
     workload::GenOptions gp = g;
     gp.underProfiler = true;
     if (args.positionals().empty())
@@ -291,8 +326,10 @@ cmdAnalyze(const CliArgs &args)
     auto spec = specFor(args.get("gpu", "volta"));
     silicon::SiliconGpu gpu(spec);
     sim::GpuSimulator simulator(spec);
-    core::PkaAppResult res =
-        core::runPka(*traced, *profiled, gpu, simulator);
+    core::CampaignCheckpoint cp = checkpointFor(args);
+    core::PkaAppResult res = core::runPka(
+        sim::SimEngine::shared(), *traced, *profiled, gpu, simulator,
+        core::PkaOptions{}, cp.dir.empty() ? nullptr : &cp);
     if (res.excluded) {
         std::printf("EXCLUDED: %s\n", res.exclusionReason.c_str());
         return 2;
@@ -314,6 +351,14 @@ cmdAnalyze(const CliArgs &args)
                 res.pka.projectedCycles,
                 common::pctError(res.pka.projectedCycles, sil_cycles),
                 res.pka.simulatedCycles);
+    std::printf("sim cache: %llu memory hits / %llu store hits / "
+                "%llu simulated\n",
+                static_cast<unsigned long long>(res.pks.cacheHits +
+                                                res.pka.cacheHits),
+                static_cast<unsigned long long>(res.pks.storeHits +
+                                                res.pka.storeHits),
+                static_cast<unsigned long long>(res.pks.cacheMisses +
+                                                res.pka.cacheMisses));
     return 0;
 }
 
@@ -328,30 +373,60 @@ main(int argc, char **argv)
     }
     std::string cmd = argv[1];
     CliArgs args(argc, argv, 2,
-                 {"light", "pkp", "force", "no-memo", "content-seed"});
+                 {"light", "pkp", "force", "no-memo", "content-seed",
+                  "resume", "store-stats"});
 
-    double threads = args.getNum("threads", 0);
-    if (threads < 0 || threads != static_cast<double>(
-                                      static_cast<unsigned>(threads)))
-        common::fatal("flag --threads expects a non-negative integer");
     sim::EngineOptions eo;
-    eo.threads = static_cast<unsigned>(threads);
+    eo.threads = static_cast<unsigned>(args.getUint(
+        "threads", 0, 0, std::numeric_limits<unsigned>::max()));
     eo.memoize = !args.has("no-memo");
     eo.contentSeed = args.has("content-seed");
+
+    // The persistent store outlives every command (the shared engine
+    // holds a non-owning pointer to it).
+    std::unique_ptr<store::KernelResultStore> store;
+    if (args.has("cache-dir")) {
+        store =
+            std::make_unique<store::KernelResultStore>(args.get("cache-dir"));
+        eo.store = store.get();
+    } else if (args.has("resume")) {
+        common::fatal("--resume requires --cache-dir");
+    }
     sim::SimEngine::configureShared(eo);
 
+    auto finish = [&](int rc) {
+        if (store && args.has("store-stats")) {
+            store::StoreStatsSnapshot s = store->stats();
+            std::fprintf(
+                stderr,
+                "store: %llu hits / %llu misses (%.1f%% hit rate), "
+                "%llu corrupt skipped, %llu key mismatches, "
+                "%llu records written (%llu failed), "
+                "%llu bytes read / %llu written\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses), s.hitRatePct(),
+                static_cast<unsigned long long>(s.corruptSkipped),
+                static_cast<unsigned long long>(s.keyMismatches),
+                static_cast<unsigned long long>(s.puts),
+                static_cast<unsigned long long>(s.putFailures),
+                static_cast<unsigned long long>(s.bytesRead),
+                static_cast<unsigned long long>(s.bytesWritten));
+        }
+        return rc;
+    };
+
     if (cmd == "list")
-        return cmdList(args);
+        return finish(cmdList(args));
     if (cmd == "profile")
-        return cmdProfile(args);
+        return finish(cmdProfile(args));
     if (cmd == "select")
-        return cmdSelect(args);
+        return finish(cmdSelect(args));
     if (cmd == "simulate")
-        return cmdSimulate(args);
+        return finish(cmdSimulate(args));
     if (cmd == "trace")
-        return cmdTrace(args);
+        return finish(cmdTrace(args));
     if (cmd == "analyze")
-        return cmdAnalyze(args);
+        return finish(cmdAnalyze(args));
     if (cmd == "--help" || cmd == "help") {
         std::fputs(kUsage, stdout);
         return 0;
