@@ -29,7 +29,7 @@ IpcTracker::advanceIdle(uint64_t cycles)
 {
     // Idle stretches complete buckets with zero additional instructions.
     while (cycles > 0) {
-        uint64_t room = bucket_cycles_ - in_bucket_;
+        uint64_t room = cyclesUntilBucketEnd();
         uint64_t step = cycles < room ? cycles : room;
         in_bucket_ += static_cast<uint32_t>(step);
         cycles_ += step;

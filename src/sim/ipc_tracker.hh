@@ -65,6 +65,17 @@ class IpcTracker
     /** Cycles observed so far. */
     uint64_t cycles() const { return cycles_; }
 
+    /**
+     * Cycles left until the current bucket completes, in [1, bucket
+     * size]. The event-driven simulator core chunks emulated idle spans
+     * on this so it can interleave the per-bucket side effects (stop
+     * polls, trace annotation) exactly where the dense loop would.
+     */
+    uint64_t cyclesUntilBucketEnd() const
+    {
+        return bucket_cycles_ - in_bucket_;
+    }
+
     /** Attach memory stats to the most recent trace sample. */
     void annotateLastSample(double l2_miss_pct, double dram_util_pct);
 

@@ -1,11 +1,13 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.hh"
 #include "sim/fnv.hh"
 #include "sim/memory_model.hh"
 #include "sim/sm_core.hh"
+#include "sim/timing_wheel.hh"
 
 namespace pka::sim
 {
@@ -18,6 +20,503 @@ namespace
 
 /** Absolute runaway guard for a single kernel. */
 constexpr uint64_t kHardCycleCap = 4'000'000'000ULL;
+
+/** GigaThread-style CTA dispatch rate limit (CTAs per device cycle). */
+constexpr double kCtaDispatchPerCycle = 4.0;
+
+/**
+ * One kernel launch in flight: the device state (SMs, memory model,
+ * dispatch limiter, IPC tracker) plus two interchangeable run loops.
+ *
+ * runReference() is the dense cycle loop: tick every SM every cycle,
+ * with a whole-device idle fast-forward. runEventDriven() tracks ready
+ * SMs in a bitmap and sleeping SMs in a device-level timing wheel of
+ * next-wake cycles, ticks only SMs whose event is due, and replays
+ * skipped spans through the tracker.
+ *
+ * Bit-identity contract: both loops tick the same SMs at the same
+ * cycles in the same (ascending SM index) order, so the shared memory
+ * model sees an identical access sequence; and the event core replays
+ * the reference core's per-cycle protocol over skipped spans — bucket
+ * completions, StopController polls, budget and cycle-cap checks,
+ * dispatch-credit accrual — distinguishing spans the reference ticks
+ * densely (dispatch phase, the single idle cycle after activity) from
+ * spans it silently fast-forwards (whole-device idle after dispatch).
+ */
+class KernelRun
+{
+  public:
+    KernelRun(const GpuSpec &spec, const KernelDescriptor &k,
+              uint64_t workload_seed, const SimOptions &opts)
+        : spec_(spec), k_(k), opts_(opts), total_ctas_(k.numCtas()),
+          // Per-launch RNG salt: launch id by default (independent jitter
+          // per launch), or the launch's content hash under content
+          // seeding (identical launches become bit-identical, hence
+          // cacheable).
+          launch_salt_(opts.contentSeed ? launchContentHash(k)
+                                        : k.launchId),
+          mem_(spec, workload_seed ^ (launch_salt_ * 0x9E3779B9ULL)),
+          tracker_(opts.ipcBucketCycles, opts.ipcWindowBuckets,
+                   opts.traceIpc),
+          cycle_cap_(opts.maxCycles > 0
+                         ? std::min(opts.maxCycles, kHardCycleCap)
+                         : kHardCycleCap)
+    {
+        PKA_ASSERT(k.program != nullptr, "launch has no program");
+        if (opts.trace) {
+            PKA_ASSERT(opts.trace->ctaIterations.size() == total_ctas_,
+                       "trace CTA count does not match the launch grid");
+            PKA_ASSERT(opts.trace->kernelName == k.program->name,
+                       "trace kernel name does not match the launch");
+        }
+        const uint32_t occ = pka::silicon::maxCtasPerSm(spec_, k_);
+        r_.totalCtas = total_ctas_;
+        r_.waveSize = static_cast<uint64_t>(occ) * spec_.numSms;
+        r_.expectedWarpInstructions = k_.totalWarpInstructions();
+        sms_.reserve(spec_.numSms);
+        for (uint32_t s = 0; s < spec_.numSms; ++s)
+            sms_.emplace_back(spec_, k_, mem_, workload_seed, occ,
+                              opts_.scheduler,
+                              opts_.trace ? &opts_.trace->ctaIterations
+                                          : nullptr,
+                              launch_salt_);
+        dispatch([](uint32_t) {});
+        prev_ctr_ = mem_.counters();
+    }
+
+    KernelSimResult
+    run()
+    {
+        if (opts_.stop)
+            opts_.stop->beginKernel(snapshot(0));
+        if (opts_.referenceCore)
+            runReference();
+        else
+            runEventDriven();
+        // Launch overhead is outside the measured IPC window but part of
+        // the kernel's wall-clock cycles.
+        r_.inFlightCtas = next_cta_ - r_.finishedCtas;
+        r_.cycles = end_cycle_ +
+                    static_cast<uint64_t>(spec_.launchOverheadCycles);
+        r_.dramUtilPct = mem_.dramUtilPct(r_.cycles);
+        r_.l2MissPct = mem_.l2MissPct();
+        if (opts_.traceIpc)
+            r_.trace = tracker_.trace();
+        return std::move(r_);
+    }
+
+  private:
+    /**
+     * Breadth-first dispatch (one CTA per SM per pass), matching how
+     * GPUs spread a grid across SMs before stacking occupancy. The
+     * GigaThread-style rate limit makes occupancy (and hence IPC) ramp
+     * up over the first wave instead of materializing instantaneously.
+     * `on_assign(sm)` fires per placed CTA (the event core re-arms that
+     * SM's event). Returns true when it stopped because every SM is
+     * occupancy-full — i.e. no free slot exists anywhere.
+     */
+    template <typename OnAssign>
+    bool
+    dispatch(OnAssign &&on_assign)
+    {
+        size_t full_sms = 0;
+        while (next_cta_ < total_ctas_ && dispatch_credit_ >= 1.0 &&
+               full_sms < sms_.size()) {
+            size_t s = rr_cursor_; // persistent: breadth-first survives
+            rr_cursor_ = (rr_cursor_ + 1) % sms_.size(); // credit gaps
+            if (sms_[s].hasFreeSlot()) {
+                sms_[s].assignCta(next_cta_++);
+                dispatch_credit_ -= 1.0;
+                full_sms = 0;
+                on_assign(static_cast<uint32_t>(s));
+            } else {
+                ++full_sms;
+            }
+        }
+        return full_sms == sms_.size();
+    }
+
+    StopController::Snapshot
+    snapshot(uint64_t cycle) const
+    {
+        StopController::Snapshot s;
+        s.cycle = cycle;
+        s.finishedCtas = r_.finishedCtas;
+        s.totalCtas = total_ctas_;
+        s.waveSize = r_.waveSize;
+        s.windowIpcMean = tracker_.windowMean();
+        s.windowIpcStd = tracker_.windowStd();
+        s.windowFull = tracker_.windowFull();
+        return s;
+    }
+
+    /**
+     * Accrue `cycles` cycles of dispatch credit, exactly as the
+     * reference loop's per-cycle min(credit + rate, 2 * SMs) — the cap
+     * is a fixed point, so the loop exits once saturated.
+     */
+    void
+    accrueDispatchCredit(uint64_t cycles)
+    {
+        const double cap = static_cast<double>(2 * spec_.numSms);
+        for (uint64_t i = 0; i < cycles; ++i) {
+            dispatch_credit_ =
+                std::min(dispatch_credit_ + kCtaDispatchPerCycle, cap);
+            if (dispatch_credit_ >= cap)
+                break;
+        }
+    }
+
+    /**
+     * End-of-bucket work: trace annotation, StopController poll,
+     * instruction-budget check. Returns true when the run ends here
+     * (end_cycle_ set past `cycle`, mirroring the reference loop's
+     * `++cycle; break`).
+     */
+    bool
+    bucketSideEffects(uint64_t cycle)
+    {
+        if (opts_.traceIpc) {
+            MemoryModel::Counters ctr = mem_.counters();
+            double d_l2 = ctr.l2Sectors - prev_ctr_.l2Sectors;
+            double d_dram = ctr.dramSectors - prev_ctr_.dramSectors;
+            double d_busy = ctr.dramBusy - prev_ctr_.dramBusy;
+            double span = static_cast<double>(tracker_.cycles() -
+                                              prev_trace_cycle_);
+            tracker_.annotateLastSample(
+                d_l2 > 0 ? 100.0 * d_dram / d_l2 : 0.0,
+                span > 0 ? std::min(100.0, 100.0 * d_busy / span) : 0.0);
+            prev_ctr_ = ctr;
+            prev_trace_cycle_ = tracker_.cycles();
+        }
+        if (opts_.stop && opts_.stop->shouldStop(snapshot(cycle + 1))) {
+            r_.stoppedEarly = true;
+            end_cycle_ = cycle + 1;
+            return true;
+        }
+        if (opts_.maxThreadInstructions > 0 &&
+            r_.threadInstructions >=
+                static_cast<double>(opts_.maxThreadInstructions)) {
+            r_.truncatedByBudget = true;
+            end_cycle_ = cycle + 1;
+            return true;
+        }
+        return false;
+    }
+
+    /** Cycle-cap truncation at `cycle` (end_cycle_ set past it). */
+    void
+    capTruncate(uint64_t cycle)
+    {
+        if (cycle >= kHardCycleCap)
+            pka::common::warn(pka::common::strfmt(
+                "kernel %s exceeded the hard cycle cap; truncating",
+                k_.program->name.c_str()));
+        r_.truncatedByBudget = true;
+        end_cycle_ = cycle + 1;
+    }
+
+    /**
+     * Replay the reference core's dense ticking of the zero-activity
+     * span [first, last] (dispatch phase, no free slot, no due event):
+     * per-cycle credit accrual, per-bucket polls, per-cycle cap check —
+     * without touching any SM. Returns false when the run ended inside.
+     */
+    bool
+    emulateDenseIdle(uint64_t first, uint64_t last)
+    {
+        uint64_t c = first;
+        while (c <= last) {
+            uint64_t to_boundary = tracker_.cyclesUntilBucketEnd();
+            PKA_ASSERT(cycle_cap_ >= c, "cap cycle already passed");
+            uint64_t chunk = std::min(
+                {last - c + 1, to_boundary, cycle_cap_ - c + 1});
+            accrueDispatchCredit(chunk);
+            tracker_.advanceIdle(chunk);
+            uint64_t cyc = c + chunk - 1; // the cycle just emulated
+            if (chunk == to_boundary && bucketSideEffects(cyc))
+                return false;
+            if (cyc >= cycle_cap_) {
+                capTruncate(cyc);
+                return false;
+            }
+            c = cyc + 1;
+        }
+        return true;
+    }
+
+    /** The dense cycle loop — the bit-identity reference. */
+    void
+    runReference()
+    {
+        uint64_t cycle = 0;
+        while (r_.finishedCtas < total_ctas_) {
+            double retired = 0.0;
+            uint32_t finished_now = 0;
+            for (auto &sm : sms_) {
+                SmTickResult t = sm.tick(cycle);
+                retired += t.threadInstsRetired;
+                r_.warpInstructions += t.warpInstsIssued;
+                finished_now += t.ctasFinished;
+            }
+            if (finished_now > 0)
+                r_.finishedCtas += finished_now;
+            if (next_cta_ < total_ctas_) {
+                accrueDispatchCredit(1);
+                dispatch([](uint32_t) {});
+            }
+            r_.threadInstructions += retired;
+            bool bucket_done = tracker_.push(retired);
+            if (bucket_done && bucketSideEffects(cycle))
+                return;
+            if (cycle >= cycle_cap_) {
+                capTruncate(cycle);
+                return;
+            }
+
+            // Fast-forward fully idle stretches (latency-bound kernels).
+            // Disabled while CTAs await dispatch so the rate limiter
+            // stays cycle-accurate.
+            if (retired == 0.0 && finished_now == 0 &&
+                next_cta_ == total_ctas_) {
+                uint64_t next_wake = UINT64_MAX;
+                bool any_ready = false;
+                for (const auto &sm : sms_) {
+                    if (sm.hasReady()) {
+                        any_ready = true;
+                        break;
+                    }
+                    next_wake = std::min(next_wake, sm.nextWake());
+                }
+                if (!any_ready) {
+                    PKA_ASSERT(next_wake != UINT64_MAX,
+                               "deadlock: no ready or pending warps");
+                    if (next_wake > cycle + 1) {
+                        uint64_t skip = next_wake - cycle - 1;
+                        tracker_.advanceIdle(skip);
+                        cycle += skip;
+                    }
+                }
+            }
+            ++cycle;
+        }
+        end_cycle_ = cycle;
+    }
+
+    /** The event-driven loop: tick only SMs with a due event. */
+    void
+    runEventDriven()
+    {
+        const uint32_t n = static_cast<uint32_t>(sms_.size());
+        // Two-tier event tracking. SMs with ready warps tick every cycle
+        // and are found by scanning the is_ready bitmap in ascending
+        // index order — the reference core's tick order — at a cost of n
+        // byte loads, far below per-cycle event churn. Only *sleeping*
+        // SMs (no ready warp, earliest pending wake in the future) live
+        // in a device-level timing wheel keyed by next-wake cycle;
+        // traffic there happens on ready->sleeping transitions and
+        // wake-ups, which is bounded by instructions issued rather than
+        // cycles elapsed. sm_event holds each sleeping SM's current
+        // valid wheel entry (UINT64_MAX for ready/empty SMs, whose
+        // stale entries the drain paths discard).
+        TimingWheel events;
+        std::vector<uint64_t> sm_event(n, UINT64_MAX);
+        std::vector<uint8_t> is_ready(n, 0);
+        std::vector<uint32_t> sm_scratch;
+        uint32_t num_ready = 0;
+        // Wheel entries whose SM has since re-armed or become ready.
+        // Stale entries are only minted when a dispatch lands on a
+        // sleeping SM, so this is almost always zero outside the
+        // dispatch phase and next_event() can trust nextWake() as-is.
+        uint32_t stale_count = 0;
+        uint64_t cycle = 0;
+
+        // Re-classify SM s after its state may have changed.
+        auto refresh = [&](uint32_t s) {
+            bool ready = sms_[s].hasReady();
+            if (ready != static_cast<bool>(is_ready[s])) {
+                is_ready[s] = ready ? 1 : 0;
+                if (ready)
+                    ++num_ready;
+                else
+                    --num_ready;
+            }
+            uint64_t w = ready ? UINT64_MAX : sms_[s].nextWake();
+            if (w != sm_event[s]) {
+                // A superseded entry (if one is still queued) goes stale.
+                if (sm_event[s] != UINT64_MAX)
+                    ++stale_count;
+                sm_event[s] = w;
+                if (w != UINT64_MAX)
+                    events.schedule(cycle, w, s);
+            }
+        };
+        // Earliest cycle with a *valid* pending SM wake. A slot can
+        // hold only stale entries (SMs re-armed or made ready after the
+        // entry was written); returning such a cycle would make the
+        // skip emulation insert a bucket poll the reference core's
+        // silent fast-forward does not perform. So when stale entries
+        // exist, validate: drain the candidate slot, drop stale entries
+        // for good, re-schedule the valid ones, and only then accept
+        // the cycle.
+        auto next_event = [&]() -> uint64_t {
+            for (;;) {
+                uint64_t nw = events.nextWake();
+                if (stale_count == 0 || nw == UINT64_MAX)
+                    return nw;
+                events.drain(nw, sm_scratch);
+                bool any_valid = false;
+                for (uint32_t s : sm_scratch) {
+                    if (sm_event[s] == nw) {
+                        events.schedule(cycle, nw, s);
+                        any_valid = true;
+                    } else {
+                        --stale_count;
+                    }
+                }
+                if (any_valid)
+                    return nw;
+            }
+        };
+
+        for (uint32_t s = 0; s < n; ++s)
+            refresh(s); // classify the SMs seeded by initial dispatch
+
+        std::vector<uint32_t> wake_due;
+        while (r_.finishedCtas < total_ctas_) {
+            wake_due.clear();
+            if (events.nextWake() <= cycle) {
+                PKA_ASSERT(events.nextWake() == cycle, "missed SM event");
+                events.drain(cycle, sm_scratch);
+                for (uint32_t s : sm_scratch) {
+                    if (sm_event[s] != cycle) {
+                        --stale_count; // stale (also drops duplicates)
+                        continue;
+                    }
+                    sm_event[s] = UINT64_MAX; // consumed; re-armed below
+                    wake_due.push_back(s); // drain order: ascending s
+                }
+            }
+            double retired = 0.0;
+            uint32_t finished_now = 0;
+            // refresh() touches only SM s's own state, so it can run
+            // right after s's tick without perturbing the tick order
+            // (and hence the shared memory-model access sequence).
+            auto tick_sm = [&](uint32_t s) {
+                SmTickResult t = sms_[s].tick(cycle);
+                retired += t.threadInstsRetired;
+                r_.warpInstructions += t.warpInstsIssued;
+                finished_now += t.ctasFinished;
+                refresh(s);
+            };
+            if (num_ready > 0) {
+                // Merge ready SMs (bitmap scan) with due wakes, both
+                // ascending; a ready SM never has a valid heap entry,
+                // so the two sets are disjoint.
+                size_t w = 0;
+                for (uint32_t s = 0; s < n; ++s) {
+                    bool woke = w < wake_due.size() && wake_due[w] == s;
+                    if (woke)
+                        ++w;
+                    if (is_ready[s] || woke)
+                        tick_sm(s);
+                }
+            } else {
+                for (uint32_t s : wake_due)
+                    tick_sm(s);
+            }
+            if (finished_now > 0)
+                r_.finishedCtas += finished_now;
+            bool all_full = false;
+            if (next_cta_ < total_ctas_) {
+                accrueDispatchCredit(1);
+                all_full =
+                    dispatch([&](uint32_t s) { refresh(s); });
+            }
+            r_.threadInstructions += retired;
+            bool bucket_done = tracker_.push(retired);
+            if (bucket_done && bucketSideEffects(cycle))
+                return;
+            if (cycle >= cycle_cap_) {
+                capTruncate(cycle);
+                return;
+            }
+
+            if (r_.finishedCtas >= total_ctas_) {
+                ++cycle; // matches the reference loop-bottom increment
+                continue; // the while condition ends the run
+            }
+
+            // Pick the next cycle anything can happen at; replay the
+            // reference protocol over the provably-idle span between.
+            if (num_ready > 0) {
+                ++cycle; // some SM issues next cycle: stay dense
+                continue;
+            }
+            if (next_cta_ < total_ctas_) {
+                if (!all_full) {
+                    ++cycle; // a CTA can land next cycle
+                    continue;
+                }
+                uint64_t nw = next_event();
+                PKA_ASSERT(nw != UINT64_MAX,
+                           "deadlock: no ready or pending warps");
+                // The reference loop ticks these cycles densely (its
+                // fast-forward is disabled during dispatch).
+                if (nw > cycle + 1 && !emulateDenseIdle(cycle + 1, nw - 1))
+                    return;
+                cycle = nw;
+                continue;
+            }
+            uint64_t nw = next_event();
+            PKA_ASSERT(nw != UINT64_MAX,
+                       "deadlock: no ready or pending warps");
+            if (nw <= cycle + 1) {
+                ++cycle;
+                continue;
+            }
+            if (retired == 0.0 && finished_now == 0) {
+                // The reference fast-forward fires on this cycle:
+                // silent skip, no bucket polls.
+                tracker_.advanceIdle(nw - cycle - 1);
+                cycle = nw;
+                continue;
+            }
+            // After an active cycle the reference ticks exactly one
+            // idle cycle (with its bucket poll and cap check), and only
+            // then fast-forwards the rest of the span.
+            uint64_t idle = cycle + 1;
+            bool bd = tracker_.push(0.0);
+            if (bd && bucketSideEffects(idle))
+                return;
+            if (idle >= cycle_cap_) {
+                capTruncate(idle);
+                return;
+            }
+            if (nw > idle + 1)
+                tracker_.advanceIdle(nw - idle - 1);
+            cycle = nw;
+        }
+        end_cycle_ = cycle;
+    }
+
+    const GpuSpec &spec_;
+    const KernelDescriptor &k_;
+    const SimOptions &opts_;
+    uint64_t total_ctas_;
+    uint64_t launch_salt_;
+    MemoryModel mem_;
+    std::vector<SmCore> sms_;
+    uint64_t next_cta_ = 0;
+    double dispatch_credit_ = 8.0;
+    size_t rr_cursor_ = 0;
+    IpcTracker tracker_;
+    MemoryModel::Counters prev_ctr_;
+    uint64_t prev_trace_cycle_ = 0;
+    uint64_t cycle_cap_;
+    uint64_t end_cycle_ = 0;
+    KernelSimResult r_;
+};
 
 } // namespace
 
@@ -60,183 +559,7 @@ GpuSimulator::simulateKernel(const KernelDescriptor &k,
                              uint64_t workload_seed,
                              const SimOptions &opts) const
 {
-    PKA_ASSERT(k.program != nullptr, "launch has no program");
-
-    const uint32_t occ = pka::silicon::maxCtasPerSm(spec_, k);
-    const uint64_t total_ctas = k.numCtas();
-    const uint64_t wave = static_cast<uint64_t>(occ) * spec_.numSms;
-
-    if (opts.trace) {
-        PKA_ASSERT(opts.trace->ctaIterations.size() == total_ctas,
-                   "trace CTA count does not match the launch grid");
-        PKA_ASSERT(opts.trace->kernelName == k.program->name,
-                   "trace kernel name does not match the launch");
-    }
-
-    // The per-launch RNG salt: launch id by default (independent jitter
-    // per launch), or the launch's content hash under content seeding
-    // (identical launches become bit-identical, hence cacheable).
-    const uint64_t launch_salt =
-        opts.contentSeed ? launchContentHash(k) : k.launchId;
-    MemoryModel mem(spec_, workload_seed ^ (launch_salt * 0x9E3779B9ULL));
-    std::vector<SmCore> sms;
-    sms.reserve(spec_.numSms);
-    for (uint32_t s = 0; s < spec_.numSms; ++s)
-        sms.emplace_back(spec_, k, mem, workload_seed, occ,
-                         opts.scheduler,
-                         opts.trace ? &opts.trace->ctaIterations
-                                    : nullptr,
-                         launch_salt);
-
-    uint64_t next_cta = 0;
-    // Breadth-first dispatch (one CTA per SM per pass), matching how GPUs
-    // spread a grid across SMs before stacking occupancy. The GigaThread-
-    // style rate limit makes occupancy (and hence IPC) ramp up over the
-    // first wave instead of materializing instantaneously.
-    constexpr double kCtaDispatchPerCycle = 4.0;
-    double dispatch_credit = 8.0;
-    size_t rr_cursor = 0; // persistent so breadth-first survives credit
-    auto dispatch = [&]() {
-        size_t full_sms = 0;
-        while (next_cta < total_ctas && dispatch_credit >= 1.0 &&
-               full_sms < sms.size()) {
-            SmCore &sm = sms[rr_cursor];
-            rr_cursor = (rr_cursor + 1) % sms.size();
-            if (sm.hasFreeSlot()) {
-                sm.assignCta(next_cta++);
-                dispatch_credit -= 1.0;
-                full_sms = 0;
-            } else {
-                ++full_sms;
-            }
-        }
-    };
-    dispatch();
-
-    IpcTracker tracker(opts.ipcBucketCycles, opts.ipcWindowBuckets,
-                       opts.traceIpc);
-    MemoryModel::Counters prev_ctr = mem.counters();
-    uint64_t prev_trace_cycle = 0;
-
-    KernelSimResult r;
-    r.totalCtas = total_ctas;
-    r.waveSize = wave;
-    r.expectedWarpInstructions = k.totalWarpInstructions();
-
-    auto make_snapshot = [&](uint64_t cycle) {
-        StopController::Snapshot s;
-        s.cycle = cycle;
-        s.finishedCtas = r.finishedCtas;
-        s.totalCtas = total_ctas;
-        s.waveSize = wave;
-        s.windowIpcMean = tracker.windowMean();
-        s.windowIpcStd = tracker.windowStd();
-        s.windowFull = tracker.windowFull();
-        return s;
-    };
-    if (opts.stop)
-        opts.stop->beginKernel(make_snapshot(0));
-
-    const uint64_t cycle_cap =
-        opts.maxCycles > 0 ? std::min(opts.maxCycles, kHardCycleCap)
-                           : kHardCycleCap;
-
-    uint64_t cycle = 0;
-    while (r.finishedCtas < total_ctas) {
-        double retired = 0.0;
-        uint32_t finished_now = 0;
-        for (auto &sm : sms) {
-            SmTickResult t = sm.tick(cycle);
-            retired += t.threadInstsRetired;
-            r.warpInstructions += t.warpInstsIssued;
-            finished_now += t.ctasFinished;
-        }
-        if (finished_now > 0)
-            r.finishedCtas += finished_now;
-        if (next_cta < total_ctas) {
-            dispatch_credit = std::min(
-                dispatch_credit + kCtaDispatchPerCycle,
-                static_cast<double>(2 * spec_.numSms));
-            dispatch();
-        }
-        r.threadInstructions += retired;
-        bool bucket_done = tracker.push(retired);
-
-        if (bucket_done) {
-            if (opts.traceIpc) {
-                MemoryModel::Counters ctr = mem.counters();
-                double d_l2 = ctr.l2Sectors - prev_ctr.l2Sectors;
-                double d_dram = ctr.dramSectors - prev_ctr.dramSectors;
-                double d_busy = ctr.dramBusy - prev_ctr.dramBusy;
-                double span = static_cast<double>(
-                    tracker.cycles() - prev_trace_cycle);
-                tracker.annotateLastSample(
-                    d_l2 > 0 ? 100.0 * d_dram / d_l2 : 0.0,
-                    span > 0 ? std::min(100.0, 100.0 * d_busy / span)
-                             : 0.0);
-                prev_ctr = ctr;
-                prev_trace_cycle = tracker.cycles();
-            }
-            if (opts.stop &&
-                opts.stop->shouldStop(make_snapshot(cycle + 1))) {
-                r.stoppedEarly = true;
-                ++cycle;
-                break;
-            }
-            if (opts.maxThreadInstructions > 0 &&
-                r.threadInstructions >=
-                    static_cast<double>(opts.maxThreadInstructions)) {
-                r.truncatedByBudget = true;
-                ++cycle;
-                break;
-            }
-        }
-        if (cycle >= cycle_cap) {
-            if (cycle >= kHardCycleCap)
-                pka::common::warn(pka::common::strfmt(
-                    "kernel %s exceeded the hard cycle cap; truncating",
-                    k.program->name.c_str()));
-            r.truncatedByBudget = true;
-            ++cycle;
-            break;
-        }
-
-        // Fast-forward fully idle stretches (latency-bound kernels).
-        // Disabled while CTAs await dispatch so the rate limiter stays
-        // cycle-accurate.
-        if (retired == 0.0 && finished_now == 0 &&
-            next_cta == total_ctas) {
-            uint64_t next_wake = UINT64_MAX;
-            bool any_ready = false;
-            for (const auto &sm : sms) {
-                if (sm.hasReady()) {
-                    any_ready = true;
-                    break;
-                }
-                next_wake = std::min(next_wake, sm.nextWake());
-            }
-            if (!any_ready) {
-                PKA_ASSERT(next_wake != UINT64_MAX,
-                           "deadlock: no ready or pending warps");
-                if (next_wake > cycle + 1) {
-                    uint64_t skip = next_wake - cycle - 1;
-                    tracker.advanceIdle(skip);
-                    cycle += skip;
-                }
-            }
-        }
-        ++cycle;
-    }
-
-    // Launch overhead is outside the measured IPC window but part of the
-    // kernel's wall-clock cycles.
-    r.inFlightCtas = next_cta - r.finishedCtas;
-    r.cycles = cycle + static_cast<uint64_t>(spec_.launchOverheadCycles);
-    r.dramUtilPct = mem.dramUtilPct(r.cycles);
-    r.l2MissPct = mem.l2MissPct();
-    if (opts.traceIpc)
-        r.trace = tracker.trace();
-    return r;
+    return KernelRun(spec_, k, workload_seed, opts).run();
 }
 
 } // namespace pka::sim

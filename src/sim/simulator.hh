@@ -4,6 +4,16 @@
  * device built from SmCore units over a shared MemoryModel, with per-cycle
  * IPC tracking, CTA dispatch, idle fast-forwarding and an online
  * StopController hook for Principal Kernel Projection.
+ *
+ * Two interchangeable cores drive the device. The *event-driven* core
+ * (default) keeps a min-heap of per-SM next-event cycles, ticks only SMs
+ * with ready warps or due wakeups, and skips straight over spans where
+ * nothing can happen. The *reference* core is the plain dense cycle
+ * loop. They are bit-identical by construction — same SM tick order,
+ * same memory-model access sequence, same per-bucket StopController
+ * polls — which equivalence tests, a golden-hash check and a CI smoke
+ * step all enforce; `SimOptions::referenceCore` (default settable via
+ * the PKA_REFERENCE_CORE cmake option) selects the fallback.
  */
 
 #ifndef PKA_SIM_SIMULATOR_HH
@@ -64,6 +74,19 @@ struct SimOptions
      * independent jitter.
      */
     bool contentSeed = false;
+
+    /**
+     * Run the dense reference cycle loop instead of the event-driven
+     * core. Results are bit-identical either way (enforced by tests and
+     * the CI golden-hash smoke), so this is a pure fallback/diagnostic
+     * knob, never part of any cache key. Building with
+     * -DPKA_REFERENCE_CORE=ON flips the default to the reference loop.
+     */
+#ifdef PKA_REFERENCE_CORE
+    bool referenceCore = true;
+#else
+    bool referenceCore = false;
+#endif
 };
 
 /** Result of simulating one kernel launch. */

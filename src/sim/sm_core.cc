@@ -24,7 +24,11 @@ SmCore::SmCore(const pka::silicon::GpuSpec &spec, const KernelDescriptor &k,
     PKA_ASSERT(max_resident_ctas > 0, "SM needs at least one CTA slot");
     const uint32_t warps_per_cta = static_cast<uint32_t>(k.warpsPerCta());
     const uint32_t pool = max_resident_ctas * warps_per_cta;
-    warps_.resize(pool);
+    rem_iters_.resize(pool);
+    seg_idx_.resize(pool);
+    seg_rem_.resize(pool);
+    cta_slot_.resize(pool);
+    age_.resize(pool);
     slot_live_warps_.assign(max_resident_ctas, 0);
     free_slot_ids_.reserve(max_resident_ctas);
     for (uint16_t s = 0; s < max_resident_ctas; ++s)
@@ -55,9 +59,11 @@ SmCore::assignCta(uint64_t cta_id)
         PKA_ASSERT(!free_warp_ids_.empty(), "warp pool exhausted");
         uint32_t wi = free_warp_ids_.back();
         free_warp_ids_.pop_back();
-        warps_[wi] = Warp{iters, 0,
-                          k_.program->body.front().count,
-                          slot, next_age_++};
+        rem_iters_[wi] = iters;
+        seg_idx_[wi] = 0;
+        seg_rem_[wi] = k_.program->body.front().count;
+        cta_slot_[wi] = slot;
+        age_[wi] = next_age_++;
         makeReady(wi);
         ++live_warps_;
     }
@@ -101,10 +107,12 @@ SmCore::tick(uint64_t cycle)
     SmTickResult r;
     // Wake stalled warps whose operands arrived; their in-flight
     // instruction retires now (retire-at-completion keeps the IPC signal
-    // free of dispatch-burst artifacts).
-    while (!pending_.empty() && pending_.top().first <= cycle) {
-        makeReady(pending_.top().second);
-        pending_.pop();
+    // free of dispatch-burst artifacts). The wheel drains in ascending
+    // warp order, matching the (cycle, warp) pop order of the wake heap
+    // it replaced, so LRR issue order is unchanged.
+    wheel_.drain(cycle, wake_scratch_);
+    for (uint32_t wi : wake_scratch_) {
+        makeReady(wi);
         r.threadInstsRetired += retire_per_inst_;
     }
 
@@ -112,21 +120,20 @@ SmCore::tick(uint64_t cycle)
     for (uint32_t slot_issue = 0;
          slot_issue < spec_.issueWidth && hasReady(); ++slot_issue) {
         uint32_t wi = popReady();
-        Warp &w = warps_[wi];
 
-        InstrClass cls = body[w.segIdx].cls;
+        InstrClass cls = body[seg_idx_[wi]].cls;
         uint64_t stall = stallCycles(cls, cycle);
         ++r.warpInstsIssued;
 
         // Advance the warp's position in its program.
         bool done = false;
-        if (--w.segRem == 0) {
-            if (++w.segIdx == body.size()) {
-                w.segIdx = 0;
-                if (--w.remIters == 0)
+        if (--seg_rem_[wi] == 0) {
+            if (++seg_idx_[wi] == body.size()) {
+                seg_idx_[wi] = 0;
+                if (--rem_iters_[wi] == 0)
                     done = true;
             }
-            w.segRem = body[w.segIdx].count;
+            seg_rem_[wi] = body[seg_idx_[wi]].count;
         }
 
         if (done) {
@@ -135,30 +142,24 @@ SmCore::tick(uint64_t cycle)
             r.threadInstsRetired += retire_per_inst_;
             --live_warps_;
             free_warp_ids_.push_back(wi);
-            uint16_t slot = w.ctaSlot;
+            uint16_t slot = cta_slot_[wi];
             PKA_ASSERT(slot_live_warps_[slot] > 0, "CTA underflow");
             if (--slot_live_warps_[slot] == 0) {
                 ++r.ctasFinished;
                 free_slot_ids_.push_back(slot);
             }
         } else {
-            pending_.emplace(cycle + stall, wi);
+            wheel_.schedule(cycle, cycle + stall, wi);
         }
     }
     return r;
-}
-
-uint64_t
-SmCore::nextWake() const
-{
-    return pending_.empty() ? UINT64_MAX : pending_.top().first;
 }
 
 void
 SmCore::makeReady(uint32_t warp_idx)
 {
     if (policy_ == SchedulerPolicy::Gto)
-        ready_by_age_.emplace(warps_[warp_idx].age, warp_idx);
+        ready_by_age_.emplace(age_[warp_idx], warp_idx);
     else
         ready_.push_back(warp_idx);
 }

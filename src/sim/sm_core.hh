@@ -2,8 +2,15 @@
  * @file
  * A streaming multiprocessor: resident CTA slots, warp contexts, a
  * ready/pending warp scheduler, and per-instruction timing. Per-cycle cost
- * is O(issue width) plus wake-heap maintenance, so simulation cost scales
- * with instructions executed rather than cycles x warps.
+ * is O(issue width) plus timing-wheel maintenance, so simulation cost
+ * scales with instructions executed rather than cycles x warps.
+ *
+ * Warp state is laid out structure-of-arrays: the program-position
+ * fields the issue loop touches every instruction (remaining iterations,
+ * segment index, segment remainder) live in dense hot arrays, while the
+ * fields only read on CTA retirement or scheduling decisions (CTA slot,
+ * GTO age) sit apart — the tick loop streams through cache lines of
+ * nothing but the data it mutates.
  */
 
 #ifndef PKA_SIM_SM_CORE_HH
@@ -16,6 +23,7 @@
 
 #include "silicon/gpu_spec.hh"
 #include "sim/memory_model.hh"
+#include "sim/timing_wheel.hh"
 #include "workload/kernel.hh"
 
 namespace pka::sim
@@ -38,7 +46,9 @@ struct SmTickResult
 
 /**
  * One SM executing warps of a single kernel launch. The owning simulator
- * assigns CTAs into free slots and calls tick() every device cycle.
+ * assigns CTAs into free slots and calls tick() on every device cycle
+ * the SM has work due (the dense reference core simply calls it every
+ * cycle; a tick with nothing ready and no due wake is a no-op).
  */
 class SmCore
 {
@@ -77,18 +87,16 @@ class SmCore
     }
 
     /** Earliest pending wake cycle, or UINT64_MAX when none pending. */
-    uint64_t nextWake() const;
+    uint64_t nextWake() const { return wheel_.nextWake(); }
+
+    /**
+     * Test hook: seed the GTO age counter, e.g. near 2^32 to pin the
+     * regression where a 32-bit counter wrapped on long kernels and
+     * corrupted oldest-first priority.
+     */
+    void seedAgeCounter(uint64_t v) { next_age_ = v; }
 
   private:
-    struct Warp
-    {
-        uint32_t remIters = 0;
-        uint32_t segIdx = 0;
-        uint32_t segRem = 0;
-        uint16_t ctaSlot = 0;
-        uint32_t age = 0; ///< assignment sequence, for GTO priority
-    };
-
     /** Move a woken/new warp into the ready structure. */
     void makeReady(uint32_t warp_idx);
 
@@ -104,22 +112,27 @@ class SmCore
     uint64_t seed_;
     uint64_t launch_salt_;
 
-    std::vector<Warp> warps_;
+    // Warp state, structure-of-arrays. Hot: touched per issued
+    // instruction. Cold: touched on retirement/scheduling only.
+    std::vector<uint32_t> rem_iters_; ///< hot: loop trips left
+    std::vector<uint32_t> seg_idx_;   ///< hot: current program segment
+    std::vector<uint32_t> seg_rem_;   ///< hot: instructions left in it
+    std::vector<uint16_t> cta_slot_;  ///< cold: owning CTA slot
+    std::vector<uint64_t> age_;       ///< cold: GTO assignment sequence
+
     std::vector<uint32_t> slot_live_warps_;
     std::vector<uint16_t> free_slot_ids_;
     std::vector<uint32_t> free_warp_ids_;
     std::deque<uint32_t> ready_; ///< LRR ready queue
-    using AgeEntry = std::pair<uint32_t, uint32_t>;
+    using AgeEntry = std::pair<uint64_t, uint32_t>;
     std::priority_queue<AgeEntry, std::vector<AgeEntry>,
                         std::greater<AgeEntry>>
-        ready_by_age_; ///< GTO ready set (oldest first)
-    using WakeEntry = std::pair<uint64_t, uint32_t>;
-    std::priority_queue<WakeEntry, std::vector<WakeEntry>,
-                        std::greater<WakeEntry>>
-        pending_;
+        ready_by_age_;         ///< GTO ready set (oldest first)
+    TimingWheel wheel_;        ///< pending warps keyed by wake cycle
+    std::vector<uint32_t> wake_scratch_; ///< drain buffer, reused
     SchedulerPolicy policy_;
     const std::vector<uint32_t> *trace_iters_;
-    uint32_t next_age_ = 0;
+    uint64_t next_age_ = 0; ///< 64-bit: never wraps within a kernel
     uint32_t live_warps_ = 0;
     double retire_per_inst_; ///< thread insts per warp inst (divergence)
 };

@@ -9,10 +9,15 @@
 
 #include <sstream>
 
+#include "common/rng.hh"
+#include "core/pkp.hh"
 #include "silicon/gpu_spec.hh"
+#include "sim/fnv.hh"
 #include "sim/ipc_tracker.hh"
 #include "sim/memory_model.hh"
 #include "sim/simulator.hh"
+#include "sim/sm_core.hh"
+#include "sim/timing_wheel.hh"
 #include "sim/trace.hh"
 #include "workload/builder.hh"
 #include "workload/suites.hh"
@@ -493,4 +498,291 @@ TEST(Trace, RejectsMalformedFile)
 {
     std::stringstream bad("garbage\n");
     EXPECT_DEATH(readTraces(bad), "magic");
+}
+
+TEST(TimingWheel, DrainsAscendingAndHandlesOverflow)
+{
+    TimingWheel w(4); // 16-slot wheel: wake 1000 spills to overflow
+    w.schedule(0, 3, 7);
+    w.schedule(0, 3, 2);
+    w.schedule(0, 5, 9);
+    w.schedule(0, 1000, 4);
+    EXPECT_EQ(w.nextWake(), 3u);
+
+    std::vector<uint32_t> out;
+    w.drain(3, out);
+    ASSERT_EQ(out.size(), 2u); // ascending id, like the heap it replaced
+    EXPECT_EQ(out[0], 2u);
+    EXPECT_EQ(out[1], 7u);
+    EXPECT_EQ(w.nextWake(), 5u);
+
+    w.drain(4, out);
+    EXPECT_TRUE(out.empty());
+    w.drain(5, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 9u);
+    EXPECT_EQ(w.nextWake(), 1000u); // overflow entry surfaces
+    w.drain(1000, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 4u);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.nextWake(), UINT64_MAX);
+}
+
+namespace
+{
+
+/** Bit-exact digest of a simulation result, trace series included. */
+uint64_t
+hashResult(const KernelSimResult &r)
+{
+    Fnv f;
+    f.u64(r.cycles);
+    f.f64(r.threadInstructions);
+    f.u64(r.warpInstructions);
+    f.u64(r.finishedCtas);
+    f.u64(r.inFlightCtas);
+    f.u64(r.totalCtas);
+    f.u64(r.waveSize);
+    f.u64(r.expectedWarpInstructions);
+    f.u64(r.stoppedEarly ? 1 : 0);
+    f.u64(r.truncatedByBudget ? 1 : 0);
+    f.f64(r.dramUtilPct);
+    f.f64(r.l2MissPct);
+    f.u64(r.trace.size());
+    for (const auto &s : r.trace) {
+        f.u64(s.cycle);
+        f.f64(s.ipc);
+        f.f64(s.l2MissPct);
+        f.f64(s.dramUtilPct);
+    }
+    return f.h;
+}
+
+/** Field-by-field identity check (readable failures) plus the digest. */
+void
+expectIdentical(const KernelSimResult &ref, const KernelSimResult &ev)
+{
+    EXPECT_EQ(ref.cycles, ev.cycles);
+    EXPECT_EQ(ref.warpInstructions, ev.warpInstructions);
+    EXPECT_EQ(ref.finishedCtas, ev.finishedCtas);
+    EXPECT_EQ(ref.inFlightCtas, ev.inFlightCtas);
+    EXPECT_EQ(ref.stoppedEarly, ev.stoppedEarly);
+    EXPECT_EQ(ref.truncatedByBudget, ev.truncatedByBudget);
+    EXPECT_EQ(ref.trace.size(), ev.trace.size());
+    EXPECT_EQ(hashResult(ref), hashResult(ev)); // bit-exact doubles too
+}
+
+/** Run one launch under both cores and demand identical results. */
+void
+runBothCores(const KernelDescriptor &k, uint64_t seed, SimOptions opts)
+{
+    GpuSimulator s(voltaV100());
+    opts.referenceCore = true;
+    auto ref = s.simulateKernel(k, seed, opts);
+    opts.referenceCore = false;
+    auto ev = s.simulateKernel(k, seed, opts);
+    expectIdentical(ref, ev);
+}
+
+} // namespace
+
+TEST(SimCoreEquivalence, GoldenHashAcrossKernelMix)
+{
+    // A fixed mix covering the simulator's regimes: compute-bound,
+    // memory-bound, latency-bound low-occupancy, small grid, irregular
+    // CTA work, both schedulers, budgets and tracing. The two cores
+    // must agree on every result bit (the digest covers doubles).
+    GpuSimulator s(voltaV100());
+    struct Case
+    {
+        KernelDescriptor k;
+        uint64_t seed;
+        SimOptions opts;
+    };
+    std::vector<Case> cases;
+    cases.push_back({makeKernel(computeProg(), 200, 128, 4), 1, {}});
+    cases.push_back({makeKernel(memProg(), 300, 256, 8), 2, {}});
+    cases.push_back({makeKernel(memProg(0.0, 0.0), 40, 64, 6), 3, {}});
+    cases.push_back({makeKernel(computeProg(), 12, 64, 3), 4, {}});
+    {
+        Case c{makeKernel(memProg(), 150, 256, 6), 5, {}};
+        c.k.ctaWorkCv = 0.7;
+        c.opts.scheduler = SchedulerPolicy::Gto;
+        cases.push_back(c);
+    }
+    {
+        Case c{makeKernel(memProg(0.1, 0.2), 400, 256, 8), 6, {}};
+        c.opts.traceIpc = true;
+        cases.push_back(c);
+    }
+    {
+        Case c{makeKernel(computeProg(), 400, 256, 16), 7, {}};
+        c.opts.maxThreadInstructions = 100000;
+        cases.push_back(c);
+    }
+    {
+        Case c{makeKernel(computeProg(), 400, 256, 16), 8, {}};
+        c.opts.maxCycles = 500;
+        cases.push_back(c);
+    }
+
+    Fnv ref_digest, ev_digest;
+    for (auto &c : cases) {
+        c.opts.referenceCore = true;
+        ref_digest.u64(hashResult(s.simulateKernel(c.k, c.seed, c.opts)));
+        c.opts.referenceCore = false;
+        ev_digest.u64(hashResult(s.simulateKernel(c.k, c.seed, c.opts)));
+    }
+    EXPECT_EQ(ref_digest.h, ev_digest.h);
+}
+
+TEST(SimCoreEquivalence, RandomizedKernels)
+{
+    // Property check: for randomized launch shapes across both
+    // scheduler policies and option mixes, the event core reproduces
+    // the reference core exactly. PCG32 keeps the draw sequence (and so
+    // the covered cases) identical on every platform.
+    auto rng = pka::common::Rng::forKey(2026, 8, 5);
+    for (int i = 0; i < 30; ++i) {
+        ProgramPtr p;
+        switch (rng.uniformInt(3)) {
+          case 0:
+            p = computeProg();
+            break;
+          case 1:
+            p = memProg(rng.uniform(), rng.uniform());
+            break;
+          default:
+            p = ProgramBuilder("latency")
+                    .seg(InstrClass::GlobalLoad, 6)
+                    .seg(InstrClass::Sfu, 2)
+                    .mem(4.0, 0.05, 0.1)
+                    .build();
+            break;
+        }
+        const uint32_t threads = 32u << rng.uniformInt(4);
+        auto k = makeKernel(std::move(p), 1 + rng.uniformInt(400),
+                            threads, 1 + rng.uniformInt(8));
+        if (rng.uniformInt(2))
+            k.ctaWorkCv = rng.uniform(0.0, 0.8);
+        SimOptions opts;
+        if (rng.uniformInt(2))
+            opts.scheduler = SchedulerPolicy::Gto;
+        if (rng.uniformInt(3) == 0)
+            opts.traceIpc = true;
+        if (rng.uniformInt(4) == 0)
+            opts.maxThreadInstructions = 20000 + rng.uniformInt(200000);
+        if (rng.uniformInt(4) == 0)
+            opts.maxCycles = 200 + rng.uniformInt(20000);
+        if (rng.uniformInt(2))
+            opts.contentSeed = true;
+        runBothCores(k, rng.nextU64(), opts);
+    }
+}
+
+TEST(SimCoreEquivalence, CountdownStopIdentical)
+{
+    // Stateful stop controller: the event core must poll it at exactly
+    // the reference core's bucket boundaries or the countdown drifts.
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(), 2000, 256, 16);
+    SimOptions opts;
+    CountdownStop ref_stop(5);
+    opts.stop = &ref_stop;
+    opts.referenceCore = true;
+    auto ref = s.simulateKernel(k, 1, opts);
+    CountdownStop ev_stop(5);
+    opts.stop = &ev_stop;
+    opts.referenceCore = false;
+    auto ev = s.simulateKernel(k, 1, opts);
+    EXPECT_TRUE(ref.stoppedEarly);
+    expectIdentical(ref, ev);
+}
+
+TEST(SimCoreEquivalence, PkpEarlyStopIdentical)
+{
+    // The paper's IPC-stability detector, fresh per run: stop decisions
+    // hang off the rolling window, which both cores must feed the same
+    // per-bucket IPC series.
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(computeProg(), 6000, 256, 12);
+    SimOptions opts;
+    pka::core::IpcStabilityController ref_stop;
+    opts.stop = &ref_stop;
+    opts.referenceCore = true;
+    auto ref = s.simulateKernel(k, 11, opts);
+    pka::core::IpcStabilityController ev_stop;
+    opts.stop = &ev_stop;
+    opts.referenceCore = false;
+    auto ev = s.simulateKernel(k, 11, opts);
+    EXPECT_TRUE(ref.stoppedEarly);
+    expectIdentical(ref, ev);
+}
+
+TEST(SimCoreEquivalence, TracedReplayIdentical)
+{
+    auto k = makeKernel(memProg(), 150, 256, 6);
+    k.ctaWorkCv = 0.7;
+    KernelTrace trace = captureTrace(k, 42);
+    SimOptions opts;
+    opts.trace = &trace;
+    runBothCores(k, 99, opts); // replay seed differs from capture seed
+}
+
+TEST(SimCoreEquivalence, TraceIpcSeriesIdentical)
+{
+    // The Figure-5 sample series must match sample for sample,
+    // including the L2/DRAM annotations computed at bucket boundaries.
+    GpuSimulator s(voltaV100());
+    auto k = makeKernel(memProg(0.1, 0.3), 800, 256, 8);
+    SimOptions opts;
+    opts.traceIpc = true;
+    opts.referenceCore = true;
+    auto ref = s.simulateKernel(k, 4, opts);
+    opts.referenceCore = false;
+    auto ev = s.simulateKernel(k, 4, opts);
+    ASSERT_EQ(ref.trace.size(), ev.trace.size());
+    ASSERT_FALSE(ref.trace.empty());
+    for (size_t i = 0; i < ref.trace.size(); ++i) {
+        EXPECT_EQ(ref.trace[i].cycle, ev.trace[i].cycle) << i;
+        EXPECT_EQ(ref.trace[i].ipc, ev.trace[i].ipc) << i;
+        EXPECT_EQ(ref.trace[i].l2MissPct, ev.trace[i].l2MissPct) << i;
+        EXPECT_EQ(ref.trace[i].dramUtilPct, ev.trace[i].dramUtilPct)
+            << i;
+    }
+}
+
+TEST(SimCoreAge, GtoAgeSeedOffsetInvariant)
+{
+    // Regression for the 32-bit age-counter wrap: GTO priority is the
+    // warp's assignment sequence number, so seeding the counter near
+    // 2^32 must not change scheduling. With the old uint32_t counter
+    // the offset run wrapped mid-kernel, later warps suddenly looked
+    // "oldest", and the two runs diverged.
+    auto spec = voltaV100();
+    auto k = makeKernel(memProg(), 8, 256, 4);
+    MemoryModel mem_a(spec, 7), mem_b(spec, 7);
+    SmCore a(spec, k, mem_a, 7, 4, SchedulerPolicy::Gto, nullptr, 1);
+    SmCore b(spec, k, mem_b, 7, 4, SchedulerPolicy::Gto, nullptr, 1);
+    b.seedAgeCounter((uint64_t{1} << 32) - 20); // wraps 20 warps in
+
+    uint64_t next_cta = 0;
+    for (uint64_t cycle = 0; cycle < 200000; ++cycle) {
+        if (cycle % 7 == 0 && next_cta < 8 && a.hasFreeSlot()) {
+            a.assignCta(next_cta);
+            b.assignCta(next_cta);
+            ++next_cta;
+        }
+        SmTickResult ra = a.tick(cycle);
+        SmTickResult rb = b.tick(cycle);
+        ASSERT_EQ(ra.warpInstsIssued, rb.warpInstsIssued) << cycle;
+        ASSERT_EQ(ra.threadInstsRetired, rb.threadInstsRetired) << cycle;
+        ASSERT_EQ(ra.ctasFinished, rb.ctasFinished) << cycle;
+        ASSERT_EQ(a.nextWake(), b.nextWake()) << cycle;
+        if (next_cta == 8 && !a.busy() && !b.busy())
+            break;
+    }
+    EXPECT_FALSE(a.busy());
+    EXPECT_FALSE(b.busy());
 }
