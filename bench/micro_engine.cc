@@ -43,6 +43,7 @@ struct ConfigRun
     unsigned threads = 0;
     double wallSeconds = 0.0;
     double cpuSeconds = 0.0;
+    uint64_t faulted = 0; ///< failed + quarantined (must be 0: clean path)
     CampaignAggregate agg;
 };
 
@@ -61,6 +62,7 @@ runCampaign(const std::vector<workload::Workload> &apps,
         core::FullSimResult fs = core::fullSimulate(engine, simulator, w);
         run.wallSeconds += fs.wallSeconds;
         run.cpuSeconds += fs.cpuSeconds;
+        run.faulted += fs.failedLaunches + fs.quarantinedKernels;
         run.agg.cycles += fs.cycles;
         run.agg.threadInsts += fs.threadInsts;
         run.agg.dramUtilPct += fs.dramUtilPct;
@@ -158,7 +160,18 @@ main()
     std::printf("    \"cycles\": %.17g,\n", on.cycles);
     std::printf("    \"aggregates_bit_identical\": %s\n",
                 cache_identical ? "true" : "false");
+
+    // Clean-path smoke for the fault-tolerance machinery: with no fault
+    // injection armed, nothing may retry, fail or be quarantined.
+    uint64_t faulted = on.failedLaunches + on.quarantinedKernels +
+                       off.failedLaunches + off.quarantinedKernels;
+    for (const auto &r : runs)
+        faulted += r.faulted;
+    std::printf("  },\n");
+    std::printf("  \"clean_path\": {\n");
+    std::printf("    \"faulted_or_quarantined\": %llu\n",
+                static_cast<unsigned long long>(faulted));
     std::printf("  }\n}\n");
 
-    return (campaign_identical && cache_identical) ? 0 : 1;
+    return (campaign_identical && cache_identical && faulted == 0) ? 0 : 1;
 }

@@ -1,0 +1,45 @@
+#include "common/error.hh"
+
+namespace pka::common
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::kBadInput:
+        return "bad-input";
+    case ErrorKind::kSimInvariant:
+        return "sim-invariant";
+    case ErrorKind::kTimeout:
+        return "timeout";
+    case ErrorKind::kStoreIo:
+        return "store-io";
+    case ErrorKind::kCancelled:
+        return "cancelled";
+    case ErrorKind::kInternal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+TaskError::str() const
+{
+    std::string s = errorKindName(kind);
+    s += ": ";
+    s += message;
+    if (!context.empty()) {
+        s += " [";
+        s += context;
+        s += "]";
+    }
+    if (attempts > 0)
+        s += strfmt(" (%u attempt%s%s)", attempts, attempts == 1 ? "" : "s",
+                    quarantined ? ", quarantined" : "");
+    else if (quarantined)
+        s += " (quarantined)";
+    return s;
+}
+
+} // namespace pka::common

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Structured, recoverable errors for library code. fatal()/panic()
+ * (logging.hh) terminate the process and are reserved for the CLI layer
+ * and for truly unrecoverable invariant violations; everything a long
+ * campaign must survive — a poisoned kernel, a runaway simulation, a
+ * transient store I/O failure, a malformed input file — is instead
+ * reported as a TaskError and propagated either by value (Expected<T>)
+ * or, across deep call stacks such as the simulator's run loop, as a
+ * TaskException that the campaign engine catches at the task boundary.
+ *
+ * The taxonomy is deliberately small: policy code (retry, quarantine,
+ * quorum — see sim/engine.hh and core/pka.hh) branches on ErrorKind,
+ * never on message text.
+ */
+
+#ifndef PKA_COMMON_ERROR_HH
+#define PKA_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace pka::common
+{
+
+/** What failed, at the granularity recovery policy cares about. */
+enum class ErrorKind : uint8_t
+{
+    kBadInput,     ///< malformed user/file input (recoverable parse error)
+    kSimInvariant, ///< simulator internal invariant violated
+    kTimeout,      ///< watchdog cancelled (wall-clock or cycle budget)
+    kStoreIo,      ///< persistent store / journal I/O failure
+    kCancelled,    ///< cooperatively cancelled from outside
+    kInternal,     ///< unexpected failure (unclassified exception)
+};
+
+/** Stable lowercase name of an ErrorKind (for reports and logs). */
+const char *errorKindName(ErrorKind kind);
+
+/** One task's structured failure report. */
+struct TaskError
+{
+    ErrorKind kind = ErrorKind::kInternal;
+    std::string message;
+
+    /** Where it happened (kernel name, file:line, record path, ...). */
+    std::string context;
+
+    /** Executions attempted before giving up (0 = not even started). */
+    uint32_t attempts = 0;
+
+    /** The failing kernel was quarantined (campaigns skip it). */
+    bool quarantined = false;
+
+    /** One-line human rendering: "timeout: ... [context] (2 attempts)". */
+    std::string str() const;
+};
+
+/**
+ * A value or a TaskError. Minimal std::expected stand-in (the toolchain
+ * target is C++20): no monadic sugar, just checked access. Accessing the
+ * wrong alternative is a programming error and panics.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value)
+        : v_(std::move(value))
+    {
+    }
+
+    Expected(TaskError error)
+        : v_(std::move(error))
+    {
+    }
+
+    /** True when a value is present. */
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    T &value()
+    {
+        PKA_ASSERT(ok(), "Expected::value() on an error");
+        return std::get<T>(v_);
+    }
+
+    const T &value() const
+    {
+        PKA_ASSERT(ok(), "Expected::value() on an error");
+        return std::get<T>(v_);
+    }
+
+    TaskError &error()
+    {
+        PKA_ASSERT(!ok(), "Expected::error() on a value");
+        return std::get<TaskError>(v_);
+    }
+
+    const TaskError &error() const
+    {
+        PKA_ASSERT(!ok(), "Expected::error() on a value");
+        return std::get<TaskError>(v_);
+    }
+
+  private:
+    std::variant<T, TaskError> v_;
+};
+
+/**
+ * Exception carrier for a TaskError across call stacks that cannot
+ * return Expected (the simulator's run loop, fault-injection sites).
+ * Caught at the task boundary by the campaign engine and converted back
+ * into a value-level error; never escapes library entry points that
+ * return Expected.
+ */
+class TaskException : public std::runtime_error
+{
+  public:
+    TaskException(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(kind)
+    {
+    }
+
+    /** With location context ("line 12, field 'weight'", a file path). */
+    TaskException(ErrorKind kind, const std::string &msg,
+                  std::string context)
+        : std::runtime_error(msg), kind_(kind),
+          context_(std::move(context))
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+    const std::string &context() const { return context_; }
+
+    /** The exception's payload as a value-level TaskError. */
+    TaskError toError() const
+    {
+        TaskError e;
+        e.kind = kind_;
+        e.message = what();
+        e.context = context_;
+        return e;
+    }
+
+  private:
+    ErrorKind kind_;
+    std::string context_;
+};
+
+/**
+ * Check a recoverable invariant: throws TaskException(kSimInvariant)
+ * instead of aborting, so the campaign engine can catch, classify and
+ * retry (e.g. fall back to the reference simulator core). Use PKA_ASSERT
+ * only where no caller could meaningfully recover.
+ */
+#define PKA_CHECK(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            throw ::pka::common::TaskException(                               \
+                ::pka::common::ErrorKind::kSimInvariant,                      \
+                ::pka::common::strfmt("%s:%d: invariant '%s' violated: %s",   \
+                                      __FILE__, __LINE__, #cond,              \
+                                      std::string(msg).c_str()));             \
+        }                                                                     \
+    } while (0)
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_ERROR_HH

@@ -1,0 +1,268 @@
+#include "common/fault.hh"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace pka::common
+{
+
+namespace
+{
+
+/** FNV-1a over a string view (site names). */
+uint64_t
+fnvStr(std::string_view s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer — the decision hash's mixing function. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+std::optional<FaultKind>
+parseKind(std::string_view s)
+{
+    if (s == "throw")
+        return FaultKind::kThrow;
+    if (s == "hang")
+        return FaultKind::kHang;
+    if (s == "io")
+        return FaultKind::kIoError;
+    if (s == "short")
+        return FaultKind::kShortWrite;
+    if (s == "corrupt")
+        return FaultKind::kCorrupt;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(std::move(cur));
+    return out;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::kThrow:
+        return "throw";
+    case FaultKind::kHang:
+        return "hang";
+    case FaultKind::kIoError:
+        return "io";
+    case FaultKind::kShortWrite:
+        return "short";
+    case FaultKind::kCorrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *spec = std::getenv("PKA_FAULTS");
+    if (!spec || !*spec)
+        return;
+    uint64_t seed = 1;
+    if (const char *s = std::getenv("PKA_FAULT_SEED"))
+        seed = std::strtoull(s, nullptr, 10);
+    std::string err;
+    if (!configureFromString(spec, seed, &err))
+        warn(strfmt("ignoring malformed $PKA_FAULTS: %s", err.c_str()));
+    else
+        inform(strfmt("fault injection armed from $PKA_FAULTS "
+                      "(seed %llu): %s",
+                      static_cast<unsigned long long>(seed), spec));
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector fi;
+    return fi;
+}
+
+void
+FaultInjector::configure(std::vector<FaultSpec> specs, uint64_t seed)
+{
+    armed_.store(0, std::memory_order_relaxed);
+    specs_.clear();
+    for (auto &s : specs) {
+        auto armed = std::make_unique<ArmedSpec>();
+        armed->spec = std::move(s);
+        specs_.push_back(std::move(armed));
+    }
+    seed_ = seed;
+    armed_.store(specs_.empty() ? 0 : 1, std::memory_order_release);
+}
+
+bool
+FaultInjector::configureFromString(const std::string &spec, uint64_t seed,
+                                   std::string *err)
+{
+    std::vector<FaultSpec> out;
+    for (const std::string &entry : split(spec, ',')) {
+        if (entry.empty())
+            continue;
+        auto parts = split(entry, ':');
+        if (parts.size() < 2) {
+            if (err)
+                *err = strfmt("entry '%s' needs site:kind", entry.c_str());
+            return false;
+        }
+        FaultSpec fs;
+        fs.site = parts[0];
+        auto kind = parseKind(parts[1]);
+        if (!kind) {
+            if (err)
+                *err = strfmt("unknown fault kind '%s'", parts[1].c_str());
+            return false;
+        }
+        fs.kind = *kind;
+        for (size_t i = 2; i < parts.size(); ++i) {
+            const std::string &arg = parts[i];
+            if (arg.rfind("key=", 0) == 0) {
+                const char *b = arg.data() + 4;
+                auto [p, ec] = std::from_chars(b, arg.data() + arg.size(),
+                                               fs.matchKey, 16);
+                if (ec != std::errc() || p != arg.data() + arg.size()) {
+                    if (err)
+                        *err = strfmt("bad key in '%s'", entry.c_str());
+                    return false;
+                }
+            } else if (arg.rfind("max=", 0) == 0) {
+                const char *b = arg.data() + 4;
+                auto [p, ec] = std::from_chars(b, arg.data() + arg.size(),
+                                               fs.maxFires);
+                if (ec != std::errc() || p != arg.data() + arg.size()) {
+                    if (err)
+                        *err = strfmt("bad max in '%s'", entry.c_str());
+                    return false;
+                }
+            } else {
+                auto [p, ec] = std::from_chars(
+                    arg.data(), arg.data() + arg.size(), fs.permille);
+                if (ec != std::errc() || p != arg.data() + arg.size() ||
+                    fs.permille > 1000) {
+                    if (err)
+                        *err = strfmt("bad permille in '%s'", entry.c_str());
+                    return false;
+                }
+            }
+        }
+        out.push_back(std::move(fs));
+    }
+    if (out.empty()) {
+        if (err)
+            *err = "empty fault spec";
+        return false;
+    }
+    configure(std::move(out), seed);
+    return true;
+}
+
+void
+FaultInjector::reset()
+{
+    armed_.store(0, std::memory_order_relaxed);
+    specs_.clear();
+    seed_ = 0;
+}
+
+std::optional<FaultKind>
+FaultInjector::shouldFire(std::string_view site, uint64_t key)
+{
+    for (auto &armed : specs_) {
+        const FaultSpec &s = armed->spec;
+        if (s.site != site)
+            continue;
+        if (s.matchKey != 0 && s.matchKey != key)
+            continue;
+        if (s.permille < 1000) {
+            // The occurrence counter re-rolls the decision on retries,
+            // which is what makes an "io" fault transient: a site that
+            // fired may pass on the next visit. Deterministic for any
+            // single-threaded visit order.
+            uint64_t occ = armed->occurrences.fetch_add(
+                1, std::memory_order_relaxed);
+            uint64_t h = mix64(seed_ ^ fnvStr(s.site) ^ mix64(key) ^
+                               mix64(occ + 1));
+            if (h % 1000 >= s.permille)
+                continue;
+        }
+        if (s.maxFires != 0) {
+            uint64_t n =
+                armed->fires.fetch_add(1, std::memory_order_relaxed);
+            if (n >= s.maxFires)
+                continue;
+        } else {
+            armed->fires.fetch_add(1, std::memory_order_relaxed);
+        }
+        return s.kind;
+    }
+    return std::nullopt;
+}
+
+uint64_t
+FaultInjector::fireCount(std::string_view site) const
+{
+    uint64_t total = 0;
+    for (const auto &armed : specs_) {
+        if (armed->spec.site != site)
+            continue;
+        uint64_t fires = armed->fires.load(std::memory_order_relaxed);
+        // maxFires-limited specs over-count refused fires in the same
+        // counter; clamp to the budget actually executed.
+        if (armed->spec.maxFires != 0 && fires > armed->spec.maxFires)
+            fires = armed->spec.maxFires;
+        total += fires;
+    }
+    return total;
+}
+
+void
+FaultInjector::hang(const std::function<bool()> &cancelled) const
+{
+    using clock = std::chrono::steady_clock;
+    auto give_up = clock::now() + std::chrono::seconds(5);
+    while (!cancelled()) {
+        if (clock::now() >= give_up)
+            throw TaskException(ErrorKind::kTimeout,
+                                "injected hang outlasted the 5s "
+                                "fault-injection cap (no watchdog armed?)");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+} // namespace pka::common

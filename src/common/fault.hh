@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection. Named injection sites are
+ * threaded through the subsystems whose recovery paths must be proven —
+ * store reads/writes, journal appends, worker execution, the simulator
+ * loop — and a process-wide FaultInjector decides, purely as a function
+ * of (seed, site, key), whether a site fires and with what fault kind.
+ * The same seed therefore reproduces the same fault pattern on every
+ * run and every thread count, which is what lets the fault-injection CI
+ * matrix assert bit-identical recovery instead of flaky approximations.
+ *
+ * Compiled in via the PKA_FAULT_INJECTION cmake option (ON by default so
+ * the tier-1 suite exercises every recovery path; production builds can
+ * compile it out and every site folds to a constant-false branch).
+ * Even when compiled in, the injector is inert until armed — one relaxed
+ * atomic load per site visit — so the clean path stays bit-identical
+ * and effectively free.
+ *
+ * Sites in the tree:
+ *   worker.exec    — engine task body, before simulation      (throw)
+ *   sim.loop       — simulator bucket boundary                (throw, hang)
+ *   store.read     — result-store record read                 (io, corrupt)
+ *   store.write    — result-store record write                (io, short)
+ *   journal.append — campaign-journal checkpoint append       (short = crash)
+ */
+
+#ifndef PKA_COMMON_FAULT_HH
+#define PKA_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pka::common
+{
+
+#ifdef PKA_FAULT_INJECTION
+inline constexpr bool kFaultInjectionCompiledIn = true;
+#else
+inline constexpr bool kFaultInjectionCompiledIn = false;
+#endif
+
+/** What an armed site does when it fires. */
+enum class FaultKind : uint8_t
+{
+    kThrow,      ///< throw TaskException(kInternal) from the site
+    kHang,       ///< block until the task's watchdog cancels it
+    kIoError,    ///< report a (retryable) I/O failure
+    kShortWrite, ///< truncate the payload mid-write (torn record/line)
+    kCorrupt,    ///< flip payload bits (CRC must catch it)
+};
+
+/** Stable lowercase name of a FaultKind. */
+const char *faultKindName(FaultKind kind);
+
+/** One armed injection site. */
+struct FaultSpec
+{
+    /** Site name, e.g. "store.read". */
+    std::string site;
+
+    FaultKind kind = FaultKind::kThrow;
+
+    /**
+     * Firing probability per opportunity in permille (1000 = always).
+     * The decision is a pure hash of (seed, site, key, occurrence), so a
+     * given opportunity either always fires or never fires for a seed.
+     */
+    uint32_t permille = 1000;
+
+    /** When nonzero, fire only for opportunities with this exact key. */
+    uint64_t matchKey = 0;
+
+    /** Stop firing after this many fires (0 = unlimited). Models
+     *  *transient* faults: retries beyond the budget succeed. */
+    uint32_t maxFires = 0;
+};
+
+/**
+ * Process-wide fault-injection controller. configure()/reset() must not
+ * race with sites being visited (tests arm before running a campaign
+ * and reset after); the decision path itself is thread-safe and
+ * lock-free.
+ */
+class FaultInjector
+{
+  public:
+    /** The process-wide injector (arms from $PKA_FAULTS/$PKA_FAULT_SEED
+     *  on first access; see parseSpec for the grammar). */
+    static FaultInjector &instance();
+
+    /** Arm `specs` under `seed`, replacing any previous arming. */
+    void configure(std::vector<FaultSpec> specs, uint64_t seed);
+
+    /**
+     * Arm from a spec string:
+     *   spec     := entry (',' entry)*
+     *   entry    := site ':' kind [':' arg]*
+     *   kind     := throw | hang | io | short | corrupt
+     *   arg      := <permille> | key=<hex64> | max=<count>
+     * e.g. "store.read:io:250,worker.exec:throw:key=1f2e3d4c5b6a7988".
+     * Returns false (and fills *err) on a malformed spec.
+     */
+    bool configureFromString(const std::string &spec, uint64_t seed,
+                             std::string *err);
+
+    /** Disarm everything and zero the fire counters. */
+    void reset();
+
+    /** True when at least one site is armed (one relaxed load). */
+    bool enabled() const
+    {
+        return armed_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** The armed seed. */
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * Decide whether `site` fires for opportunity `key`. Deterministic
+     * in (seed, site, key) — except for maxFires-limited specs, whose
+     * fire budget is consumed in visit order. Returns the fault kind to
+     * execute, or nullopt.
+     */
+    std::optional<FaultKind> shouldFire(std::string_view site, uint64_t key);
+
+    /** Total fires recorded at `site` since configure()/reset(). */
+    uint64_t fireCount(std::string_view site) const;
+
+    /**
+     * Execute a kHang fire: block in small slices until `cancelled`
+     * returns true (the watchdog fired), then return so the caller's own
+     * cancellation poll reports the timeout. A hard cap (~5 s) converts
+     * an unwatched hang into a thrown timeout rather than a wedged test.
+     */
+    void hang(const std::function<bool()> &cancelled) const;
+
+  private:
+    FaultInjector();
+
+    struct ArmedSpec
+    {
+        FaultSpec spec;
+        std::atomic<uint64_t> fires{0};
+        std::atomic<uint64_t> occurrences{0};
+    };
+
+    std::vector<std::unique_ptr<ArmedSpec>> specs_;
+    std::atomic<uint32_t> armed_{0};
+    uint64_t seed_ = 0;
+};
+
+/**
+ * The one call sites make. Folds to nullopt at compile time when fault
+ * injection is compiled out, and to a single relaxed load when compiled
+ * in but disarmed.
+ */
+inline std::optional<FaultKind>
+faultAt(std::string_view site, uint64_t key)
+{
+    if constexpr (!kFaultInjectionCompiledIn)
+        return std::nullopt;
+    FaultInjector &fi = FaultInjector::instance();
+    if (!fi.enabled())
+        return std::nullopt;
+    return fi.shouldFire(site, key);
+}
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_FAULT_HH

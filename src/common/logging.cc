@@ -2,10 +2,38 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace pka::common
 {
+
+namespace
+{
+
+/**
+ * Serialize every status line. fprintf locks the stream per call, but a
+ * message assembled across calls (or two threads' format/flush pairs)
+ * can still interleave; building the full line first and writing it in
+ * one locked fputs guarantees whole-line atomicity even when every pool
+ * worker is warning at once.
+ */
+std::mutex g_log_m;
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lk(g_log_m);
+    std::fputs(line.c_str(), stderr);
+}
+
+} // namespace
 
 std::string
 strfmt(const char *fmt, ...)
@@ -29,27 +57,58 @@ strfmt(const char *fmt, ...)
 [[noreturn]] void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine("fatal: ", msg);
     std::exit(1);
 }
 
 [[noreturn]] void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine("panic: ", msg);
     std::abort();
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg);
+}
+
+bool
+warnRateLimited(const std::string &category, const std::string &msg)
+{
+    struct Budget
+    {
+        uint64_t seen = 0;
+        uint64_t suppressed = 0;
+    };
+    static std::mutex m;
+    static std::unordered_map<std::string, Budget> budgets;
+
+    uint64_t suppressed = 0;
+    {
+        std::lock_guard<std::mutex> lk(m);
+        Budget &b = budgets[category];
+        ++b.seen;
+        if (b.seen > kWarnBurst && b.seen % kWarnEveryNth != 0) {
+            ++b.suppressed;
+            return false;
+        }
+        suppressed = b.suppressed;
+        b.suppressed = 0;
+    }
+    if (suppressed > 0)
+        warn(strfmt("%s (%llu similar suppressed)", msg.c_str(),
+                    static_cast<unsigned long long>(suppressed)));
+    else
+        warn(msg);
+    return true;
 }
 
 void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info: ", msg);
 }
 
 } // namespace pka::common

@@ -11,6 +11,7 @@
 #define PKA_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace pka::common
@@ -27,6 +28,22 @@ std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Report a suspicious-but-survivable condition to stderr. */
 void warn(const std::string &msg);
+
+/**
+ * Rate-limited warn() for hot paths that can fail repeatedly (a flaky
+ * store probed by every pool worker must not flood stderr). Messages
+ * sharing a `category` share one budget: the first kWarnBurst pass
+ * through, then only every kWarnEveryNth is emitted, annotated with the
+ * suppressed count. Thread-safe. Returns true when the message was
+ * actually written.
+ */
+bool warnRateLimited(const std::string &category, const std::string &msg);
+
+/** warnRateLimited: messages emitted per category before throttling. */
+inline constexpr uint64_t kWarnBurst = 8;
+
+/** warnRateLimited: emit cadence once a category is throttled. */
+inline constexpr uint64_t kWarnEveryNth = 256;
 
 /** Report normal operating status to stderr. */
 void inform(const std::string &msg);

@@ -48,6 +48,15 @@ fullSimulate(const sim::SimEngine &engine,
              const sim::GpuSimulator &simulator, const Workload &w,
              const CampaignCheckpoint *checkpoint)
 {
+    return fullSimulate(engine, simulator, w, checkpoint, nullptr);
+}
+
+FullSimResult
+fullSimulate(const sim::SimEngine &engine,
+             const sim::GpuSimulator &simulator, const Workload &w,
+             const CampaignCheckpoint *checkpoint,
+             const CampaignPolicy *policy)
+{
     FullSimResult out;
 
     std::vector<sim::SimJob> jobs(w.launches.size());
@@ -66,16 +75,24 @@ fullSimulate(const sim::SimEngine &engine,
     }
 
     sim::EngineStats stats;
-    std::vector<sim::KernelSimResult> results = runJobsCheckpointed(
-        engine, simulator, jobs, &stats, journal.get(),
-        checkpoint ? checkpoint->chunkLaunches : 0);
+    CampaignRunOutcome run = runJobsCheckpointedChecked(
+        engine, simulator, jobs, policy ? *policy : CampaignPolicy{},
+        &stats, journal.get(), checkpoint ? checkpoint->chunkLaunches : 0);
+    if (!policy && !run.failures.empty())
+        // Strict legacy contract: without an explicit policy a failed
+        // launch is fatal, exactly like engine.run().
+        pka::common::fatal("simulation failed: " +
+                           run.failures.front().error.str());
 
     // Reduce in launch order — bit-identical for any thread count.
-    out.perKernel.reserve(w.launches.size());
+    // Failed launches drop out; totals are reweighted afterwards.
+    out.perKernel.reserve(run.completedCount);
     double util_weight = 0.0;
-    for (size_t i = 0; i < results.size(); ++i) {
+    for (size_t i = 0; i < run.results.size(); ++i) {
+        if (!run.completed[i])
+            continue;
         const auto &k = w.launches[i];
-        const sim::KernelSimResult &r = results[i];
+        const sim::KernelSimResult &r = run.results[i];
         out.cycles += static_cast<double>(r.cycles);
         out.threadInsts += r.threadInstructions;
         out.dramUtilPct += r.dramUtilPct * static_cast<double>(r.cycles);
@@ -93,12 +110,25 @@ fullSimulate(const sim::SimEngine &engine,
     }
     if (util_weight > 0)
         out.dramUtilPct /= util_weight;
+    if (run.completedCount > 0 && run.completedCount < jobs.size()) {
+        // Reweight the totals by the completed fraction so they remain
+        // a whole-app estimate (the failed launches' cycles are
+        // approximated by the average completed launch).
+        double scale = static_cast<double>(jobs.size()) /
+                       static_cast<double>(run.completedCount);
+        out.cycles *= scale;
+        out.threadInsts *= scale;
+    }
     out.wallSeconds = stats.wallSeconds;
     out.cpuSeconds = stats.cpuSeconds;
     out.cacheHits = stats.cacheHits;
     out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
     out.corruptSkipped = stats.corruptSkipped;
+    out.failedLaunches = run.failures.size();
+    out.quarantinedKernels = stats.quarantinedKernels;
+    out.quorumMet = run.quorumMet;
+    out.failures = std::move(run.failures);
     return out;
 }
 

@@ -72,6 +72,17 @@ struct FullSimResult
     uint64_t cacheMisses = 0; ///< launches actually simulated
     uint64_t corruptSkipped = 0;  ///< corrupt store records skipped
     uint64_t resumedLaunches = 0; ///< journaled complete before this run
+
+    // Fault-tolerance accounting (all zero/true on a clean run). When
+    // launches fail under a CampaignPolicy, cycle/instruction totals are
+    // reweighted by completed-launch fraction so they still estimate the
+    // whole app; perKernel then contains only completed launches
+    // (consumers key on TBPointKernelStats::launchId, not position).
+    uint64_t failedLaunches = 0;     ///< launches that ended in error
+    uint64_t quarantinedKernels = 0; ///< distinct kernels quarantined
+    bool quorumMet = true;           ///< campaign met its quorum policy
+    std::vector<sim::LaunchFailure> failures; ///< per-launch detail
+
     std::vector<TBPointKernelStats> perKernel;
 
     double ipc() const
@@ -100,6 +111,19 @@ FullSimResult fullSimulate(const sim::SimEngine &engine,
                            const sim::GpuSimulator &simulator,
                            const pka::workload::Workload &w,
                            const CampaignCheckpoint *checkpoint);
+
+/**
+ * fullSimulate under an explicit campaign failure policy: launches that
+ * fail after the engine's retry/quarantine machinery are dropped from
+ * the aggregates (which are then reweighted — see FullSimResult) instead
+ * of fatal, and quorumMet/failures report the damage. policy == nullptr
+ * restores the strict contract.
+ */
+FullSimResult fullSimulate(const sim::SimEngine &engine,
+                           const sim::GpuSimulator &simulator,
+                           const pka::workload::Workload &w,
+                           const CampaignCheckpoint *checkpoint,
+                           const CampaignPolicy *policy);
 
 /** fullSimulate on the process-wide shared engine. */
 FullSimResult fullSimulate(const sim::GpuSimulator &simulator,

@@ -42,6 +42,88 @@ journalPath(const std::string &dir, const std::string &stage,
         .string();
 }
 
+CampaignRunOutcome
+runJobsCheckpointedChecked(const sim::SimEngine &engine,
+                           const sim::GpuSimulator &simulator,
+                           const std::vector<sim::SimJob> &jobs,
+                           const CampaignPolicy &policy,
+                           sim::EngineStats *stats,
+                           store::CampaignJournal *journal,
+                           size_t chunk_launches)
+{
+    CampaignRunOutcome out;
+    out.results.resize(jobs.size());
+    out.completed.assign(jobs.size(), 0);
+
+    // Resume: replay journaled quarantine decisions into the engine, so
+    // a kernel that poisoned the previous run is skipped immediately
+    // instead of re-burning its retry budget.
+    if (journal) {
+        for (uint64_t h : journal->quarantined()) {
+            common::TaskError e;
+            e.kind = common::ErrorKind::kInternal;
+            e.message = "kernel quarantined in a previous run";
+            e.quarantined = true;
+            engine.quarantineKernel(h, e);
+        }
+    }
+
+    if (chunk_launches == 0)
+        chunk_launches = journal ? 256 : std::max<size_t>(jobs.size(), 1);
+
+    // Every launch still flows through the engine — completed ones come
+    // back from the memory cache or the persistent store, so resuming
+    // costs store reads, not simulation — and results land in job order,
+    // keeping the reduction bit-identical to an uninterrupted run.
+    std::vector<size_t> chunk_indices;
+    for (size_t begin = 0; begin < jobs.size(); begin += chunk_launches) {
+        size_t end = std::min(begin + chunk_launches, jobs.size());
+        std::vector<sim::SimJob> chunk(jobs.begin() + begin,
+                                       jobs.begin() + end);
+        size_t prev_errors = stats ? stats->launchErrors.size() : 0;
+        std::vector<common::Expected<sim::KernelSimResult>> part =
+            engine.runChecked(simulator, chunk, stats);
+        if (stats) // lift chunk-local error indices into campaign space
+            for (size_t e = prev_errors; e < stats->launchErrors.size();
+                 ++e)
+                stats->launchErrors[e].index += begin;
+
+        chunk_indices.clear();
+        bool chunk_failed = false;
+        for (size_t i = 0; i < part.size(); ++i) {
+            size_t idx = begin + i;
+            if (part[i].ok()) {
+                out.results[idx] = std::move(part[i].value());
+                out.completed[idx] = 1;
+                ++out.completedCount;
+                chunk_indices.push_back(idx);
+                continue;
+            }
+            chunk_failed = true;
+            out.failures.push_back(
+                {static_cast<uint64_t>(idx), part[i].error()});
+            if (journal && part[i].error().quarantined &&
+                jobs[idx].kernel && jobs[idx].kernel->program)
+                journal->markQuarantined(
+                    sim::launchContentHash(*jobs[idx].kernel));
+        }
+        if (journal)
+            journal->markDone(chunk_indices);
+        if (policy.failFast && chunk_failed) {
+            out.stoppedEarly = true;
+            break;
+        }
+    }
+
+    double fraction =
+        jobs.empty() ? 1.0
+                     : static_cast<double>(out.completedCount) /
+                           static_cast<double>(jobs.size());
+    out.quorumMet =
+        !out.stoppedEarly && fraction + 1e-12 >= policy.minQuorum;
+    return out;
+}
+
 std::vector<sim::KernelSimResult>
 runJobsCheckpointed(const sim::SimEngine &engine,
                     const sim::GpuSimulator &simulator,
@@ -50,34 +132,13 @@ runJobsCheckpointed(const sim::SimEngine &engine,
                     store::CampaignJournal *journal,
                     size_t chunk_launches)
 {
-    if (!journal)
-        return engine.run(simulator, jobs, stats);
-    if (chunk_launches == 0)
-        chunk_launches = 256;
-
-    // Every launch still flows through the engine — completed ones come
-    // back from the memory cache or the persistent store, so resuming
-    // costs store reads, not simulation — and results land in job order,
-    // keeping the reduction bit-identical to an uninterrupted run.
-    std::vector<sim::KernelSimResult> results;
-    results.reserve(jobs.size());
-    std::vector<size_t> chunk_indices;
-    for (size_t begin = 0; begin < jobs.size(); begin += chunk_launches) {
-        size_t end = std::min(begin + chunk_launches, jobs.size());
-        std::vector<sim::SimJob> chunk(jobs.begin() + begin,
-                                       jobs.begin() + end);
-        std::vector<sim::KernelSimResult> part =
-            engine.run(simulator, chunk, stats);
-        results.insert(results.end(),
-                       std::make_move_iterator(part.begin()),
-                       std::make_move_iterator(part.end()));
-
-        chunk_indices.clear();
-        for (size_t i = begin; i < end; ++i)
-            chunk_indices.push_back(i);
-        journal->markDone(chunk_indices);
-    }
-    return results;
+    CampaignRunOutcome out =
+        runJobsCheckpointedChecked(engine, simulator, jobs, CampaignPolicy{},
+                                   stats, journal, chunk_launches);
+    if (!out.failures.empty())
+        common::fatal("simulation failed: " +
+                      out.failures.front().error.str());
+    return std::move(out.results);
 }
 
 SelectionOutcome
@@ -127,7 +188,8 @@ AppProjection
 simulateSelection(const sim::SimEngine &engine,
                   const sim::GpuSimulator &simulator, const Workload &w,
                   const SelectionOutcome &selection, const PkpOptions *pkp,
-                  const CampaignCheckpoint *checkpoint)
+                  const CampaignCheckpoint *checkpoint,
+                  const CampaignPolicy *policy)
 {
     AppProjection out;
 
@@ -171,15 +233,29 @@ simulateSelection(const sim::SimEngine &engine,
     }
 
     sim::EngineStats stats;
-    std::vector<sim::KernelSimResult> results = runJobsCheckpointed(
-        engine, simulator, jobs, &stats, journal.get(),
-        checkpoint ? checkpoint->chunkLaunches : 0);
+    CampaignRunOutcome run = runJobsCheckpointedChecked(
+        engine, simulator, jobs, policy ? *policy : CampaignPolicy{},
+        &stats, journal.get(), checkpoint ? checkpoint->chunkLaunches : 0);
+    if (!policy && !run.failures.empty())
+        // Strict legacy contract: without an explicit policy, a failed
+        // representative is fatal, exactly like engine.run().
+        common::fatal("simulation failed: " +
+                      run.failures.front().error.str());
 
     // Reduce in group order — bit-identical for any thread count.
+    // Failed representatives drop out of the sums; surviving weight is
+    // renormalized below so the projection still estimates the whole
+    // app.
     double util_weight = 0.0;
-    for (size_t i = 0; i < results.size(); ++i) {
+    double total_weight = 0.0;
+    double surviving_weight = 0.0;
+    for (size_t i = 0; i < run.results.size(); ++i) {
         const auto &g = selection.groups[i];
-        const sim::KernelSimResult &r = results[i];
+        total_weight += g.weight;
+        if (!run.completed[i])
+            continue;
+        surviving_weight += g.weight;
+        const sim::KernelSimResult &r = run.results[i];
         PkpProjection proj = projectKernel(r);
 
         out.projectedCycles +=
@@ -191,12 +267,21 @@ simulateSelection(const sim::SimEngine &engine,
         util_weight += cw;
         out.simulatedCycles += static_cast<double>(r.cycles);
     }
+    if (surviving_weight > 0.0 && surviving_weight < total_weight) {
+        double scale = total_weight / surviving_weight;
+        out.projectedCycles *= scale;
+        out.projectedThreadInsts *= scale;
+    }
     out.simulatedWallSeconds = stats.wallSeconds;
     out.simulatedCpuSeconds = stats.cpuSeconds;
     out.cacheHits = stats.cacheHits;
     out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
     out.corruptSkipped = stats.corruptSkipped;
+    out.failedLaunches = run.failures.size();
+    out.quarantinedKernels = stats.quarantinedKernels;
+    out.quorumMet = run.quorumMet;
+    out.failures = std::move(run.failures);
     if (util_weight > 0)
         out.projectedDramUtilPct /= util_weight;
     return out;
@@ -214,7 +299,7 @@ PkaAppResult
 runPka(const sim::SimEngine &engine, const Workload &traced,
        const Workload &profiled, const silicon::SiliconGpu &gpu,
        const sim::GpuSimulator &simulator, const PkaOptions &options,
-       const CampaignCheckpoint *checkpoint)
+       const CampaignCheckpoint *checkpoint, const CampaignPolicy *policy)
 {
     PkaAppResult res;
     if (traced.launches.size() != profiled.launches.size()) {
@@ -228,9 +313,9 @@ runPka(const sim::SimEngine &engine, const Workload &traced,
 
     res.selection = selectKernels(profiled, gpu, options);
     res.pks = simulateSelection(engine, simulator, traced, res.selection,
-                                nullptr, checkpoint);
+                                nullptr, checkpoint, policy);
     res.pka = simulateSelection(engine, simulator, traced, res.selection,
-                                &options.pkp, checkpoint);
+                                &options.pkp, checkpoint, policy);
     return res;
 }
 

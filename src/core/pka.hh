@@ -50,6 +50,41 @@ struct CampaignCheckpoint
 };
 
 /**
+ * Failure policy for one campaign. The engine already retries and
+ * quarantines individual launches (see SimEngine::runChecked); this
+ * decides what the *campaign* does about launches that still failed.
+ */
+struct CampaignPolicy
+{
+    /**
+     * Minimum fraction of launches that must complete for the campaign
+     * to count as successful. 1.0 (default) = strict: any failed launch
+     * fails the campaign (after the whole stream was attempted, so the
+     * failure report is complete). Lower values let a campaign with a
+     * few quarantined kernels succeed with reweighted aggregates.
+     */
+    double minQuorum = 1.0;
+
+    /** Stop fanning out work at the first failed chunk. */
+    bool failFast = false;
+};
+
+/**
+ * Outcome of one fault-tolerant checkpointed fan-out. results[i] is
+ * meaningful only where completed[i] is set; failures lists every launch
+ * that failed (in launch order) with its structured error.
+ */
+struct CampaignRunOutcome
+{
+    std::vector<sim::KernelSimResult> results;
+    std::vector<uint8_t> completed; ///< per-launch completion bitmap
+    size_t completedCount = 0;
+    std::vector<sim::LaunchFailure> failures; ///< launch-order detail
+    bool quorumMet = true;   ///< completed fraction reached minQuorum
+    bool stoppedEarly = false; ///< failFast aborted the fan-out
+};
+
+/**
  * Identity hash of one simulation campaign: device spec, launch stream
  * content and ordering, engine seeding mode, and a stage salt (distinct
  * stages of one run — PKS vs PKA vs full-sim — journal separately).
@@ -69,7 +104,9 @@ std::string journalPath(const std::string &dir, const std::string &stage,
  * Run `jobs` through the engine in journal-checkpointed chunks: after
  * each chunk completes, its launch indices are journaled and flushed.
  * Results are returned in job order (the usual deterministic-reduction
- * contract). `journal` may be null (plain single fan-out).
+ * contract). `journal` may be null (plain single fan-out). Any launch
+ * failure is fatal — the legacy strict contract; campaigns that must
+ * survive failures use runJobsCheckpointedChecked.
  */
 std::vector<sim::KernelSimResult>
 runJobsCheckpointed(const sim::SimEngine &engine,
@@ -78,6 +115,22 @@ runJobsCheckpointed(const sim::SimEngine &engine,
                     sim::EngineStats *stats,
                     store::CampaignJournal *journal,
                     size_t chunk_launches);
+
+/**
+ * Fault-tolerant variant: failed launches are recorded instead of fatal,
+ * quarantine decisions are persisted to (and resumed from) the journal,
+ * and `policy` decides fail-fast and the completion quorum. Only
+ * completed launch indices are journaled, so an interrupted or partially
+ * failed campaign resumes exactly the unfinished work.
+ */
+CampaignRunOutcome
+runJobsCheckpointedChecked(const sim::SimEngine &engine,
+                           const sim::GpuSimulator &simulator,
+                           const std::vector<sim::SimJob> &jobs,
+                           const CampaignPolicy &policy,
+                           sim::EngineStats *stats,
+                           store::CampaignJournal *journal,
+                           size_t chunk_launches);
 
 /** Whole-methodology options; the paper's defaults everywhere. */
 struct PkaOptions
@@ -135,6 +188,15 @@ struct AppProjection
     uint64_t cacheMisses = 0; ///< launches actually simulated
     uint64_t corruptSkipped = 0; ///< corrupt store records skipped
 
+    // Fault-tolerance accounting (all zero/true on a clean run). When
+    // representatives fail, projected aggregates are renormalized over
+    // the surviving group weight, so the projection stays an estimate of
+    // the *whole* app rather than silently shrinking.
+    uint64_t failedLaunches = 0;     ///< representatives that failed
+    uint64_t quarantinedKernels = 0; ///< distinct kernels quarantined
+    bool quorumMet = true;           ///< campaign met its quorum policy
+    std::vector<sim::LaunchFailure> failures; ///< per-launch detail
+
     /** Projected whole-app IPC. */
     double projectedIpc() const
     {
@@ -152,6 +214,10 @@ struct AppProjection
  * @param pkp nullptr = run representatives to completion (PKS-only);
  *            non-null = stop on IPC stability and project (full PKA).
  * @param checkpoint optional journaled checkpoint/resume context.
+ * @param policy nullptr = strict legacy contract (any failure is
+ *        fatal); non-null = fault-tolerant: failed representatives are
+ *        dropped, the projection renormalizes over surviving weight,
+ *        and quorumMet/failures report the damage.
  */
 AppProjection simulateSelection(const sim::SimEngine &engine,
                                 const sim::GpuSimulator &simulator,
@@ -159,7 +225,8 @@ AppProjection simulateSelection(const sim::SimEngine &engine,
                                 const SelectionOutcome &selection,
                                 const PkpOptions *pkp,
                                 const CampaignCheckpoint *checkpoint =
-                                    nullptr);
+                                    nullptr,
+                                const CampaignPolicy *policy = nullptr);
 
 /** Same, on the process-wide shared engine. */
 AppProjection simulateSelection(const sim::GpuSimulator &simulator,
@@ -192,8 +259,9 @@ PkaAppResult runPka(const pka::workload::Workload &traced,
                     const PkaOptions &options = {});
 
 /**
- * runPka with an explicit campaign engine and optional checkpointing
- * (the PKS and PKA stages journal independently).
+ * runPka with an explicit campaign engine, optional checkpointing (the
+ * PKS and PKA stages journal independently) and optional campaign
+ * failure policy (nullptr = strict: any launch failure is fatal).
  */
 PkaAppResult runPka(const sim::SimEngine &engine,
                     const pka::workload::Workload &traced,
@@ -201,7 +269,8 @@ PkaAppResult runPka(const sim::SimEngine &engine,
                     const silicon::SiliconGpu &gpu,
                     const sim::GpuSimulator &simulator,
                     const PkaOptions &options = {},
-                    const CampaignCheckpoint *checkpoint = nullptr);
+                    const CampaignCheckpoint *checkpoint = nullptr,
+                    const CampaignPolicy *policy = nullptr);
 
 } // namespace pka::core
 

@@ -65,42 +65,82 @@ csvSplit(const std::string &line)
 namespace
 {
 
-double
-parseDouble(const std::string &s, const char *ctx)
+using pka::common::ErrorKind;
+using pka::common::TaskException;
+
+/**
+ * Line-counting reader over a CSV stream. All parse failures throw
+ * TaskException(kBadInput) whose context pins the offending line (and
+ * field, where one is known), so campaign drivers can report exactly
+ * where an artifact went bad — and skip it — instead of dying.
+ */
+struct LineReader
 {
-    try {
-        size_t pos = 0;
-        double v = std::stod(s, &pos);
-        if (pos != s.size())
-            fatal(strfmt("trailing characters in %s field: '%s'", ctx,
-                         s.c_str()));
+    std::istream &is;
+    size_t lineNo = 0;
+
+    /** Read one non-empty line; false at EOF. */
+    bool next(std::string &line)
+    {
+        while (std::getline(is, line)) {
+            ++lineNo;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        throw TaskException(ErrorKind::kBadInput, msg,
+                            strfmt("line %zu", lineNo));
+    }
+
+    [[noreturn]] void fail(const std::string &msg,
+                           const char *field) const
+    {
+        throw TaskException(
+            ErrorKind::kBadInput, msg,
+            strfmt("line %zu, field '%s'", lineNo, field));
+    }
+
+    double parseDouble(const std::string &s, const char *ctx) const
+    {
+        try {
+            size_t pos = 0;
+            double v = std::stod(s, &pos);
+            if (pos != s.size())
+                fail(strfmt("trailing characters in %s field: '%s'", ctx,
+                            s.c_str()),
+                     ctx);
+            return v;
+        } catch (const TaskException &) {
+            throw;
+        } catch (const std::exception &) {
+            fail(strfmt("malformed %s field: '%s'", ctx, s.c_str()), ctx);
+        }
+    }
+
+    uint64_t parseU64(const std::string &s, const char *ctx) const
+    {
+        uint64_t v = 0;
+        auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+        if (ec != std::errc() || p != s.data() + s.size())
+            fail(strfmt("malformed %s field: '%s'", ctx, s.c_str()), ctx);
         return v;
-    } catch (const std::exception &) {
-        fatal(strfmt("malformed %s field: '%s'", ctx, s.c_str()));
     }
-}
+};
 
-uint64_t
-parseU64(const std::string &s, const char *ctx)
+/** Shared adapter shape: unwrap or die with the structured rendering. */
+template <typename T>
+T
+valueOrFatal(pka::common::Expected<T> r)
 {
-    uint64_t v = 0;
-    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-    if (ec != std::errc() || p != s.data() + s.size())
-        fatal(strfmt("malformed %s field: '%s'", ctx, s.c_str()));
-    return v;
-}
-
-/** Read one non-empty line; false at EOF. */
-bool
-getDataLine(std::istream &is, std::string &line)
-{
-    while (std::getline(is, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (!line.empty())
-            return true;
-    }
-    return false;
+    if (!r.ok())
+        fatal(r.error().str());
+    return std::move(r.value());
 }
 
 } // namespace
@@ -122,44 +162,57 @@ writeDetailedProfiles(std::ostream &os,
     }
 }
 
+common::Expected<std::vector<DetailedProfile>>
+readDetailedProfilesChecked(std::istream &is)
+{
+    try {
+        LineReader in{is};
+        std::string line;
+        if (!in.next(line))
+            in.fail("empty detailed-profile stream");
+        const size_t expected = 3 + KernelMetrics::kCount;
+        if (csvSplit(line).size() != expected)
+            in.fail("detailed-profile header has the wrong column count");
+
+        std::vector<DetailedProfile> out;
+        while (in.next(line)) {
+            auto f = csvSplit(line);
+            if (f.size() != expected)
+                in.fail(strfmt(
+                    "detailed-profile row has %zu fields, want %zu",
+                    f.size(), expected));
+            DetailedProfile p;
+            p.launchId =
+                static_cast<uint32_t>(in.parseU64(f[0], "launch_id"));
+            p.kernelName = f[1];
+            p.cycles = in.parseU64(f[2], "cycles");
+            double m[KernelMetrics::kCount];
+            for (size_t i = 0; i < KernelMetrics::kCount; ++i)
+                m[i] = in.parseDouble(f[3 + i], KernelMetrics::name(i));
+            p.metrics.coalescedGlobalLoads = m[0];
+            p.metrics.coalescedGlobalStores = m[1];
+            p.metrics.coalescedLocalLoads = m[2];
+            p.metrics.threadGlobalLoads = m[3];
+            p.metrics.threadGlobalStores = m[4];
+            p.metrics.threadLocalLoads = m[5];
+            p.metrics.threadSharedLoads = m[6];
+            p.metrics.threadSharedStores = m[7];
+            p.metrics.threadGlobalAtomics = m[8];
+            p.metrics.instructions = m[9];
+            p.metrics.divergenceEff = m[10];
+            p.metrics.numCtas = m[11];
+            out.push_back(std::move(p));
+        }
+        return out;
+    } catch (const TaskException &ex) {
+        return ex.toError();
+    }
+}
+
 std::vector<DetailedProfile>
 readDetailedProfiles(std::istream &is)
 {
-    std::string line;
-    if (!getDataLine(is, line))
-        fatal("empty detailed-profile stream");
-    const size_t expected = 3 + KernelMetrics::kCount;
-    if (csvSplit(line).size() != expected)
-        fatal("detailed-profile header has the wrong column count");
-
-    std::vector<DetailedProfile> out;
-    while (getDataLine(is, line)) {
-        auto f = csvSplit(line);
-        if (f.size() != expected)
-            fatal(strfmt("detailed-profile row has %zu fields, want %zu",
-                         f.size(), expected));
-        DetailedProfile p;
-        p.launchId = static_cast<uint32_t>(parseU64(f[0], "launch_id"));
-        p.kernelName = f[1];
-        p.cycles = parseU64(f[2], "cycles");
-        double m[KernelMetrics::kCount];
-        for (size_t i = 0; i < KernelMetrics::kCount; ++i)
-            m[i] = parseDouble(f[3 + i], KernelMetrics::name(i));
-        p.metrics.coalescedGlobalLoads = m[0];
-        p.metrics.coalescedGlobalStores = m[1];
-        p.metrics.coalescedLocalLoads = m[2];
-        p.metrics.threadGlobalLoads = m[3];
-        p.metrics.threadGlobalStores = m[4];
-        p.metrics.threadLocalLoads = m[5];
-        p.metrics.threadSharedLoads = m[6];
-        p.metrics.threadSharedStores = m[7];
-        p.metrics.threadGlobalAtomics = m[8];
-        p.metrics.instructions = m[9];
-        p.metrics.divergenceEff = m[10];
-        p.metrics.numCtas = m[11];
-        out.push_back(std::move(p));
-    }
-    return out;
+    return valueOrFatal(readDetailedProfilesChecked(is));
 }
 
 void
@@ -181,40 +234,53 @@ writeLightProfiles(std::ostream &os, const std::vector<LightProfile> &ps)
     }
 }
 
+common::Expected<std::vector<LightProfile>>
+readLightProfilesChecked(std::istream &is)
+{
+    try {
+        LineReader in{is};
+        std::string line;
+        if (!in.next(line))
+            in.fail("empty light-profile stream");
+        if (csvSplit(line).size() != 9)
+            in.fail("light-profile header has the wrong column count");
+
+        std::vector<LightProfile> out;
+        while (in.next(line)) {
+            auto f = csvSplit(line);
+            if (f.size() != 9)
+                in.fail(strfmt("light-profile row has %zu fields, want 9",
+                               f.size()));
+            LightProfile p;
+            p.launchId =
+                static_cast<uint32_t>(in.parseU64(f[0], "launch_id"));
+            p.kernelName = f[1];
+            p.grid = {static_cast<uint32_t>(in.parseU64(f[2], "grid_x")),
+                      static_cast<uint32_t>(in.parseU64(f[3], "grid_y")),
+                      static_cast<uint32_t>(in.parseU64(f[4], "grid_z"))};
+            p.block = {
+                static_cast<uint32_t>(in.parseU64(f[5], "block_x")),
+                static_cast<uint32_t>(in.parseU64(f[6], "block_y")),
+                static_cast<uint32_t>(in.parseU64(f[7], "block_z"))};
+            if (!f[8].empty()) {
+                std::string dim;
+                std::istringstream ds(f[8]);
+                while (std::getline(ds, dim, 'x'))
+                    p.tensorDims.push_back(static_cast<uint32_t>(
+                        in.parseU64(dim, "tensor_dims")));
+            }
+            out.push_back(std::move(p));
+        }
+        return out;
+    } catch (const TaskException &ex) {
+        return ex.toError();
+    }
+}
+
 std::vector<LightProfile>
 readLightProfiles(std::istream &is)
 {
-    std::string line;
-    if (!getDataLine(is, line))
-        fatal("empty light-profile stream");
-    if (csvSplit(line).size() != 9)
-        fatal("light-profile header has the wrong column count");
-
-    std::vector<LightProfile> out;
-    while (getDataLine(is, line)) {
-        auto f = csvSplit(line);
-        if (f.size() != 9)
-            fatal(strfmt("light-profile row has %zu fields, want 9",
-                         f.size()));
-        LightProfile p;
-        p.launchId = static_cast<uint32_t>(parseU64(f[0], "launch_id"));
-        p.kernelName = f[1];
-        p.grid = {static_cast<uint32_t>(parseU64(f[2], "grid_x")),
-                  static_cast<uint32_t>(parseU64(f[3], "grid_y")),
-                  static_cast<uint32_t>(parseU64(f[4], "grid_z"))};
-        p.block = {static_cast<uint32_t>(parseU64(f[5], "block_x")),
-                   static_cast<uint32_t>(parseU64(f[6], "block_y")),
-                   static_cast<uint32_t>(parseU64(f[7], "block_z"))};
-        if (!f[8].empty()) {
-            std::string dim;
-            std::istringstream ds(f[8]);
-            while (std::getline(ds, dim, 'x'))
-                p.tensorDims.push_back(
-                    static_cast<uint32_t>(parseU64(dim, "tensor_dims")));
-        }
-        out.push_back(std::move(p));
-    }
-    return out;
+    return valueOrFatal(readLightProfilesChecked(is));
 }
 
 void
@@ -242,53 +308,67 @@ writeSelection(std::ostream &os, const SelectionOutcome &sel)
     }
 }
 
+common::Expected<SelectionOutcome>
+readSelectionChecked(std::istream &is)
+{
+    try {
+        LineReader in{is};
+        std::string line;
+        if (!in.next(line) || line != "# pka-selection v1")
+            in.fail("not a pka selection file (missing magic header)");
+
+        SelectionOutcome sel;
+        auto expect_kv = [&](const char *key) -> std::string {
+            if (!in.next(line))
+                in.fail(strfmt("selection file truncated before '%s'",
+                               key));
+            auto f = csvSplit(line);
+            if (f.size() != 2 || f[0] != key)
+                in.fail(strfmt("expected '%s' row, got '%s'", key,
+                               line.c_str()));
+            return f[1];
+        };
+        sel.usedTwoLevel =
+            in.parseU64(expect_kv("two_level"), "two_level") != 0;
+        sel.detailedCount =
+            in.parseU64(expect_kv("detailed_count"), "detailed_count");
+        sel.profilingCostSec = in.parseDouble(
+            expect_kv("profiling_cost_sec"), "profiling_cost_sec");
+        sel.ensembleUnanimity = in.parseDouble(
+            expect_kv("ensemble_unanimity"), "ensemble_unanimity");
+        size_t n_groups = in.parseU64(expect_kv("groups"), "groups");
+
+        if (!in.next(line))
+            in.fail("selection file truncated before the group header");
+        for (size_t g = 0; g < n_groups; ++g) {
+            if (!in.next(line))
+                in.fail("selection file truncated inside the group table");
+            auto f = csvSplit(line);
+            if (f.size() != 5)
+                in.fail(strfmt("group row has %zu fields, want 5",
+                               f.size()));
+            KernelGroup grp;
+            grp.representative =
+                static_cast<uint32_t>(in.parseU64(f[1], "representative"));
+            grp.representativeCycles = in.parseU64(f[2], "rep_cycles");
+            grp.weight = in.parseDouble(f[3], "weight");
+            std::istringstream ms(f[4]);
+            std::string tok;
+            while (ms >> tok)
+                grp.members.push_back(
+                    static_cast<uint32_t>(in.parseU64(tok, "members")));
+            sel.groups.push_back(std::move(grp));
+        }
+        return sel;
+    } catch (const TaskException &ex) {
+        return ex.toError();
+    }
+}
+
 SelectionOutcome
 readSelection(std::istream &is)
 {
-    std::string line;
-    if (!getDataLine(is, line) || line != "# pka-selection v1")
-        fatal("not a pka selection file (missing magic header)");
-
-    SelectionOutcome sel;
-    auto expect_kv = [&](const char *key) -> std::string {
-        if (!getDataLine(is, line))
-            fatal(strfmt("selection file truncated before '%s'", key));
-        auto f = csvSplit(line);
-        if (f.size() != 2 || f[0] != key)
-            fatal(strfmt("expected '%s' row, got '%s'", key,
-                         line.c_str()));
-        return f[1];
-    };
-    sel.usedTwoLevel = parseU64(expect_kv("two_level"), "two_level") != 0;
-    sel.detailedCount = parseU64(expect_kv("detailed_count"),
-                                 "detailed_count");
-    sel.profilingCostSec =
-        parseDouble(expect_kv("profiling_cost_sec"), "profiling_cost_sec");
-    sel.ensembleUnanimity =
-        parseDouble(expect_kv("ensemble_unanimity"), "ensemble_unanimity");
-    size_t n_groups = parseU64(expect_kv("groups"), "groups");
-
-    if (!getDataLine(is, line))
-        fatal("selection file truncated before the group header");
-    for (size_t g = 0; g < n_groups; ++g) {
-        if (!getDataLine(is, line))
-            fatal("selection file truncated inside the group table");
-        auto f = csvSplit(line);
-        if (f.size() != 5)
-            fatal(strfmt("group row has %zu fields, want 5", f.size()));
-        KernelGroup grp;
-        grp.representative =
-            static_cast<uint32_t>(parseU64(f[1], "representative"));
-        grp.representativeCycles = parseU64(f[2], "rep_cycles");
-        grp.weight = parseDouble(f[3], "weight");
-        std::istringstream ms(f[4]);
-        std::string tok;
-        while (ms >> tok)
-            grp.members.push_back(
-                static_cast<uint32_t>(parseU64(tok, "members")));
-        sel.groups.push_back(std::move(grp));
-    }
-    return sel;
+    return valueOrFatal(readSelectionChecked(is));
 }
 
 } // namespace pka::core

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/pka.hh"
 #include "core/pks.hh"
 #include "silicon/profiler.hh"
@@ -28,8 +29,18 @@ void writeDetailedProfiles(std::ostream &os,
                            const std::vector<silicon::DetailedProfile> &ps);
 
 /**
+ * Read detailed profiles written by writeDetailedProfiles. Malformed or
+ * truncated input returns a kBadInput TaskError whose context names the
+ * offending line (and field where known) — recoverable, so a campaign
+ * driver can skip one bad artifact instead of dying.
+ */
+common::Expected<std::vector<silicon::DetailedProfile>>
+readDetailedProfilesChecked(std::istream &is);
+
+/**
  * Read detailed profiles written by writeDetailedProfiles.
- * fatal() on malformed input.
+ * fatal() on malformed input (thin adapter over the Checked variant for
+ * CLI-style callers where a bad file is a configuration error).
  */
 std::vector<silicon::DetailedProfile>
 readDetailedProfiles(std::istream &is);
@@ -38,7 +49,11 @@ readDetailedProfiles(std::istream &is);
 void writeLightProfiles(std::ostream &os,
                         const std::vector<silicon::LightProfile> &ps);
 
-/** Read lightweight profiles written by writeLightProfiles. */
+/** Read lightweight profiles; kBadInput TaskError on malformed input. */
+common::Expected<std::vector<silicon::LightProfile>>
+readLightProfilesChecked(std::istream &is);
+
+/** Read lightweight profiles; fatal() on malformed input (adapter). */
 std::vector<silicon::LightProfile> readLightProfiles(std::istream &is);
 
 /**
@@ -47,7 +62,10 @@ std::vector<silicon::LightProfile> readLightProfiles(std::istream &is);
  */
 void writeSelection(std::ostream &os, const SelectionOutcome &sel);
 
-/** Read a selection written by writeSelection. */
+/** Read a selection; kBadInput TaskError on malformed input. */
+common::Expected<SelectionOutcome> readSelectionChecked(std::istream &is);
+
+/** Read a selection; fatal() on malformed input (adapter). */
 SelectionOutcome readSelection(std::istream &is);
 
 /** Escape a CSV field (quotes fields containing comma/quote/newline). */

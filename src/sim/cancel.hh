@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-task watchdog token. The campaign engine arms one CancelToken per
+ * simulation task (wall-clock deadline, simulated-cycle budget, or an
+ * external cancel request) and the simulator polls it at timing-wheel
+ * bucket boundaries — the same boundaries where the StopController is
+ * consulted, so both simulator cores poll at identical cycles and the
+ * bit-identity contract between them is untouched.
+ *
+ * Polling cost is engineered for the bucket cadence (every ~30 cycles):
+ * the cycle budget and the cancel flag are single compares; the
+ * wall-clock deadline is only sampled every kWallPollPeriod polls, so a
+ * steady_clock read amortizes to noise. A hung simulation (e.g. an
+ * injected sim.loop hang) is detected within one wall-poll period.
+ */
+
+#ifndef PKA_SIM_CANCEL_HH
+#define PKA_SIM_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pka::sim
+{
+
+/**
+ * Cancellation + budget token for one simulation task. The owning
+ * thread arms it before the run; any thread may requestCancel(). The
+ * poll path mutates only its own atomics, so the token may be polled
+ * through a const pointer (SimOptions::cancel).
+ */
+class CancelToken
+{
+  public:
+    /** Wall-clock polls are this many expired() calls apart. */
+    static constexpr uint32_t kWallPollPeriod = 64;
+
+    /** Why the token tripped. */
+    enum class Reason : uint8_t
+    {
+        kNone,        ///< still live
+        kCancelled,   ///< requestCancel() was called
+        kWallClock,   ///< wall-clock deadline passed
+        kCycleBudget, ///< simulated-cycle budget exhausted
+    };
+
+    CancelToken() = default;
+
+    /** Trip the token from outside (thread-safe). */
+    void requestCancel() const
+    {
+        tripped_.store(static_cast<uint8_t>(Reason::kCancelled),
+                       std::memory_order_relaxed);
+    }
+
+    /** Arm a wall-clock deadline `seconds` from now (0 disarms). */
+    void armWallDeadline(double seconds)
+    {
+        wallArmed_ = seconds > 0.0;
+        if (wallArmed_)
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+    }
+
+    /** Arm a simulated-cycle budget (0 disarms). */
+    void armCycleBudget(uint64_t cycles) { cycleBudget_ = cycles; }
+
+    /**
+     * Watchdog poll at simulated cycle `cycle`. Cheap: two compares,
+     * plus a clock read every kWallPollPeriod calls when a wall
+     * deadline is armed. Once tripped, stays tripped.
+     */
+    bool expired(uint64_t cycle) const
+    {
+        if (tripped_.load(std::memory_order_relaxed) != 0)
+            return true;
+        if (cycleBudget_ != 0 && cycle >= cycleBudget_) {
+            tripped_.store(static_cast<uint8_t>(Reason::kCycleBudget),
+                           std::memory_order_relaxed);
+            return true;
+        }
+        if (wallArmed_ && ++wallPollCountdown_ % kWallPollPeriod == 0 &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            tripped_.store(static_cast<uint8_t>(Reason::kWallClock),
+                           std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /** True once any trip condition fired. */
+    bool cancelled() const
+    {
+        return tripped_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Why the token tripped (kNone while live). */
+    Reason reason() const
+    {
+        return static_cast<Reason>(tripped_.load(std::memory_order_relaxed));
+    }
+
+    /** Human rendering of reason(). */
+    const char *reasonName() const
+    {
+        switch (reason()) {
+        case Reason::kNone:
+            return "live";
+        case Reason::kCancelled:
+            return "cancelled";
+        case Reason::kWallClock:
+            return "wall-clock timeout";
+        case Reason::kCycleBudget:
+            return "cycle-budget timeout";
+        }
+        return "unknown";
+    }
+
+  private:
+    mutable std::atomic<uint8_t> tripped_{0};
+    mutable uint32_t wallPollCountdown_ = 0;
+    bool wallArmed_ = false;
+    uint64_t cycleBudget_ = 0;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+} // namespace pka::sim
+
+#endif // PKA_SIM_CANCEL_HH

@@ -1,8 +1,11 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
 #include <chrono>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
+#include "sim/cancel.hh"
 #include "sim/fnv.hh"
 #include "store/file_store.hh"
 
@@ -70,15 +73,13 @@ SimEngine::SimEngine(EngineOptions options)
 
 SimEngine::~SimEngine() = default;
 
+// Precondition (enforced by runJobChecked): job.kernel is non-null and
+// job.opts.stop is null. May throw common::TaskException — the checked
+// wrapper owns classification, retry and quarantine.
 KernelSimResult
 SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
                   const SimJob &job, TaskOutcome *outcome) const
 {
-    PKA_ASSERT(job.kernel != nullptr, "SimJob has no kernel");
-    PKA_ASSERT(job.opts.stop == nullptr,
-               "SimJob must not carry a shared StopController; "
-               "use makeStop so every task gets a fresh one");
-
     SimOptions opts = job.opts;
     opts.contentSeed = opts.contentSeed || opts_.contentSeed;
 
@@ -166,17 +167,113 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
     return r;
 }
 
-std::vector<KernelSimResult>
-SimEngine::run(const GpuSimulator &simulator,
-               const std::vector<SimJob> &jobs, EngineStats *stats) const
+common::Expected<KernelSimResult>
+SimEngine::runJobChecked(const GpuSimulator &simulator, uint64_t spec_hash,
+                         const SimJob &job, TaskOutcome *outcome) const
+{
+    using common::ErrorKind;
+    using common::TaskError;
+    using common::TaskException;
+
+    // Validate the job and bind its kernel identity. launchContentHash
+    // throws kBadInput for a program-less launch.
+    uint64_t qkey = 0;
+    try {
+        if (job.kernel == nullptr)
+            throw TaskException(ErrorKind::kBadInput, "SimJob has no kernel");
+        if (job.opts.stop != nullptr)
+            throw TaskException(
+                ErrorKind::kBadInput,
+                "SimJob must not carry a shared StopController; "
+                "use makeStop so every task gets a fresh one");
+        qkey = launchContentHash(*job.kernel);
+    } catch (const TaskException &ex) {
+        return ex.toError();
+    }
+
+    if (quarCount_.load(std::memory_order_relaxed) != 0) {
+        std::lock_guard<std::mutex> lk(quar_m_);
+        auto it = quarantined_.find(qkey);
+        if (it != quarantined_.end()) {
+            outcome->quarantineSkip = 1;
+            return it->second;
+        }
+    }
+
+    const unsigned max_attempts = std::max(1u, opts_.maxTaskAttempts);
+    const bool watchdog_armed =
+        opts_.taskTimeoutSec > 0.0 || opts_.taskCycleBudget > 0;
+    SimJob attempt = job;
+    TaskError last;
+    for (unsigned n = 1; n <= max_attempts; ++n) {
+        // Fresh watchdog per attempt: a retry gets its full budget, and
+        // the token's trip state never leaks across attempts. A
+        // caller-armed token is honoured instead.
+        CancelToken watchdog;
+        watchdog.armWallDeadline(opts_.taskTimeoutSec);
+        watchdog.armCycleBudget(opts_.taskCycleBudget);
+        attempt.opts.cancel = job.opts.cancel;
+        if (attempt.opts.cancel == nullptr && watchdog_armed)
+            attempt.opts.cancel = &watchdog;
+        try {
+            if (auto f = common::faultAt("worker.exec", qkey)) {
+                if (*f == common::FaultKind::kHang)
+                    common::FaultInjector::instance().hang(
+                        [&] { return watchdog.expired(0); });
+                throw TaskException(
+                    ErrorKind::kInternal,
+                    common::strfmt("injected worker fault for kernel '%s'",
+                                   job.kernel->program->name.c_str()));
+            }
+            return runJob(simulator, spec_hash, attempt, outcome);
+        } catch (const TaskException &ex) {
+            last = ex.toError();
+        } catch (const std::exception &ex) {
+            last = TaskError{ErrorKind::kInternal, ex.what()};
+        }
+        last.attempts = n;
+        last.context = common::strfmt(
+            "kernel '%s' launch %llu", job.kernel->program->name.c_str(),
+            static_cast<unsigned long long>(job.kernel->launchId));
+        if (last.kind == ErrorKind::kBadInput)
+            break; // deterministic input error: retrying cannot help
+        if (n < max_attempts) {
+            ++outcome->retries;
+            if (!attempt.opts.referenceCore) {
+                // Degraded retry: the dense reference loop shares none
+                // of the event core's skip machinery, so a transient
+                // event-core fault cannot recur there.
+                attempt.opts.referenceCore = true;
+                outcome->degraded = 1;
+            }
+        }
+    }
+
+    last.quarantined = true;
+    {
+        std::lock_guard<std::mutex> lk(quar_m_);
+        if (quarantined_.emplace(qkey, last).second) {
+            outcome->quarantinedNew = 1;
+            quarCount_.store(quarantined_.size(), std::memory_order_relaxed);
+        }
+    }
+    return last;
+}
+
+std::vector<common::Expected<KernelSimResult>>
+SimEngine::runChecked(const GpuSimulator &simulator,
+                      const std::vector<SimJob> &jobs,
+                      EngineStats *stats) const
 {
     const uint64_t spec_hash = specContentHash(simulator.spec());
-    std::vector<KernelSimResult> results(jobs.size());
+    std::vector<common::Expected<KernelSimResult>> results(
+        jobs.size(), common::Expected<KernelSimResult>(KernelSimResult{}));
     std::vector<TaskOutcome> outcomes(jobs.size());
 
     auto t0 = std::chrono::steady_clock::now();
     pool_->parallelFor(jobs.size(), [&](size_t i) {
-        results[i] = runJob(simulator, spec_hash, jobs[i], &outcomes[i]);
+        results[i] =
+            runJobChecked(simulator, spec_hash, jobs[i], &outcomes[i]);
     });
     double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -187,8 +284,22 @@ SimEngine::run(const GpuSimulator &simulator,
         stats->wallSeconds += wall;
         // Reduce per-task accounting serially in job order so even the
         // diagnostic aggregates are thread-count-invariant.
-        for (const TaskOutcome &o : outcomes) {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const TaskOutcome &o = outcomes[i];
             stats->cpuSeconds += o.seconds;
+            stats->taskRetries += o.retries;
+            if (o.degraded)
+                ++stats->degradedRuns;
+            if (o.quarantinedNew)
+                ++stats->quarantinedKernels;
+            if (o.quarantineSkip)
+                ++stats->quarantineSkips;
+            if (!results[i].ok()) {
+                ++stats->failures;
+                stats->launchErrors.push_back(
+                    {static_cast<uint64_t>(i), results[i].error()});
+                continue;
+            }
             if (o.memoryHit)
                 ++stats->cacheHits;
             else if (o.storeHit)
@@ -202,14 +313,30 @@ SimEngine::run(const GpuSimulator &simulator,
     return results;
 }
 
+std::vector<KernelSimResult>
+SimEngine::run(const GpuSimulator &simulator,
+               const std::vector<SimJob> &jobs, EngineStats *stats) const
+{
+    std::vector<common::Expected<KernelSimResult>> checked =
+        runChecked(simulator, jobs, stats);
+    std::vector<KernelSimResult> results;
+    results.reserve(checked.size());
+    for (auto &c : checked) {
+        if (!c.ok())
+            pka::common::fatal("simulation failed: " + c.error().str());
+        results.push_back(std::move(c.value()));
+    }
+    return results;
+}
+
 KernelSimResult
 SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
                        EngineStats *stats) const
 {
     TaskOutcome o;
     auto t0 = std::chrono::steady_clock::now();
-    KernelSimResult r =
-        runJob(simulator, specContentHash(simulator.spec()), job, &o);
+    common::Expected<KernelSimResult> r =
+        runJobChecked(simulator, specContentHash(simulator.spec()), job, &o);
     if (stats) {
         ++stats->launches;
         stats->wallSeconds +=
@@ -217,16 +344,30 @@ SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
                                           t0)
                 .count();
         stats->cpuSeconds += o.seconds;
-        if (o.memoryHit)
-            ++stats->cacheHits;
-        else if (o.storeHit)
-            ++stats->storeHits;
-        else
-            ++stats->cacheMisses;
-        if (o.corruptSkipped)
-            ++stats->corruptSkipped;
+        stats->taskRetries += o.retries;
+        if (o.degraded)
+            ++stats->degradedRuns;
+        if (o.quarantinedNew)
+            ++stats->quarantinedKernels;
+        if (o.quarantineSkip)
+            ++stats->quarantineSkips;
+        if (!r.ok()) {
+            ++stats->failures;
+            stats->launchErrors.push_back({0, r.error()});
+        } else {
+            if (o.memoryHit)
+                ++stats->cacheHits;
+            else if (o.storeHit)
+                ++stats->storeHits;
+            else
+                ++stats->cacheMisses;
+            if (o.corruptSkipped)
+                ++stats->corruptSkipped;
+        }
     }
-    return r;
+    if (!r.ok())
+        pka::common::fatal("simulation failed: " + r.error().str());
+    return std::move(r.value());
 }
 
 size_t
@@ -251,6 +392,37 @@ SimEngine::clearCache()
     storeHits_.store(0);
     misses_.store(0);
     corrupt_.store(0);
+    {
+        std::lock_guard<std::mutex> lk(quar_m_);
+        quarantined_.clear();
+        quarCount_.store(0, std::memory_order_relaxed);
+    }
+}
+
+size_t
+SimEngine::quarantinedCount() const
+{
+    return quarCount_.load(std::memory_order_relaxed);
+}
+
+bool
+SimEngine::isQuarantined(uint64_t contentHash) const
+{
+    if (quarCount_.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> lk(quar_m_);
+    return quarantined_.count(contentHash) != 0;
+}
+
+void
+SimEngine::quarantineKernel(uint64_t contentHash,
+                            const common::TaskError &why) const
+{
+    std::lock_guard<std::mutex> lk(quar_m_);
+    common::TaskError e = why;
+    e.quarantined = true;
+    quarantined_.emplace(contentHash, std::move(e));
+    quarCount_.store(quarantined_.size(), std::memory_order_relaxed);
 }
 
 namespace

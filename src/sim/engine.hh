@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/fnv.hh"
 #include "sim/simulator.hh"
 #include "sim/thread_pool.hh"
@@ -80,6 +81,40 @@ struct EngineOptions
 
     /** Lock shards in the result cache. */
     unsigned cacheShards = 16;
+
+    /**
+     * Per-attempt wall-clock watchdog in seconds (0 = no deadline). The
+     * engine arms a fresh CancelToken for every simulation attempt; a
+     * trip surfaces as a kTimeout TaskError, which the retry/quarantine
+     * policy below then handles. Jobs that carry their own
+     * SimOptions::cancel token keep it (the engine never overrides a
+     * caller-armed token).
+     */
+    double taskTimeoutSec = 0.0;
+
+    /** Per-attempt simulated-cycle watchdog (0 = no budget). */
+    uint64_t taskCycleBudget = 0;
+
+    /**
+     * Simulation attempts per launch before its kernel is quarantined.
+     * The first retry falls back to the dense reference core, which
+     * shares none of the event core's skip machinery — a divergence or
+     * invariant trip there is genuinely the kernel's fault. Bad-input
+     * errors never retry (they are deterministic). Minimum 1.
+     */
+    unsigned maxTaskAttempts = 2;
+};
+
+/**
+ * One failed launch in an engine run. `index` is the position within the
+ * jobs vector of that runChecked()/run() call — callers that submit in
+ * chunks (e.g. the checkpointed campaign loop) offset it into campaign
+ * space before reporting.
+ */
+struct LaunchFailure
+{
+    uint64_t index = 0;
+    common::TaskError error;
 };
 
 /** Aggregate accounting for one engine run. */
@@ -90,8 +125,16 @@ struct EngineStats
     uint64_t storeHits = 0;      ///< jobs answered from the disk store
     uint64_t cacheMisses = 0;    ///< jobs actually simulated
     uint64_t corruptSkipped = 0; ///< store records rejected and skipped
+    uint64_t failures = 0;       ///< launches that ended in a TaskError
+    uint64_t taskRetries = 0;    ///< extra attempts beyond each first try
+    uint64_t degradedRuns = 0;   ///< retries demoted to the reference core
+    uint64_t quarantinedKernels = 0; ///< distinct kernels quarantined
+    uint64_t quarantineSkips = 0; ///< launches skipped: kernel quarantined
     double wallSeconds = 0.0;    ///< host wall-clock time of the run
     double cpuSeconds = 0.0;     ///< summed per-task simulation time
+
+    /** Per-launch failure detail, in job order (see LaunchFailure). */
+    std::vector<LaunchFailure> launchErrors;
 
     /** Memory+store hit rate in percent (0 when nothing was cacheable). */
     double hitRatePct() const
@@ -184,11 +227,33 @@ class SimEngine
     /**
      * Simulate every job against `simulator`; results are returned in
      * job order regardless of execution interleaving, so any reduction
-     * over them is deterministic for every thread count.
+     * over them is deterministic for every thread count. Any failure is
+     * fatal (the legacy contract): use runChecked() for campaigns that
+     * must survive failing tasks.
      */
     std::vector<KernelSimResult>
     run(const GpuSimulator &simulator, const std::vector<SimJob> &jobs,
         EngineStats *stats = nullptr) const;
+
+    /**
+     * Fault-tolerant variant of run(): every job yields either a result
+     * or a structured TaskError, in job order. Per job the engine
+     *   1. skips it immediately if its kernel is quarantined,
+     *   2. arms the per-attempt watchdog (taskTimeoutSec /
+     *      taskCycleBudget) and simulates,
+     *   3. on failure retries up to maxTaskAttempts times, demoting the
+     *      first retry to the dense reference core,
+     *   4. quarantines the kernel (by launch content hash) once every
+     *      attempt failed, so later launches of the same kernel skip in
+     *      O(1).
+     * Clean-path behaviour is bit-identical to run(): no watchdog is
+     * armed unless configured, and the quarantine probe is a relaxed
+     * load while the set is empty.
+     */
+    std::vector<common::Expected<KernelSimResult>>
+    runChecked(const GpuSimulator &simulator,
+               const std::vector<SimJob> &jobs,
+               EngineStats *stats = nullptr) const;
 
     /** Simulate one job on the calling thread (cache-aware). */
     KernelSimResult simulateOne(const GpuSimulator &simulator,
@@ -210,8 +275,24 @@ class SimEngine
     /** Distinct results currently cached. */
     size_t cacheSize() const;
 
-    /** Drop every cached result and reset the hit/miss counters. */
+    /**
+     * Drop every cached result, empty the quarantine set and reset the
+     * hit/miss counters.
+     */
     void clearCache();
+
+    /** Distinct kernels currently quarantined. */
+    size_t quarantinedCount() const;
+
+    /** True when the kernel with this launch content hash is quarantined. */
+    bool isQuarantined(uint64_t contentHash) const;
+
+    /**
+     * Pre-seed the quarantine set (campaign resume replays journal
+     * quarantine records through this). Idempotent.
+     */
+    void quarantineKernel(uint64_t contentHash,
+                          const common::TaskError &why) const;
 
     /**
      * The process-wide default engine, used by the legacy serial entry
@@ -236,11 +317,19 @@ class SimEngine
         uint8_t memoryHit = 0;    ///< answered from the in-memory cache
         uint8_t storeHit = 0;     ///< answered from the disk store
         uint8_t corruptSkipped = 0; ///< a corrupt store record was skipped
+        uint8_t retries = 0;      ///< attempts beyond the first
+        uint8_t degraded = 0;     ///< a retry ran on the reference core
+        uint8_t quarantinedNew = 0; ///< this failure quarantined the kernel
+        uint8_t quarantineSkip = 0; ///< skipped: kernel already quarantined
     };
 
     KernelSimResult runJob(const GpuSimulator &simulator,
                            uint64_t spec_hash, const SimJob &job,
                            TaskOutcome *outcome) const;
+
+    common::Expected<KernelSimResult>
+    runJobChecked(const GpuSimulator &simulator, uint64_t spec_hash,
+                  const SimJob &job, TaskOutcome *outcome) const;
 
     EngineOptions opts_;
     std::unique_ptr<ThreadPool> pool_;
@@ -249,6 +338,14 @@ class SimEngine
     mutable std::atomic<uint64_t> storeHits_{0};
     mutable std::atomic<uint64_t> misses_{0};
     mutable std::atomic<uint64_t> corrupt_{0};
+
+    // Quarantine set, keyed by launch content hash and carrying the
+    // terminal TaskError so skipped launches can echo the original
+    // failure. quarCount_ lets the per-job probe stay a relaxed load
+    // while the set is empty (the universal clean-path case).
+    mutable std::mutex quar_m_;
+    mutable std::unordered_map<uint64_t, common::TaskError> quarantined_;
+    mutable std::atomic<size_t> quarCount_{0};
 };
 
 /** Content hash of a device spec (every timing-relevant field). */

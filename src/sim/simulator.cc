@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "sim/fnv.hh"
 #include "sim/memory_model.hh"
@@ -60,14 +62,29 @@ class KernelRun
                    opts.traceIpc),
           cycle_cap_(opts.maxCycles > 0
                          ? std::min(opts.maxCycles, kHardCycleCap)
-                         : kHardCycleCap)
+                         : kHardCycleCap),
+          // Fault-site key: launch *content*, so an armed sim.loop fault
+          // targets every launch of one kernel regardless of launch id.
+          // Zero (never computed) on the clean path.
+          fault_key_(pka::common::kFaultInjectionCompiledIn &&
+                             pka::common::FaultInjector::instance().enabled()
+                         ? launchContentHash(k)
+                         : 0)
     {
-        PKA_ASSERT(k.program != nullptr, "launch has no program");
+        using pka::common::ErrorKind;
+        using pka::common::TaskException;
+        if (k.program == nullptr)
+            throw TaskException(ErrorKind::kBadInput,
+                                "launch has no program");
         if (opts.trace) {
-            PKA_ASSERT(opts.trace->ctaIterations.size() == total_ctas_,
-                       "trace CTA count does not match the launch grid");
-            PKA_ASSERT(opts.trace->kernelName == k.program->name,
-                       "trace kernel name does not match the launch");
+            if (opts.trace->ctaIterations.size() != total_ctas_)
+                throw TaskException(
+                    ErrorKind::kBadInput,
+                    "trace CTA count does not match the launch grid");
+            if (opts.trace->kernelName != k.program->name)
+                throw TaskException(
+                    ErrorKind::kBadInput,
+                    "trace kernel name does not match the launch");
         }
         const uint32_t occ = pka::silicon::maxCtasPerSm(spec_, k_);
         r_.totalCtas = total_ctas_;
@@ -168,14 +185,39 @@ class KernelRun
     }
 
     /**
-     * End-of-bucket work: trace annotation, StopController poll,
-     * instruction-budget check. Returns true when the run ends here
-     * (end_cycle_ set past `cycle`, mirroring the reference loop's
-     * `++cycle; break`).
+     * End-of-bucket work: trace annotation, watchdog poll, fault site,
+     * StopController poll, instruction-budget check. Returns true when
+     * the run ends here (end_cycle_ set past `cycle`, mirroring the
+     * reference loop's `++cycle; break`).
      */
     bool
     bucketSideEffects(uint64_t cycle)
     {
+        // Fault site + watchdog, at the same boundaries in both cores.
+        // An injected hang parks here until the watchdog trips; the poll
+        // right below then reports the cancellation.
+        if (auto f = pka::common::faultAt("sim.loop", fault_key_)) {
+            if (*f == pka::common::FaultKind::kHang)
+                pka::common::FaultInjector::instance().hang([&] {
+                    return opts_.cancel && opts_.cancel->expired(cycle);
+                });
+            else
+                throw pka::common::TaskException(
+                    pka::common::ErrorKind::kSimInvariant,
+                    pka::common::strfmt(
+                        "injected simulator fault in kernel '%s'",
+                        k_.program->name.c_str()));
+        }
+        if (opts_.cancel && opts_.cancel->expired(cycle + 1))
+            throw pka::common::TaskException(
+                opts_.cancel->reason() ==
+                        CancelToken::Reason::kCancelled
+                    ? pka::common::ErrorKind::kCancelled
+                    : pka::common::ErrorKind::kTimeout,
+                pka::common::strfmt(
+                    "kernel '%s' watchdog tripped (%s) at cycle %llu",
+                    k_.program->name.c_str(), opts_.cancel->reasonName(),
+                    static_cast<unsigned long long>(cycle)));
         if (opts_.traceIpc) {
             MemoryModel::Counters ctr = mem_.counters();
             double d_l2 = ctr.l2Sectors - prev_ctr_.l2Sectors;
@@ -228,7 +270,7 @@ class KernelRun
         uint64_t c = first;
         while (c <= last) {
             uint64_t to_boundary = tracker_.cyclesUntilBucketEnd();
-            PKA_ASSERT(cycle_cap_ >= c, "cap cycle already passed");
+            PKA_CHECK(cycle_cap_ >= c, "cap cycle already passed");
             uint64_t chunk = std::min(
                 {last - c + 1, to_boundary, cycle_cap_ - c + 1});
             accrueDispatchCredit(chunk);
@@ -289,8 +331,8 @@ class KernelRun
                     next_wake = std::min(next_wake, sm.nextWake());
                 }
                 if (!any_ready) {
-                    PKA_ASSERT(next_wake != UINT64_MAX,
-                               "deadlock: no ready or pending warps");
+                    PKA_CHECK(next_wake != UINT64_MAX,
+                              "deadlock: no ready or pending warps");
                     if (next_wake > cycle + 1) {
                         uint64_t skip = next_wake - cycle - 1;
                         tracker_.advanceIdle(skip);
@@ -386,7 +428,7 @@ class KernelRun
         while (r_.finishedCtas < total_ctas_) {
             wake_due.clear();
             if (events.nextWake() <= cycle) {
-                PKA_ASSERT(events.nextWake() == cycle, "missed SM event");
+                PKA_CHECK(events.nextWake() == cycle, "missed SM event");
                 events.drain(cycle, sm_scratch);
                 for (uint32_t s : sm_scratch) {
                     if (sm_event[s] != cycle) {
@@ -459,8 +501,8 @@ class KernelRun
                     continue;
                 }
                 uint64_t nw = next_event();
-                PKA_ASSERT(nw != UINT64_MAX,
-                           "deadlock: no ready or pending warps");
+                PKA_CHECK(nw != UINT64_MAX,
+                          "deadlock: no ready or pending warps");
                 // The reference loop ticks these cycles densely (its
                 // fast-forward is disabled during dispatch).
                 if (nw > cycle + 1 && !emulateDenseIdle(cycle + 1, nw - 1))
@@ -469,8 +511,8 @@ class KernelRun
                 continue;
             }
             uint64_t nw = next_event();
-            PKA_ASSERT(nw != UINT64_MAX,
-                       "deadlock: no ready or pending warps");
+            PKA_CHECK(nw != UINT64_MAX,
+                      "deadlock: no ready or pending warps");
             if (nw <= cycle + 1) {
                 ++cycle;
                 continue;
@@ -514,6 +556,7 @@ class KernelRun
     MemoryModel::Counters prev_ctr_;
     uint64_t prev_trace_cycle_ = 0;
     uint64_t cycle_cap_;
+    uint64_t fault_key_;
     uint64_t end_cycle_ = 0;
     KernelSimResult r_;
 };
@@ -523,7 +566,9 @@ class KernelRun
 uint64_t
 launchContentHash(const KernelDescriptor &k)
 {
-    PKA_ASSERT(k.program != nullptr, "launch has no program");
+    if (k.program == nullptr)
+        throw pka::common::TaskException(pka::common::ErrorKind::kBadInput,
+                                         "launch has no program");
     Fnv f;
     const auto &p = *k.program;
     f.str(p.name);

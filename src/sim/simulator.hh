@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "silicon/gpu_spec.hh"
+#include "sim/cancel.hh"
 #include "sim/ipc_tracker.hh"
 #include "sim/sm_core.hh"
 #include "sim/trace.hh"
@@ -37,6 +38,17 @@ struct SimOptions
 {
     /** Early-stop policy; nullptr runs the kernel to completion. */
     StopController *stop = nullptr;
+
+    /**
+     * Watchdog token, polled at the same bucket boundaries as `stop`
+     * (identically in both simulator cores, so arming it never perturbs
+     * bit-identity). When it trips, the run aborts cleanly by throwing
+     * common::TaskException (kTimeout for budget/deadline trips,
+     * kCancelled for external requests) — the campaign engine catches,
+     * classifies, and applies retry/quarantine policy. nullptr = never
+     * cancelled.
+     */
+    const CancelToken *cancel = nullptr;
 
     /** Warp scheduling policy in every SM. */
     SchedulerPolicy scheduler = SchedulerPolicy::Lrr;
@@ -145,6 +157,11 @@ class GpuSimulator
      * @param k the launch
      * @param workload_seed keys per-CTA data-dependent work
      * @param opts stop/trace/budget controls
+     * @throws common::TaskException with kBadInput (malformed launch or
+     *         mismatched trace), kTimeout/kCancelled (opts.cancel
+     *         tripped), or kSimInvariant (internal run-loop invariant
+     *         violated) — never calls exit()/abort() for conditions a
+     *         campaign can recover from.
      */
     KernelSimResult
     simulateKernel(const pka::workload::KernelDescriptor &k,

@@ -1,10 +1,14 @@
 #include "store/file_store.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "store/record.hh"
 
@@ -15,6 +19,7 @@ namespace pka::store
 
 using pka::common::strfmt;
 using pka::common::warn;
+using pka::common::warnRateLimited;
 
 namespace
 {
@@ -29,6 +34,14 @@ hex16(uint64_t v)
     return std::string(buf);
 }
 
+/** Exponential backoff before 0-based retry `r`: 1, 2, 4, ... ms. */
+void
+backoff(unsigned r)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        KernelResultStore::kIoBackoffBaseMs << r));
+}
+
 } // namespace
 
 KernelResultStore::KernelResultStore(std::string root)
@@ -39,8 +52,38 @@ KernelResultStore::KernelResultStore(std::string root)
     if (!ec)
         fs::create_directories(fs::path(root_) / "tmp", ec);
     if (ec)
-        pka::common::fatal(strfmt("cannot create result store at '%s': %s",
-                                  root_.c_str(), ec.message().c_str()));
+        throw pka::common::TaskException(
+            pka::common::ErrorKind::kStoreIo,
+            strfmt("cannot create result store at '%s': %s", root_.c_str(),
+                   ec.message().c_str()));
+    sweepOrphans();
+}
+
+void
+KernelResultStore::sweepOrphans()
+{
+    // Staging files are renamed away immediately after being written, so
+    // anything still in tmp/ at open time is debris from a writer that
+    // died mid-put. Opening happens before any worker starts writing, so
+    // the sweep cannot race this process's own staging files.
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(root_) / "tmp", ec);
+    if (ec)
+        return;
+    uint64_t swept = 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".tmp")
+            continue;
+        if (fs::remove(entry.path(), ec))
+            ++swept;
+    }
+    if (swept) {
+        stats_.orphansSwept.fetch_add(swept, std::memory_order_relaxed);
+        warn(strfmt("result store '%s': swept %llu orphaned staging "
+                    "file(s) from an interrupted run",
+                    root_.c_str(), static_cast<unsigned long long>(swept)));
+    }
 }
 
 std::string
@@ -52,10 +95,11 @@ KernelResultStore::recordPath(const sim::KernelSimKey &key) const
 }
 
 Lookup
-KernelResultStore::get(const sim::KernelSimKey &key,
-                       sim::KernelSimResult *out) const
+KernelResultStore::tryGet(const std::string &path,
+                          const sim::KernelSimKey &key,
+                          sim::KernelSimResult *out, bool *transient) const
 {
-    std::string path = recordPath(key);
+    *transient = false;
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         stats_.misses.fetch_add(1, std::memory_order_relaxed);
@@ -66,7 +110,36 @@ KernelResultStore::get(const sim::KernelSimKey &key,
     std::string bytes(kRecordSize + 1, '\0');
     is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     size_t got = static_cast<size_t>(is.gcount());
+    if (is.bad()) {
+        // The stream itself failed (not EOF): a retry may succeed.
+        *transient = true;
+        return Lookup::kMiss;
+    }
     stats_.bytesRead.fetch_add(got, std::memory_order_relaxed);
+
+    if (auto f = pka::common::faultAt("store.read",
+                                      sim::kernelSimKeyHash(key))) {
+        switch (*f) {
+        case pka::common::FaultKind::kIoError:
+            *transient = true;
+            return Lookup::kMiss;
+        case pka::common::FaultKind::kCorrupt:
+            bytes[0] = static_cast<char>(bytes[0] ^ 0xff);
+            break;
+        case pka::common::FaultKind::kShortWrite:
+            got = got / 2;
+            break;
+        case pka::common::FaultKind::kHang:
+            pka::common::FaultInjector::instance().hang(
+                [] { return false; });
+            break;
+        case pka::common::FaultKind::kThrow:
+            throw pka::common::TaskException(
+                pka::common::ErrorKind::kStoreIo,
+                strfmt("injected store read failure for '%s'",
+                       path.c_str()));
+        }
+    }
 
     switch (decodeRecord(bytes.data(), got, key, out)) {
     case DecodeStatus::kOk:
@@ -76,34 +149,86 @@ KernelResultStore::get(const sim::KernelSimKey &key,
         // A 64-bit-hash collision (or a record keyed under an older
         // schema): not our result, so it is simply not a hit.
         stats_.keyMismatches.fetch_add(1, std::memory_order_relaxed);
-        warn(strfmt("result store: key echo mismatch in '%s' (hash "
-                    "collision or schema drift); treating as a miss",
-                    path.c_str()));
+        warnRateLimited(
+            "store.keymismatch",
+            strfmt("result store: key echo mismatch in '%s' (hash "
+                   "collision or schema drift); treating as a miss",
+                   path.c_str()));
         return Lookup::kMiss;
     case DecodeStatus::kCorrupt:
     default:
         stats_.corruptSkipped.fetch_add(1, std::memory_order_relaxed);
-        warn(strfmt("result store: skipping corrupt record '%s' "
-                    "(%zu bytes)",
-                    path.c_str(), got));
+        warnRateLimited("store.corrupt",
+                        strfmt("result store: skipping corrupt record "
+                               "'%s' (%zu bytes)",
+                               path.c_str(), got));
         return Lookup::kCorrupt;
     }
 }
 
-void
-KernelResultStore::put(const sim::KernelSimKey &key,
-                       const sim::KernelSimResult &result) const
+Lookup
+KernelResultStore::get(const sim::KernelSimKey &key,
+                       sim::KernelSimResult *out) const
 {
-    std::string bytes = encodeRecord(key, result);
-    std::string final_path = recordPath(key);
+    std::string path = recordPath(key);
+    for (unsigned attempt = 0;; ++attempt) {
+        bool transient = false;
+        Lookup r = tryGet(path, key, out, &transient);
+        if (!transient)
+            return r;
+        if (attempt + 1 >= kIoAttempts) {
+            stats_.retryExhausted.fetch_add(1, std::memory_order_relaxed);
+            stats_.misses.fetch_add(1, std::memory_order_relaxed);
+            warnRateLimited(
+                "store.read",
+                strfmt("result store: giving up reading '%s' after %u "
+                       "attempts; re-simulating",
+                       path.c_str(), kIoAttempts));
+            return Lookup::kMiss;
+        }
+        stats_.ioRetries.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+    }
+}
 
+bool
+KernelResultStore::tryPut(const std::string &bytes,
+                          const std::string &finalPath,
+                          uint64_t keyHash) const
+{
     std::error_code ec;
-    fs::create_directories(fs::path(final_path).parent_path(), ec);
-    if (ec) {
-        stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
-        warn(strfmt("result store: cannot create shard dir for '%s': %s",
-                    final_path.c_str(), ec.message().c_str()));
-        return;
+    fs::create_directories(fs::path(finalPath).parent_path(), ec);
+    if (ec)
+        return false;
+
+    size_t write_len = bytes.size();
+    const char *data = bytes.data();
+    std::string corrupted;
+    if (auto f = pka::common::faultAt("store.write", keyHash)) {
+        switch (*f) {
+        case pka::common::FaultKind::kIoError:
+            return false;
+        case pka::common::FaultKind::kShortWrite:
+            // Simulate a torn record reaching disk (a crash between
+            // write and fsync): publish a truncated record. Reads
+            // reject it by size/CRC and the engine re-simulates.
+            write_len /= 2;
+            break;
+        case pka::common::FaultKind::kCorrupt:
+            corrupted = bytes;
+            corrupted[0] = static_cast<char>(corrupted[0] ^ 0xff);
+            data = corrupted.data();
+            break;
+        case pka::common::FaultKind::kHang:
+            pka::common::FaultInjector::instance().hang(
+                [] { return false; });
+            break;
+        case pka::common::FaultKind::kThrow:
+            throw pka::common::TaskException(
+                pka::common::ErrorKind::kStoreIo,
+                strfmt("injected store write failure for '%s'",
+                       finalPath.c_str()));
+        }
     }
 
     // Unique temp name per (store, write): concurrent writers never
@@ -112,32 +237,49 @@ KernelResultStore::put(const sim::KernelSimKey &key,
     uint64_t n = tempCounter_.fetch_add(1, std::memory_order_relaxed);
     fs::path tmp = fs::path(root_) / "tmp" /
                    strfmt("%s.%llu.tmp",
-                          fs::path(final_path).stem().string().c_str(),
+                          fs::path(finalPath).stem().string().c_str(),
                           static_cast<unsigned long long>(n));
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (os)
-            os.write(bytes.data(),
-                     static_cast<std::streamsize>(bytes.size()));
+            os.write(data, static_cast<std::streamsize>(write_len));
         if (!os) {
-            stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
-            warn(strfmt("result store: cannot write '%s'",
-                        tmp.string().c_str()));
             fs::remove(tmp, ec);
-            return;
+            return false;
         }
     }
-    fs::rename(tmp, final_path, ec);
+    fs::rename(tmp, finalPath, ec);
     if (ec) {
-        stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
-        warn(strfmt("result store: cannot publish '%s': %s",
-                    final_path.c_str(), ec.message().c_str()));
         fs::remove(tmp, ec);
-        return;
+        return false;
     }
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytesWritten.fetch_add(bytes.size(),
-                                  std::memory_order_relaxed);
+    stats_.bytesWritten.fetch_add(write_len, std::memory_order_relaxed);
+    return true;
+}
+
+void
+KernelResultStore::put(const sim::KernelSimKey &key,
+                       const sim::KernelSimResult &result) const
+{
+    std::string bytes = encodeRecord(key, result);
+    std::string final_path = recordPath(key);
+    uint64_t key_hash = sim::kernelSimKeyHash(key);
+
+    for (unsigned attempt = 0; attempt < kIoAttempts; ++attempt) {
+        if (tryPut(bytes, final_path, key_hash))
+            return;
+        if (attempt + 1 < kIoAttempts) {
+            stats_.ioRetries.fetch_add(1, std::memory_order_relaxed);
+            backoff(attempt);
+        }
+    }
+    stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
+    stats_.retryExhausted.fetch_add(1, std::memory_order_relaxed);
+    warnRateLimited("store.write",
+                    strfmt("result store: cannot write '%s' after %u "
+                           "attempts; result not persisted",
+                           final_path.c_str(), kIoAttempts));
 }
 
 uint64_t

@@ -47,10 +47,19 @@ enum class Lookup
 class KernelResultStore
 {
   public:
+    /** Attempts per read/write before a transient failure is permanent. */
+    static constexpr unsigned kIoAttempts = 3;
+
+    /** Backoff before retry r (0-based) in milliseconds: 1, 2, 4, ... */
+    static constexpr unsigned kIoBackoffBaseMs = 1;
+
     /**
-     * Open (creating directories as needed) a store rooted at `root`.
-     * fatal() when the root cannot be created — a user-supplied
-     * --cache-dir that cannot exist is a configuration error.
+     * Open (creating directories as needed) a store rooted at `root`,
+     * sweeping any orphaned .tmp staging files a killed writer
+     * left behind (counted in StoreStats::orphansSwept). Throws
+     * common::TaskException(kStoreIo) when the root cannot be created —
+     * the CLI layer converts that to a clean fatal(); library callers
+     * (campaigns) may catch and degrade to an uncached run.
      */
     explicit KernelResultStore(std::string root);
 
@@ -62,15 +71,22 @@ class KernelResultStore
 
     /**
      * Look `key` up on disk. On kHit fills `*out`; kCorrupt means a
-     * record existed but was rejected (already warned and counted).
+     * record existed but was rejected (already warned and counted). A
+     * transient read failure (stream went bad mid-read, or an injected
+     * store.read I/O fault) is retried kIoAttempts times with
+     * exponential backoff, then degrades to kMiss — the engine simply
+     * re-simulates, so an unreadable disk can slow a campaign but never
+     * wedge or corrupt it.
      */
     Lookup get(const sim::KernelSimKey &key,
                sim::KernelSimResult *out) const;
 
     /**
      * Persist `result` under `key` (atomic write-to-temp-then-rename).
-     * Best-effort: a failed write warns and counts, never aborts the
-     * campaign.
+     * Best-effort with bounded retries: a transiently failing write is
+     * retried kIoAttempts times with exponential backoff from a fresh
+     * staging file; permanent failure warns (rate-limited) and counts,
+     * never aborts the campaign.
      */
     void put(const sim::KernelSimKey &key,
              const sim::KernelSimResult &result) const;
@@ -86,6 +102,17 @@ class KernelResultStore
 
   private:
     std::string recordPath(const sim::KernelSimKey &key) const;
+
+    /** One read attempt; sets *transient when a retry could succeed. */
+    Lookup tryGet(const std::string &path, const sim::KernelSimKey &key,
+                  sim::KernelSimResult *out, bool *transient) const;
+
+    /** One write attempt (fresh staging file); false = retryable fail. */
+    bool tryPut(const std::string &bytes, const std::string &finalPath,
+                uint64_t keyHash) const;
+
+    /** Remove stale .tmp staging files left by a killed writer. */
+    void sweepOrphans();
 
     std::string root_;
     mutable StoreStats stats_;

@@ -1,9 +1,11 @@
 #include "store/journal.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstring>
 #include <fstream>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace pka::store
@@ -81,17 +83,26 @@ CampaignJournal::loadExisting(uint64_t campaign_key)
     // entries before it are still trusted.
     while (std::getline(is, line)) {
         unsigned long long idx = 0;
-        if (std::sscanf(line.c_str(), "done,%llu", &idx) != 1 ||
-            idx >= static_cast<unsigned long long>(done_.size())) {
-            warn(strfmt("campaign journal '%s': ignoring unreadable "
-                        "tail starting at '%.32s'",
-                        path_.c_str(), line.c_str()));
-            break;
+        uint64_t qhash = 0;
+        if (std::sscanf(line.c_str(), "done,%llu", &idx) == 1 &&
+            idx < static_cast<unsigned long long>(done_.size())) {
+            if (!done_[idx]) {
+                done_[idx] = 1;
+                ++doneCount_;
+            }
+            continue;
         }
-        if (!done_[idx]) {
-            done_[idx] = 1;
-            ++doneCount_;
+        if (std::sscanf(line.c_str(), "quarantine,%" SCNx64, &qhash) ==
+            1) {
+            if (std::find(quarantined_.begin(), quarantined_.end(),
+                          qhash) == quarantined_.end())
+                quarantined_.push_back(qhash);
+            continue;
         }
+        warn(strfmt("campaign journal '%s': ignoring unreadable "
+                    "tail starting at '%.32s'",
+                    path_.c_str(), line.c_str()));
+        break;
     }
     return true;
 }
@@ -124,12 +135,35 @@ CampaignJournal::markDone(const std::vector<size_t> &indices)
         done_[idx] = 1;
         ++doneCount_;
         if (appendFile_) {
+            if (auto f = pka::common::faultAt("journal.append",
+                                              static_cast<uint64_t>(idx))) {
+                // A dropped or torn append only costs resume credit —
+                // the launch re-runs (and re-hits the store) next time.
+                if (*f == pka::common::FaultKind::kShortWrite)
+                    std::fprintf(appendFile_, "done,");
+                continue;
+            }
             std::fprintf(appendFile_, "done,%zu\n", idx);
             wrote = true;
         }
     }
     if (wrote)
         std::fflush(appendFile_);
+}
+
+void
+CampaignJournal::markQuarantined(uint64_t contentHash)
+{
+    if (std::find(quarantined_.begin(), quarantined_.end(), contentHash) !=
+        quarantined_.end())
+        return;
+    quarantined_.push_back(contentHash);
+    if (!appendFile_)
+        return;
+    if (pka::common::faultAt("journal.append", contentHash))
+        return;
+    std::fprintf(appendFile_, "quarantine,%016" PRIx64 "\n", contentHash);
+    std::fflush(appendFile_);
 }
 
 } // namespace pka::store

@@ -14,7 +14,13 @@
  *   campaign,<16-hex campaign key>
  *   launches,<count>
  *   done,<index>
+ *   quarantine,<16-hex launch content hash>
  *   ...
+ *
+ * `quarantine` records persist the campaign's quarantine decisions (a
+ * kernel that failed every simulation attempt), so a resumed campaign
+ * skips the poisoned kernel immediately instead of re-burning its
+ * retry budget. done/quarantine lines interleave in commit order.
  *
  * The campaign key hashes everything that determines the campaign's
  * results (device spec, launch stream content, engine seeding mode, stop
@@ -76,6 +82,19 @@ class CampaignJournal
      */
     void markDone(const std::vector<size_t> &indices);
 
+    /**
+     * Journal a quarantined kernel (by launch content hash) and flush.
+     * Idempotent per hash.
+     */
+    void markQuarantined(uint64_t contentHash);
+
+    /** Quarantined kernels loaded from a resumed journal plus those
+     *  recorded this run, in commit order. */
+    const std::vector<uint64_t> &quarantined() const
+    {
+        return quarantined_;
+    }
+
     /** The journal file path. */
     const std::string &path() const { return path_; }
 
@@ -85,6 +104,7 @@ class CampaignJournal
 
     std::string path_;
     std::vector<uint8_t> done_;
+    std::vector<uint64_t> quarantined_;
     size_t doneCount_ = 0;
     size_t resumedCount_ = 0;
     std::FILE *appendFile_ = nullptr;

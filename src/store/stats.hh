@@ -24,6 +24,9 @@ struct StoreStatsSnapshot
     uint64_t keyMismatches = 0;  ///< hash collided, key echo differed
     uint64_t puts = 0;           ///< records written
     uint64_t putFailures = 0;    ///< writes that failed (warned, not fatal)
+    uint64_t ioRetries = 0;      ///< transient I/O failures retried
+    uint64_t retryExhausted = 0; ///< operations that failed every attempt
+    uint64_t orphansSwept = 0;   ///< stale tmp files removed at open
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
 
@@ -46,6 +49,9 @@ struct StoreStats
     std::atomic<uint64_t> keyMismatches{0};
     std::atomic<uint64_t> puts{0};
     std::atomic<uint64_t> putFailures{0};
+    std::atomic<uint64_t> ioRetries{0};
+    std::atomic<uint64_t> retryExhausted{0};
+    std::atomic<uint64_t> orphansSwept{0};
     std::atomic<uint64_t> bytesRead{0};
     std::atomic<uint64_t> bytesWritten{0};
 
@@ -58,6 +64,9 @@ struct StoreStats
         s.keyMismatches = keyMismatches.load(std::memory_order_relaxed);
         s.puts = puts.load(std::memory_order_relaxed);
         s.putFailures = putFailures.load(std::memory_order_relaxed);
+        s.ioRetries = ioRetries.load(std::memory_order_relaxed);
+        s.retryExhausted = retryExhausted.load(std::memory_order_relaxed);
+        s.orphansSwept = orphansSwept.load(std::memory_order_relaxed);
         s.bytesRead = bytesRead.load(std::memory_order_relaxed);
         s.bytesWritten = bytesWritten.load(std::memory_order_relaxed);
         return s;

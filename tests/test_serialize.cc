@@ -7,18 +7,23 @@
  * silently partial selection.
  */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/pka.hh"
 #include "core/serialize.hh"
 
+using ::testing::HasSubstr;
+using pka::common::ErrorKind;
 using pka::core::csvEscape;
 using pka::core::csvSplit;
 using pka::core::readSelection;
+using pka::core::readSelectionChecked;
 using pka::core::writeSelection;
 
 namespace
@@ -181,4 +186,100 @@ TEST(SelectionDeathTest, MalformedContentIsFatal)
     std::string bad_row = text.substr(0, last + 1) + "0,zzz,1,1.0,0\n";
     std::istringstream is(bad_row);
     EXPECT_DEATH(readSelection(is), "malformed");
+}
+
+TEST(SelectionChecked, RoundTripMatchesLegacyReader)
+{
+    pka::core::SelectionOutcome sel = sampleSelection();
+    std::ostringstream os;
+    writeSelection(os, sel);
+    std::istringstream is(os.str());
+    auto r = readSelectionChecked(is);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().detailedCount, sel.detailedCount);
+    ASSERT_EQ(r.value().groups.size(), sel.groups.size());
+    EXPECT_EQ(r.value().groups[2].members, sel.groups[2].members);
+}
+
+TEST(SelectionChecked, EveryTruncationPointIsRecoverable)
+{
+    // The Checked reader turns every death above into a kBadInput
+    // TaskError whose context pins the line — the campaign-facing
+    // contract: a bad artifact is reportable and skippable, not fatal.
+    std::ostringstream os;
+    writeSelection(os, sampleSelection());
+    std::vector<std::string> lines;
+    {
+        std::istringstream is(os.str());
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 3u);
+
+    for (size_t keep = 0; keep < lines.size(); ++keep) {
+        std::string truncated;
+        for (size_t i = 0; i < keep; ++i)
+            truncated += lines[i] + "\n";
+        std::istringstream is(truncated);
+        auto r = readSelectionChecked(is);
+        ASSERT_FALSE(r.ok()) << "kept " << keep << " lines";
+        EXPECT_EQ(r.error().kind, ErrorKind::kBadInput);
+        EXPECT_THAT(r.error().context, HasSubstr("line "));
+    }
+}
+
+TEST(SelectionChecked, MalformedFieldNamesLineAndField)
+{
+    std::ostringstream os;
+    writeSelection(os, sampleSelection());
+    std::string text = os.str();
+    std::string::size_type last = text.rfind("\n", text.size() - 2);
+    std::string bad_row = text.substr(0, last + 1) + "0,zzz,1,1.0,0\n";
+    std::istringstream is(bad_row);
+    auto r = readSelectionChecked(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, ErrorKind::kBadInput);
+    EXPECT_THAT(r.error().message, HasSubstr("malformed"));
+    EXPECT_THAT(r.error().context, HasSubstr("field 'representative'"));
+    // The bad row is the last line of the file.
+    size_t row_line = 0, n = 0;
+    for (char c : bad_row)
+        if (c == '\n')
+            ++n;
+    row_line = n; // rows are 1-indexed; last line == line count
+    EXPECT_THAT(r.error().context,
+                HasSubstr("line " + std::to_string(row_line)));
+}
+
+TEST(ProfilesChecked, DetailedAndLightReportBadInput)
+{
+    {
+        std::istringstream is("only,three,columns\n");
+        auto r = pka::core::readDetailedProfilesChecked(is);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().kind, ErrorKind::kBadInput);
+        EXPECT_THAT(r.error().message, HasSubstr("column count"));
+        EXPECT_THAT(r.error().context, HasSubstr("line 1"));
+    }
+    {
+        std::vector<pka::silicon::LightProfile> ps(1);
+        ps[0].launchId = 7;
+        ps[0].kernelName = "k";
+        ps[0].tensorDims = {64, 32};
+        std::ostringstream os;
+        pka::core::writeLightProfiles(os, ps);
+        std::istringstream good(os.str());
+        auto r = pka::core::readLightProfilesChecked(good);
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r.value().size(), 1u);
+        EXPECT_EQ(r.value()[0].tensorDims, ps[0].tensorDims);
+
+        std::string text = os.str();
+        std::istringstream bad(text + "8,k2,1,1,1,32,not_a_number,1,\n");
+        auto rb = pka::core::readLightProfilesChecked(bad);
+        ASSERT_FALSE(rb.ok());
+        EXPECT_EQ(rb.error().kind, ErrorKind::kBadInput);
+        EXPECT_THAT(rb.error().context, HasSubstr("field 'block_y'"));
+    }
 }

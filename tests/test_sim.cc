@@ -5,10 +5,12 @@
  * mechanisms, determinism, and device-scaling properties.
  */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "core/pkp.hh"
 #include "silicon/gpu_spec.hh"
@@ -483,7 +485,7 @@ TEST(Trace, RegularKernelTraceIsConstant)
         EXPECT_EQ(it, 5u);
 }
 
-TEST(Trace, MismatchedTracePanics)
+TEST(Trace, MismatchedTraceThrowsBadInput)
 {
     GpuSimulator s(voltaV100());
     auto k = makeKernel(computeProg(), 20, 128, 5);
@@ -491,7 +493,13 @@ TEST(Trace, MismatchedTracePanics)
     KernelTrace t = captureTrace(other, 1);
     SimOptions opts;
     opts.trace = &t;
-    EXPECT_DEATH(s.simulateKernel(k, 1, opts), "CTA count");
+    try {
+        s.simulateKernel(k, 1, opts);
+        FAIL() << "mismatched trace must throw";
+    } catch (const pka::common::TaskException &ex) {
+        EXPECT_EQ(ex.kind(), pka::common::ErrorKind::kBadInput);
+        EXPECT_THAT(ex.what(), testing::HasSubstr("CTA count"));
+    }
 }
 
 TEST(Trace, RejectsMalformedFile)

@@ -23,6 +23,8 @@
 #include <sstream>
 
 #include "cli_args.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/table.hh"
 #include "core/baselines.hh"
 #include "core/experiments.hh"
@@ -77,6 +79,24 @@ common options:
                               runs are bit-identical to uninterrupted
                               ones
   --store-stats               print persistent-store counters on exit
+
+fault tolerance (simulate/analyze):
+  --task-timeout SEC          per-launch wall-clock watchdog; a launch
+                              that exceeds it is cancelled and retried
+                              on the reference core
+  --max-retries N             executions to retry a failing launch
+                              before quarantining its kernel (default 1)
+  --min-quorum F              tolerate failed launches: the campaign
+                              succeeds when >= F of its launches
+                              completed (failed ones are dropped and the
+                              totals reweighted); without fault-
+                              tolerance flags any failure is fatal
+  --fail-fast                 stop at the first failed chunk and exit
+                              non-zero with the per-launch error report
+  --faults SPEC               arm deterministic fault injection, e.g.
+                              'store.read:io:250,worker.exec:throw'
+                              (requires a PKA_FAULT_INJECTION build)
+  --fault-seed N              fault-injection seed (default 1)
 )";
 
 silicon::GpuSpec
@@ -101,6 +121,51 @@ checkpointFor(const CliArgs &args)
     cp.dir = args.get("cache-dir");
     cp.resume = args.has("resume");
     return cp;
+}
+
+/** True when any fault-tolerance knob was touched: failures then become
+ *  policy decisions (quorum, reweighting) instead of instant fatal. */
+bool
+wantsTolerantCampaign(const CliArgs &args)
+{
+    return args.has("min-quorum") || args.has("fail-fast") ||
+           args.has("task-timeout") || args.has("max-retries") ||
+           args.has("faults");
+}
+
+/** Campaign failure policy from --min-quorum/--fail-fast. */
+core::CampaignPolicy
+policyFor(const CliArgs &args)
+{
+    core::CampaignPolicy p;
+    p.minQuorum = args.getNumInRange("min-quorum", 1.0, 0.0, 1.0);
+    p.failFast = args.has("fail-fast");
+    return p;
+}
+
+/**
+ * Print the structured per-launch failure report and map campaign
+ * health to the process exit code: 0 when the quorum held, 3 when it
+ * did not (or --fail-fast stopped the run).
+ */
+int
+reportCampaignHealth(const char *stage, uint64_t failed,
+                     uint64_t quarantined, bool quorum_met,
+                     const std::vector<sim::LaunchFailure> &failures)
+{
+    if (failures.empty() && quorum_met)
+        return 0;
+    std::fprintf(stderr,
+                 "%s: %llu launch(es) failed, %llu kernel(s) "
+                 "quarantined, quorum %s\n",
+                 stage, static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(quarantined),
+                 quorum_met ? "met" : "NOT met");
+    for (const auto &f : failures)
+        std::fprintf(stderr, "  launch %llu: %s\n",
+                     static_cast<unsigned long long>(f.index),
+                     f.error.str().c_str());
+    return quorum_met ? 0 : 3;
 }
 
 workload::Workload
@@ -244,10 +309,12 @@ cmdSimulate(const CliArgs &args)
         core::PkpOptions pkp;
         pkp.threshold = args.getPositiveNum("threshold", 0.25);
         core::CampaignCheckpoint cp = checkpointFor(args);
+        core::CampaignPolicy policy = policyFor(args);
         core::AppProjection proj = core::simulateSelection(
             sim::SimEngine::shared(), simulator, w, sel,
             args.has("pkp") ? &pkp : nullptr,
-            cp.dir.empty() ? nullptr : &cp);
+            cp.dir.empty() ? nullptr : &cp,
+            wantsTolerantCampaign(args) ? &policy : nullptr);
         std::printf("selection-based simulation (%zu representatives%s):\n"
                     "  projected cycles %.4e, IPC %.1f, DRAM util %.1f%%\n"
                     "  simulated cycles %.4e (%.2fs wall, %.2fs cpu, "
@@ -259,7 +326,10 @@ cmdSimulate(const CliArgs &args)
                     static_cast<unsigned long long>(proj.cacheHits),
                     static_cast<unsigned long long>(proj.storeHits),
                     static_cast<unsigned long long>(proj.cacheMisses));
-        return 0;
+        return reportCampaignHealth("selection simulation",
+                                    proj.failedLaunches,
+                                    proj.quarantinedKernels,
+                                    proj.quorumMet, proj.failures);
     }
 
     if (!core::isFullySimulable(w) && !args.has("force"))
@@ -269,9 +339,11 @@ cmdSimulate(const CliArgs &args)
             "--selection/--pkp, or pass --force to insist");
 
     core::CampaignCheckpoint cp = checkpointFor(args);
+    core::CampaignPolicy policy = policyFor(args);
     core::FullSimResult fs =
         core::fullSimulate(sim::SimEngine::shared(), simulator, w,
-                           cp.dir.empty() ? nullptr : &cp);
+                           cp.dir.empty() ? nullptr : &cp,
+                           wantsTolerantCampaign(args) ? &policy : nullptr);
     if (fs.resumedLaunches > 0)
         std::fprintf(stderr, "resumed: %llu of %zu launches already "
                              "journaled complete\n",
@@ -288,7 +360,9 @@ cmdSimulate(const CliArgs &args)
                 static_cast<unsigned long long>(fs.cacheMisses),
                 common::humanTime(fs.cycles / core::kSimCyclesPerSecond)
                     .c_str());
-    return 0;
+    return reportCampaignHealth("full simulation", fs.failedLaunches,
+                                fs.quarantinedKernels, fs.quorumMet,
+                                fs.failures);
 }
 
 int
@@ -327,9 +401,11 @@ cmdAnalyze(const CliArgs &args)
     silicon::SiliconGpu gpu(spec);
     sim::GpuSimulator simulator(spec);
     core::CampaignCheckpoint cp = checkpointFor(args);
+    core::CampaignPolicy policy = policyFor(args);
     core::PkaAppResult res = core::runPka(
         sim::SimEngine::shared(), *traced, *profiled, gpu, simulator,
-        core::PkaOptions{}, cp.dir.empty() ? nullptr : &cp);
+        core::PkaOptions{}, cp.dir.empty() ? nullptr : &cp,
+        wantsTolerantCampaign(args) ? &policy : nullptr);
     if (res.excluded) {
         std::printf("EXCLUDED: %s\n", res.exclusionReason.c_str());
         return 2;
@@ -359,7 +435,13 @@ cmdAnalyze(const CliArgs &args)
                                                 res.pka.storeHits),
                 static_cast<unsigned long long>(res.pks.cacheMisses +
                                                 res.pka.cacheMisses));
-    return 0;
+    int rc_pks = reportCampaignHealth(
+        "PKS stage", res.pks.failedLaunches, res.pks.quarantinedKernels,
+        res.pks.quorumMet, res.pks.failures);
+    int rc_pka = reportCampaignHealth(
+        "PKA stage", res.pka.failedLaunches, res.pka.quarantinedKernels,
+        res.pka.quorumMet, res.pka.failures);
+    return rc_pks != 0 ? rc_pks : rc_pka;
 }
 
 } // namespace
@@ -374,20 +456,39 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     CliArgs args(argc, argv, 2,
                  {"light", "pkp", "force", "no-memo", "content-seed",
-                  "resume", "store-stats"});
+                  "resume", "store-stats", "fail-fast"});
+
+    if (args.has("faults")) {
+        if (!common::kFaultInjectionCompiledIn)
+            common::fatal("--faults requires a PKA_FAULT_INJECTION build "
+                          "(cmake -DPKA_FAULT_INJECTION=ON)");
+        std::string err;
+        if (!common::FaultInjector::instance().configureFromString(
+                args.get("faults"), args.getUint("fault-seed", 1), &err))
+            common::fatal("malformed --faults spec: " + err);
+    }
 
     sim::EngineOptions eo;
     eo.threads = static_cast<unsigned>(args.getUint(
         "threads", 0, 0, std::numeric_limits<unsigned>::max()));
     eo.memoize = !args.has("no-memo");
     eo.contentSeed = args.has("content-seed");
+    eo.taskTimeoutSec = args.getPositiveNum("task-timeout", 0.0);
+    // --max-retries counts retries after the first execution.
+    eo.maxTaskAttempts =
+        static_cast<unsigned>(args.getUint("max-retries", 1, 0, 100)) + 1;
 
     // The persistent store outlives every command (the shared engine
     // holds a non-owning pointer to it).
     std::unique_ptr<store::KernelResultStore> store;
     if (args.has("cache-dir")) {
-        store =
-            std::make_unique<store::KernelResultStore>(args.get("cache-dir"));
+        try {
+            store = std::make_unique<store::KernelResultStore>(
+                args.get("cache-dir"));
+        } catch (const common::TaskException &ex) {
+            common::fatal("cannot open result store: " +
+                          std::string(ex.what()));
+        }
         eo.store = store.get();
     } else if (args.has("resume")) {
         common::fatal("--resume requires --cache-dir");
@@ -402,7 +503,9 @@ main(int argc, char **argv)
                 "store: %llu hits / %llu misses (%.1f%% hit rate), "
                 "%llu corrupt skipped, %llu key mismatches, "
                 "%llu records written (%llu failed), "
-                "%llu bytes read / %llu written\n",
+                "%llu bytes read / %llu written, "
+                "%llu I/O retries (%llu exhausted), "
+                "%llu orphans swept\n",
                 static_cast<unsigned long long>(s.hits),
                 static_cast<unsigned long long>(s.misses), s.hitRatePct(),
                 static_cast<unsigned long long>(s.corruptSkipped),
@@ -410,7 +513,10 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.puts),
                 static_cast<unsigned long long>(s.putFailures),
                 static_cast<unsigned long long>(s.bytesRead),
-                static_cast<unsigned long long>(s.bytesWritten));
+                static_cast<unsigned long long>(s.bytesWritten),
+                static_cast<unsigned long long>(s.ioRetries),
+                static_cast<unsigned long long>(s.retryExhausted),
+                static_cast<unsigned long long>(s.orphansSwept));
         }
         return rc;
     };
