@@ -88,7 +88,7 @@ BM_Dendrogram(benchmark::State &state)
                         nullptr);
     for (auto _ : state)
         benchmark::DoNotOptimize(
-            buildDendrogram(X, 20000).merges.size());
+            buildDendrogram(X, 20000).value().merges.size());
     state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Dendrogram)->Arg(200)->Arg(1000)->Arg(4000)

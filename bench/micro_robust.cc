@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Robustness fuzz harness: drives adversarially corrupted silicon
+ * profiles from real registry workloads end-to-end through the checked
+ * PKS / two-level / stability pipeline and asserts the robustness
+ * contract — no crash, every launch accounted for, finite outputs, and
+ * bit-identical clean-path results against the unchecked entry points.
+ *
+ * Usage: micro_robust [seed...]   (default seeds: 1 2 3)
+ *
+ * Emits BENCH_robust.json and exits nonzero on any contract violation,
+ * so CI can run it as a smoke gate (including under sanitizers).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "core/pks.hh"
+#include "core/stability.hh"
+#include "core/two_level.hh"
+#include "silicon/gpu_spec.hh"
+#include "silicon/profiler.hh"
+#include "silicon/silicon_gpu.hh"
+#include "workload/suites.hh"
+
+using namespace pka;
+
+namespace
+{
+
+int g_violations = 0;
+
+void
+check(bool ok, const char *what, const std::string &where)
+{
+    if (ok)
+        return;
+    ++g_violations;
+    std::fprintf(stderr, "VIOLATION [%s]: %s\n", where.c_str(), what);
+}
+
+/** Corrupt ~rate of the detailed counters with NaN/Inf/negatives. */
+size_t
+poisonDetailed(std::vector<silicon::DetailedProfile> &ps, double rate,
+               common::Rng &rng)
+{
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    size_t injected = 0;
+    for (auto &p : ps) {
+        if (rng.uniform() >= rate)
+            continue;
+        double *cells[] = {&p.metrics.instructions,
+                           &p.metrics.threadGlobalLoads,
+                           &p.metrics.coalescedGlobalLoads,
+                           &p.metrics.threadGlobalStores,
+                           &p.metrics.divergenceEff,
+                           &p.metrics.numCtas};
+        double *c = cells[rng.uniformInt(6)];
+        switch (rng.uniformInt(4)) {
+          case 0: *c = kNan; break;
+          case 1: *c = kInf; break;
+          case 2: *c = -kInf; break;
+          default: *c = -1e12; break;
+        }
+        ++injected;
+    }
+    return injected;
+}
+
+/** Corrupt ~rate of the light annotations with overflowing tensor dims. */
+size_t
+poisonLight(std::vector<silicon::LightProfile> &ps, double rate,
+            common::Rng &rng)
+{
+    size_t injected = 0;
+    for (auto &p : ps)
+        if (rng.uniform() < rate) {
+            p.tensorDims.assign(48, 4000000000u);
+            ++injected;
+        }
+    return injected;
+}
+
+struct FuzzStats
+{
+    uint64_t seed = 0;
+    size_t runs = 0;
+    size_t injectedValues = 0;
+    size_t excludedLaunches = 0;
+    size_t repairedValues = 0;
+    size_t typedErrors = 0;
+};
+
+/** One fuzzed end-to-end pass over one workload at one poison rate. */
+void
+fuzzOnce(const workload::Workload &w, const silicon::SiliconGpu &gpu,
+         double rate, uint64_t seed, uint32_t round, FuzzStats &stats)
+{
+    const std::string where =
+        w.name + " seed=" + std::to_string(seed) +
+        " rate=" + std::to_string(rate);
+    common::Rng rng = common::Rng::forKey(seed, round, 0xF022);
+
+    silicon::DetailedProfiler dprof(gpu);
+    silicon::LightweightProfiler lprof(gpu);
+    auto detailed = dprof.profile(w);
+    const size_t stream = detailed.size();
+    stats.injectedValues += poisonDetailed(detailed, rate, rng);
+
+    // PKS path through the checked entry point.
+    auto pks = core::principalKernelSelectionChecked(detailed);
+    ++stats.runs;
+    if (!pks.ok()) {
+        // Legal only when validation excluded everything; either way it
+        // must be a typed error, not a crash (the crash case never gets
+        // here).
+        ++stats.typedErrors;
+    } else {
+        const core::PksResult &r = pks.value();
+        stats.excludedLaunches += r.validation.excludedLaunchIds.size();
+        stats.repairedValues += r.validation.repairedValues;
+        check(std::isfinite(r.projectedCycles) && r.projectedCycles > 0,
+              "non-finite or zero PKS projection", where);
+        double weight = 0.0;
+        for (const auto &g : r.groups)
+            weight += g.weight;
+        check(std::fabs(weight - static_cast<double>(stream)) < 1e-6,
+              "PKS group weights do not sum to the stream size", where);
+
+        // Stability diagnostics must stay deterministic and finite even
+        // on repaired/reduced inputs.
+        core::StabilityOptions so;
+        so.replicates = 6;
+        core::StabilityReport a =
+            core::selectionStability(detailed, r, so);
+        core::StabilityReport b =
+            core::selectionStability(detailed, r, so);
+        check(a.meanProjectedCycles == b.meanProjectedCycles &&
+                  a.ciLow == b.ciLow && a.ciHigh == b.ciHigh,
+              "stability report not deterministic", where);
+        check(std::isfinite(a.meanStability) && a.meanStability >= 0.0 &&
+                  a.meanStability <= 1.0,
+              "stability score out of range", where);
+    }
+
+    // Two-level path with a profile prefix and an abstain gate.
+    auto light = lprof.profile(w);
+    stats.injectedValues += poisonLight(light, rate, rng);
+    const size_t prefix_n = std::min<size_t>(stream, 64);
+    std::vector<silicon::DetailedProfile> prefix(
+        detailed.begin(), detailed.begin() + prefix_n);
+    core::TwoLevelOptions tl;
+    tl.detailedKernels = prefix_n;
+    tl.abstainThreshold = 0.6;
+    auto two = core::twoLevelSelectionChecked(prefix, light, tl);
+    ++stats.runs;
+    if (!two.ok()) {
+        ++stats.typedErrors;
+    } else {
+        const core::TwoLevelResult &r = two.value();
+        stats.excludedLaunches +=
+            r.prefixSelection.validation.excludedLaunchIds.size();
+        double weight = 0.0;
+        for (const auto &g : r.groups) {
+            check(std::isfinite(g.weight), "non-finite group weight",
+                  where);
+            weight += g.weight;
+        }
+        check(std::fabs(weight - static_cast<double>(light.size())) <
+                  1e-6,
+              "two-level weights do not sum to the stream size", where);
+        check(r.labels.size() == light.size(),
+              "two-level label vector does not cover the stream", where);
+    }
+}
+
+/** Clean profiles through checked paths must match unchecked bits. */
+void
+cleanPathIdentity(const workload::Workload &w,
+                  const silicon::SiliconGpu &gpu)
+{
+    silicon::DetailedProfiler dprof(gpu);
+    auto detailed = dprof.profile(w);
+    core::PksResult plain = core::principalKernelSelection(detailed);
+    auto checked = core::principalKernelSelectionChecked(detailed);
+    check(checked.ok(), "checked PKS failed on clean input", w.name);
+    if (checked.ok()) {
+        const core::PksResult &c = checked.value();
+        check(c.projectedCycles == plain.projectedCycles &&
+                  c.profiledCycles == plain.profiledCycles &&
+                  c.labels == plain.labels &&
+                  c.chosenK == plain.chosenK,
+              "checked PKS differs from unchecked on clean input",
+              w.name);
+        check(c.validation.clean(),
+              "clean input reported validation findings", w.name);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<uint64_t> seeds;
+    for (int i = 1; i < argc; ++i)
+        seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+    if (seeds.empty())
+        seeds = {1, 2, 3};
+
+    const std::vector<std::string> names = {"b+tree", "srad_v2", "spmv"};
+    silicon::SiliconGpu gpu(silicon::voltaV100());
+
+    bench::banner("clean-path bit-identity");
+    std::vector<workload::Workload> apps;
+    for (const auto &n : names) {
+        auto w = workload::buildWorkload(n);
+        if (!w.has_value()) {
+            std::fprintf(stderr, "unknown workload '%s'\n", n.c_str());
+            return 1;
+        }
+        cleanPathIdentity(*w, gpu);
+        apps.push_back(std::move(*w));
+    }
+    std::printf("clean-path identity over %zu workloads: %s\n",
+                apps.size(), g_violations == 0 ? "ok" : "VIOLATED");
+
+    bench::banner("adversarial profile fuzz");
+    const double rates[] = {0.05, 0.25, 1.0};
+    std::vector<FuzzStats> per_seed;
+    for (uint64_t seed : seeds) {
+        FuzzStats stats;
+        stats.seed = seed;
+        uint32_t round = 0;
+        for (const auto &w : apps)
+            for (double rate : rates)
+                fuzzOnce(w, gpu, rate, seed, round++, stats);
+        std::printf("seed %llu: %zu runs, %zu injected, %zu excluded, "
+                    "%zu repaired, %zu typed errors\n",
+                    static_cast<unsigned long long>(stats.seed),
+                    stats.runs, stats.injectedValues,
+                    stats.excludedLaunches, stats.repairedValues,
+                    stats.typedErrors);
+        per_seed.push_back(stats);
+    }
+
+    FILE *json = std::fopen("BENCH_robust.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n  \"violations\": %d,\n  \"seeds\": [\n",
+                     g_violations);
+        for (size_t i = 0; i < per_seed.size(); ++i) {
+            const FuzzStats &s = per_seed[i];
+            std::fprintf(
+                json,
+                "    {\"seed\": %llu, \"runs\": %zu, \"injected\": %zu, "
+                "\"excluded\": %zu, \"repaired\": %zu, "
+                "\"typed_errors\": %zu}%s\n",
+                static_cast<unsigned long long>(s.seed), s.runs,
+                s.injectedValues, s.excludedLaunches, s.repairedValues,
+                s.typedErrors, i + 1 < per_seed.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("wrote BENCH_robust.json\n");
+    }
+
+    if (g_violations > 0) {
+        std::fprintf(stderr, "micro_robust: %d contract violation(s)\n",
+                     g_violations);
+        return 1;
+    }
+    std::printf("micro_robust: all robustness contracts held\n");
+    return 0;
+}

@@ -83,11 +83,17 @@ firstNInstructions(const sim::GpuSimulator &simulator, const Workload &w,
                               instruction_budget);
 }
 
-TBPointResult
-tbpointSelect(const std::vector<TBPointKernelStats> &stats,
-              const TBPointOptions &options)
+common::Expected<TBPointResult>
+tbpointSelectChecked(const std::vector<TBPointKernelStats> &stats,
+                     const TBPointOptions &options)
 {
-    PKA_ASSERT(!stats.empty(), "TBPoint needs kernel stats");
+    if (stats.empty()) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "TBPoint needs kernel stats";
+        e.context = "tbpointSelect";
+        return e;
+    }
 
     double true_cycles = 0.0;
     for (const auto &s : stats)
@@ -109,7 +115,11 @@ tbpointSelect(const std::vector<TBPointKernelStats> &stats,
     // fine; keep the coarsest grouping meeting the error target, else the
     // best error. Thresholds map into the standardized feature space
     // (x20).
-    ml::Dendrogram dendro = ml::buildDendrogram(X, options.maxKernels);
+    common::Expected<ml::Dendrogram> built =
+        ml::buildDendrogram(X, options.maxKernels);
+    if (!built.ok())
+        return built.error();
+    const ml::Dendrogram &dendro = built.value();
     TBPointResult best;
     double best_err = 1e300;
     for (uint32_t i = 0; i < options.sweepPoints; ++i) {
@@ -155,6 +165,16 @@ tbpointSelect(const std::vector<TBPointKernelStats> &stats,
     }
     best.trueCycles = true_cycles;
     return best;
+}
+
+TBPointResult
+tbpointSelect(const std::vector<TBPointKernelStats> &stats,
+              const TBPointOptions &options)
+{
+    common::Expected<TBPointResult> r = tbpointSelectChecked(stats, options);
+    if (!r.ok())
+        common::fatal(r.error().str());
+    return std::move(r.value());
 }
 
 size_t

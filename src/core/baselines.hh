@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/pks.hh"
 #include "sim/engine.hh"
 #include "sim/simulator.hh"
@@ -103,9 +104,14 @@ struct TBPointResult
 
 /**
  * Run TBPoint selection over per-kernel full-simulation stats
- * (chronological). Fatal on streams beyond options.maxKernels — the
- * scaling wall that motivates PKA.
+ * (chronological). Streams beyond options.maxKernels — the scaling wall
+ * that motivates PKA — and empty input return a typed kBadInput error.
  */
+common::Expected<TBPointResult>
+tbpointSelectChecked(const std::vector<TBPointKernelStats> &stats,
+                     const TBPointOptions &options = {});
+
+/** tbpointSelectChecked adapter for CLI/bench code: fatal on error. */
 TBPointResult tbpointSelect(const std::vector<TBPointKernelStats> &stats,
                             const TBPointOptions &options = {});
 

@@ -141,9 +141,9 @@ runJobsCheckpointed(const sim::SimEngine &engine,
     return std::move(out.results);
 }
 
-SelectionOutcome
-selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
-              const PkaOptions &options)
+common::Expected<SelectionOutcome>
+selectKernelsChecked(const Workload &w, const silicon::SiliconGpu &gpu,
+                     const PkaOptions &options)
 {
     silicon::DetailedProfiler detailed(gpu);
     silicon::LightweightProfiler light(gpu);
@@ -157,13 +157,23 @@ selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
     double scale = w.scale > 0 ? w.scale : 1.0;
     double full_equivalent = full_cost / scale;
 
+    PksOptions pks_opts = options.pks;
+    pks_opts.validation = options.strictProfiles
+                              ? ValidationPolicy::kStrict
+                              : ValidationPolicy::kRepair;
+
     if (full_equivalent <= options.detailedProfilingBudgetSec ||
         w.launches.size() <= options.twoLevelDetailedKernels) {
         auto profiles = detailed.profile(w);
-        PksResult pks = principalKernelSelection(profiles, options.pks);
-        out.groups = std::move(pks.groups);
+        common::Expected<PksResult> pks =
+            principalKernelSelectionChecked(std::move(profiles), pks_opts);
+        if (!pks.ok())
+            return pks.error();
+        out.validation = pks.value().validation;
+        out.groups = std::move(pks.value().groups);
         out.usedTwoLevel = false;
-        out.detailedCount = w.launches.size();
+        out.detailedCount =
+            w.launches.size() - out.validation.excludedLaunchIds.size();
         out.profilingCostSec = full_cost;
         return out;
     }
@@ -171,17 +181,37 @@ selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
     // Two-level: detailed prefix + lightweight remainder + classifiers.
     TwoLevelOptions tl;
     tl.detailedKernels = options.twoLevelDetailedKernels;
-    tl.pks = options.pks;
+    tl.pks = pks_opts;
+    tl.abstainThreshold = options.abstainThreshold;
     auto prefix = detailed.profile(w, tl.detailedKernels);
     auto all_light = light.profile(w);
-    TwoLevelResult two = twoLevelSelection(prefix, all_light, tl);
-    out.groups = std::move(two.groups);
+    common::Expected<TwoLevelResult> two = twoLevelSelectionChecked(
+        std::move(prefix), std::move(all_light), tl);
+    if (!two.ok())
+        return two.error();
+    TwoLevelResult &t = two.value();
+    out.groups = std::move(t.groups);
     out.usedTwoLevel = true;
-    out.detailedCount = two.detailedCount;
+    out.detailedCount = t.detailedCount;
     out.profilingCostSec = detailed.costSeconds(w, tl.detailedKernels) +
                            light.costSeconds(w);
-    out.ensembleUnanimity = two.ensembleUnanimity;
+    out.ensembleUnanimity = t.ensembleUnanimity;
+    out.validation = t.prefixSelection.validation;
+    out.abstentions = t.abstentions;
+    out.fallbackMapped = t.fallbackMapped;
+    out.meanEnsembleConfidence = t.meanEnsembleConfidence;
     return out;
+}
+
+SelectionOutcome
+selectKernels(const Workload &w, const silicon::SiliconGpu &gpu,
+              const PkaOptions &options)
+{
+    common::Expected<SelectionOutcome> res =
+        selectKernelsChecked(w, gpu, options);
+    if (!res.ok())
+        common::fatal(res.error().str());
+    return std::move(res.value());
 }
 
 AppProjection

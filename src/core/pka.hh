@@ -142,6 +142,17 @@ struct PkaOptions
     size_t twoLevelDetailedKernels = 2000;
 
     /**
+     * Treat any malformed profile as a hard error (ValidationPolicy::
+     * kStrict) instead of deterministically repairing/excluding it.
+     * Mirrors the --strict-profiles CLI flag.
+     */
+    bool strictProfiles = false;
+
+    /** Ensemble confidence gate for two-level classification; 0 = off
+     *  (see TwoLevelOptions::abstainThreshold). */
+    double abstainThreshold = 0.0;
+
+    /**
      * Detailed profiling is considered intractable beyond this wall-clock
      * budget (the paper's "more than one week" rule), measured at
      * full-size-equivalent scale.
@@ -157,6 +168,13 @@ struct SelectionOutcome
     size_t detailedCount = 0;      ///< launches profiled in detail
     double profilingCostSec = 0.0; ///< silicon profiling wall-clock cost
     double ensembleUnanimity = 1.0;
+
+    // Robustness accounting (all zero/1.0 on a clean run; see
+    // core/profile_validator.hh and TwoLevelOptions::abstainThreshold).
+    ValidationReport validation;      ///< detailed-profile screening
+    size_t abstentions = 0;           ///< ensemble abstained (two-level)
+    size_t fallbackMapped = 0;        ///< mapped by the PCA fallback
+    double meanEnsembleConfidence = 1.0;
 };
 
 /**
@@ -166,6 +184,18 @@ struct SelectionOutcome
 SelectionOutcome selectKernels(const pka::workload::Workload &w,
                                const silicon::SiliconGpu &gpu,
                                const PkaOptions &options = {});
+
+/**
+ * selectKernels with profile screening and typed diagnostics: profiles
+ * are run through a ProfileValidator (kStrict when
+ * options.strictProfiles, else kRepair) before selection, and
+ * options.abstainThreshold gates the two-level ensemble. Clean input
+ * under default options is bit-identical to selectKernels().
+ */
+common::Expected<SelectionOutcome>
+selectKernelsChecked(const pka::workload::Workload &w,
+                     const silicon::SiliconGpu &gpu,
+                     const PkaOptions &options = {});
 
 /** Projected whole-app simulation statistics from representative runs. */
 struct AppProjection

@@ -145,6 +145,47 @@ principalKernelSelection(const std::vector<DetailedProfile> &profiles,
     return best;
 }
 
+common::Expected<PksResult>
+principalKernelSelectionChecked(std::vector<DetailedProfile> profiles,
+                                const PksOptions &options)
+{
+    if (profiles.empty()) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "PKS needs at least one profile";
+        e.context = "principalKernelSelection";
+        return e;
+    }
+
+    ProfileValidator validator(options.validation);
+    common::Expected<ValidationReport> screened =
+        validator.screenDetailed(profiles);
+    if (!screened.ok())
+        return screened.error();
+    if (profiles.empty()) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "every detailed profile was excluded by validation";
+        e.context = "principalKernelSelection";
+        return e;
+    }
+
+    PksResult res = principalKernelSelection(profiles, options);
+    res.validation = screened.value();
+
+    // Excluded launches leave the survivors under-representing the
+    // stream; scale weights and cycle totals alike (mirrors the
+    // campaign quorum reweighting), leaving the error pct unchanged.
+    const double f = res.validation.reweightFactor;
+    if (f != 1.0) {
+        for (auto &g : res.groups)
+            g.weight *= f;
+        res.projectedCycles *= f;
+        res.profiledCycles *= f;
+    }
+    return res;
+}
+
 SelectionEvaluation
 evaluateSelection(const std::vector<KernelGroup> &groups,
                   const std::vector<uint64_t> &cycles_by_launch)

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
+#include "core/profile_validator.hh"
 #include "silicon/profiler.hh"
 
 namespace pka::core
@@ -48,6 +50,11 @@ struct PksOptions
     /** Representative choice within each group. */
     RepresentativePolicy representative =
         RepresentativePolicy::FirstChronological;
+
+    /** How principalKernelSelectionChecked screens its input (see
+     *  core/profile_validator.hh). Ignored by the unchecked entry point,
+     *  which expects pre-screened profiles. */
+    ValidationPolicy validation = ValidationPolicy::kRepair;
 };
 
 /** One group of similar kernels with its chosen representative. */
@@ -87,6 +94,10 @@ struct PksResult
     /** Silicon cycles spent if only representatives run (cost). */
     double representativeCycleCost = 0.0;
 
+    /** What the validator repaired/excluded (empty for the unchecked
+     *  entry point, which performs no screening). */
+    ValidationReport validation;
+
     /** profiledCycles / representativeCycleCost. */
     double siliconSpeedup() const
     {
@@ -103,6 +114,20 @@ struct PksResult
 PksResult
 principalKernelSelection(const std::vector<silicon::DetailedProfile> &profiles,
                          const PksOptions &options = {});
+
+/**
+ * principalKernelSelection with input screening. Profiles pass through
+ * a ProfileValidator first (policy from options.validation): repaired
+ * cells are clamped, non-repairable launches are excluded and the
+ * surviving group weights (and projected/profiled cycle totals) are
+ * scaled by the report's reweightFactor so the projection still
+ * estimates the whole stream. Clean input yields bit-identical results
+ * to the unchecked entry point. Errors (kBadInput): empty input, every
+ * profile excluded, or any violation under ValidationPolicy::kStrict.
+ */
+common::Expected<PksResult> principalKernelSelectionChecked(
+    std::vector<silicon::DetailedProfile> profiles,
+    const PksOptions &options = {});
 
 /**
  * Re-evaluate a selection against another device's per-launch cycle

@@ -1,0 +1,175 @@
+#include "core/profile_validator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pka::core
+{
+
+using silicon::DetailedProfile;
+using silicon::KernelMetrics;
+using silicon::LightProfile;
+
+namespace
+{
+
+/** Index of divergenceEff in KernelMetrics::toArray(). */
+constexpr size_t kDivergenceIdx = 10;
+
+common::TaskError
+badProfile(uint32_t launch_id, const char *what)
+{
+    common::TaskError e;
+    e.kind = common::ErrorKind::kBadInput;
+    e.message = pka::common::strfmt("launch %u: %s", launch_id, what);
+    e.context = "ProfileValidator";
+    return e;
+}
+
+/** Write a (possibly repaired) counter array back into metrics. */
+void
+storeArray(KernelMetrics &m, const std::array<double, KernelMetrics::kCount> &a)
+{
+    m.coalescedGlobalLoads = a[0];
+    m.coalescedGlobalStores = a[1];
+    m.coalescedLocalLoads = a[2];
+    m.threadGlobalLoads = a[3];
+    m.threadGlobalStores = a[4];
+    m.threadLocalLoads = a[5];
+    m.threadSharedLoads = a[6];
+    m.threadSharedStores = a[7];
+    m.threadGlobalAtomics = a[8];
+    m.instructions = a[9];
+    m.divergenceEff = a[10];
+    m.numCtas = a[11];
+}
+
+} // namespace
+
+common::Expected<ValidationReport>
+ProfileValidator::screenDetailed(std::vector<DetailedProfile> &profiles) const
+{
+    ValidationReport report;
+    report.inspected = profiles.size();
+    const size_t total = profiles.size();
+
+    std::vector<uint8_t> keep(profiles.size(), 1);
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        auto a = profiles[i].metrics.toArray();
+        bool exclude = false;
+        uint64_t repaired = 0;
+        for (size_t c = 0; c < KernelMetrics::kCount; ++c) {
+            if (!std::isfinite(a[c])) {
+                // A corrupted counter leaves no trustworthy value to
+                // substitute; the launch is excluded, not invented.
+                if (policy_ == ValidationPolicy::kStrict)
+                    return badProfile(
+                        profiles[i].launchId,
+                        pka::common::strfmt("non-finite counter '%s'",
+                                            KernelMetrics::name(c))
+                            .c_str());
+                exclude = true;
+                break;
+            }
+            if (a[c] < 0.0) {
+                if (policy_ == ValidationPolicy::kStrict)
+                    return badProfile(
+                        profiles[i].launchId,
+                        pka::common::strfmt("negative counter '%s'",
+                                            KernelMetrics::name(c))
+                            .c_str());
+                a[c] = 0.0;
+                ++repaired;
+            }
+        }
+        if (!exclude &&
+            (a[kDivergenceIdx] < 1.0 || a[kDivergenceIdx] > 32.0)) {
+            if (policy_ == ValidationPolicy::kStrict)
+                return badProfile(profiles[i].launchId,
+                                  "divergence_eff outside [1, 32]");
+            a[kDivergenceIdx] = std::clamp(a[kDivergenceIdx], 1.0, 32.0);
+            ++repaired;
+        }
+        if (exclude) {
+            keep[i] = 0;
+            report.excludedLaunchIds.push_back(profiles[i].launchId);
+            continue;
+        }
+        if (repaired > 0) {
+            storeArray(profiles[i].metrics, a);
+            report.repairedValues += repaired;
+        }
+    }
+
+    if (!report.excludedLaunchIds.empty()) {
+        common::warnRateLimited(
+            "profile-excluded",
+            pka::common::strfmt(
+                "excluded %zu detailed profile(s) with non-finite "
+                "counters; survivors reweighted",
+                report.excludedLaunchIds.size()));
+        size_t w = 0;
+        for (size_t i = 0; i < profiles.size(); ++i)
+            if (keep[i]) {
+                if (w != i)
+                    profiles[w] = std::move(profiles[i]);
+                ++w;
+            }
+        profiles.resize(w);
+    }
+    if (!profiles.empty())
+        report.reweightFactor = static_cast<double>(total) /
+                                static_cast<double>(profiles.size());
+
+    // Zero-variance diagnostic over the survivors (raw counter space).
+    if (!profiles.empty()) {
+        auto first = profiles[0].metrics.toArray();
+        std::array<bool, KernelMetrics::kCount> constant;
+        constant.fill(true);
+        for (size_t i = 1; i < profiles.size(); ++i) {
+            auto a = profiles[i].metrics.toArray();
+            for (size_t c = 0; c < KernelMetrics::kCount; ++c)
+                if (a[c] != first[c])
+                    constant[c] = false;
+        }
+        for (size_t c = 0; c < KernelMetrics::kCount; ++c)
+            if (constant[c])
+                report.zeroVarianceFeatures.push_back(c);
+    }
+    return report;
+}
+
+common::Expected<ValidationReport>
+ProfileValidator::screenLight(std::vector<LightProfile> &profiles) const
+{
+    ValidationReport report;
+    report.inspected = profiles.size();
+    for (auto &p : profiles) {
+        if (p.tensorDims.empty())
+            continue;
+        double product = 1.0;
+        for (uint32_t d : p.tensorDims)
+            product *= static_cast<double>(d);
+        if (!std::isfinite(product)) {
+            if (policy_ == ValidationPolicy::kStrict)
+                return badProfile(
+                    p.launchId, "tensor-dims product overflows a double");
+            // The annotation is advisory (PyProf metadata); dropping it
+            // keeps the launch classifiable on name/dims alone.
+            p.tensorDims.clear();
+            ++report.repairedValues;
+        }
+    }
+    if (report.repairedValues > 0)
+        common::warnRateLimited(
+            "light-profile-repaired",
+            pka::common::strfmt("dropped %llu overflowing tensor-dims "
+                                "annotation(s)",
+                                static_cast<unsigned long long>(
+                                    report.repairedValues)));
+    return report;
+}
+
+} // namespace pka::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Input screening for the PKS/two-level pipeline. Silicon profilers fail
+ * in practice — counter replays glitch, PyProf annotations overflow, a
+ * preempted kernel reports garbage — and a single NaN row used to poison
+ * the whole scaler/PCA/K-Means chain. ProfileValidator screens detailed
+ * and lightweight profiles before feature extraction:
+ *
+ *  - kRepair (default): deterministically repair what is repairable
+ *    (negative counters clamp to 0, divergenceEff clamps to [1, 32],
+ *    overflowing tensor-dims annotations are dropped) and *exclude*
+ *    detailed launches whose counters are non-finite — an excluded
+ *    launch is journaled in the report and the survivors are reweighted
+ *    by totalCount/includedCount, mirroring the campaign quorum
+ *    reweighting (see core/pka.hh).
+ *  - kStrict: the first violation returns a typed kBadInput error with
+ *    the launch id and counter name; nothing is mutated.
+ *
+ * Clean input passes through untouched (no copies, no mutation), so the
+ * default pipeline stays bit-identical to an unvalidated run.
+ *
+ * Lightweight profiles are repair-only: they must stay index-aligned
+ * with the launch stream (position i is launch i's profile), so a bad
+ * record is repaired in place, never dropped.
+ */
+
+#ifndef PKA_CORE_PROFILE_VALIDATOR_HH
+#define PKA_CORE_PROFILE_VALIDATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/** What the validator does about a bad profile. */
+enum class ValidationPolicy : uint8_t
+{
+    kRepair, ///< repair or exclude deterministically, report what changed
+    kStrict, ///< first violation is a typed kBadInput error
+};
+
+/** Everything the validator changed or observed. */
+struct ValidationReport
+{
+    /** Profiles examined. */
+    size_t inspected = 0;
+
+    /** Detailed launches dropped (non-repairable), launch-id order. */
+    std::vector<uint32_t> excludedLaunchIds;
+
+    /** Individual cells repaired in place (clamps, dropped annotations). */
+    uint64_t repairedValues = 0;
+
+    /** Detailed counter indices (KernelMetrics::toArray order) that are
+     *  constant across the surviving profiles — carried as a diagnostic;
+     *  the scaler already maps them to 0 deterministically. */
+    std::vector<size_t> zeroVarianceFeatures;
+
+    /** totalCount / includedCount; scales surviving group weights so the
+     *  projection still estimates the whole stream. 1.0 when nothing was
+     *  excluded. */
+    double reweightFactor = 1.0;
+
+    /** True when the input needed no repair and nothing was excluded. */
+    bool clean() const
+    {
+        return excludedLaunchIds.empty() && repairedValues == 0;
+    }
+};
+
+/** Screens profiles per the policy above. Stateless and deterministic. */
+class ProfileValidator
+{
+  public:
+    explicit ProfileValidator(ValidationPolicy policy =
+                                  ValidationPolicy::kRepair)
+        : policy_(policy)
+    {
+    }
+
+    /**
+     * Screen detailed profiles in place. kRepair may erase non-finite
+     * launches from `profiles` (order preserved) and clamp repairable
+     * cells; kRepair never fails. kStrict mutates nothing and returns a
+     * kBadInput error on the first violation.
+     */
+    common::Expected<ValidationReport>
+    screenDetailed(std::vector<silicon::DetailedProfile> &profiles) const;
+
+    /**
+     * Screen lightweight profiles in place. Repair-only even under
+     * kRepair exclusion rules (index alignment with the launch stream
+     * must survive), so the only repair is dropping tensor-dims
+     * annotations whose element product overflows a double. kStrict
+     * returns a kBadInput error instead of repairing.
+     */
+    common::Expected<ValidationReport>
+    screenLight(std::vector<silicon::LightProfile> &profiles) const;
+
+    ValidationPolicy policy() const { return policy_; }
+
+  private:
+    ValidationPolicy policy_;
+};
+
+} // namespace pka::core
+
+#endif // PKA_CORE_PROFILE_VALIDATOR_HH

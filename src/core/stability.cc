@@ -1,0 +1,130 @@
+#include "core/stability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pka::core
+{
+
+using silicon::DetailedProfile;
+
+StabilityReport
+selectionStability(const std::vector<DetailedProfile> &profiles,
+                   const PksResult &baseline,
+                   const StabilityOptions &options)
+{
+    StabilityReport report;
+    report.baselineProjectedCycles = baseline.projectedCycles;
+    const size_t n = profiles.size();
+    const uint32_t reps = std::max<uint32_t>(1, options.replicates);
+    if (n == 0)
+        return report;
+
+    std::vector<double> projections;
+    projections.reserve(reps);
+
+    // launchId -> replicate group label, rebuilt per replicate.
+    std::vector<int32_t> replicate_label;
+    // Per baseline group: (stable pairs, counted pairs) across replicates.
+    std::vector<double> stable_pairs(baseline.groups.size(), 0.0);
+    std::vector<double> counted_pairs(baseline.groups.size(), 0.0);
+
+    for (uint32_t r = 0; r < reps; ++r) {
+        // Bootstrap resample, then restore chronological order (PKS
+        // expects it, and FirstChronological representatives depend on
+        // it). Sampling with replacement keeps duplicates.
+        common::Rng rng = common::Rng::forKey(options.seed, r, 0);
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = rng.uniformInt(static_cast<uint32_t>(n));
+        std::sort(idx.begin(), idx.end());
+
+        std::vector<DetailedProfile> sample;
+        sample.reserve(n);
+        for (size_t i : idx)
+            sample.push_back(profiles[i]);
+
+        PksResult sel = principalKernelSelection(sample, options.pks);
+        projections.push_back(sel.projectedCycles);
+
+        replicate_label.assign(replicate_label.size(), -1);
+        for (uint32_t g = 0; g < sel.groups.size(); ++g)
+            for (uint32_t m : sel.groups[g].members) {
+                if (m >= replicate_label.size())
+                    replicate_label.resize(m + 1, -1);
+                replicate_label[m] = static_cast<int32_t>(g);
+            }
+
+        // Co-membership: a baseline pair counts when both launches were
+        // drawn into this replicate; it is stable when the replicate
+        // also co-clusters them. The pair walk is index-ordered and
+        // capped, so the score is deterministic.
+        for (size_t g = 0; g < baseline.groups.size(); ++g) {
+            const auto &members = baseline.groups[g].members;
+            size_t budget = options.maxPairSamples;
+            for (size_t a = 0; a + 1 < members.size() && budget > 0; ++a) {
+                uint32_t la = members[a];
+                if (la >= replicate_label.size() ||
+                    replicate_label[la] < 0)
+                    continue;
+                for (size_t b = a + 1;
+                     b < members.size() && budget > 0; ++b) {
+                    uint32_t lb = members[b];
+                    if (lb >= replicate_label.size() ||
+                        replicate_label[lb] < 0)
+                        continue;
+                    counted_pairs[g] += 1.0;
+                    if (replicate_label[la] == replicate_label[lb])
+                        stable_pairs[g] += 1.0;
+                    --budget;
+                }
+            }
+        }
+    }
+
+    report.replicates = reps;
+    double mean = 0.0;
+    for (double p : projections)
+        mean += p;
+    mean /= static_cast<double>(projections.size());
+    double var = 0.0;
+    for (double p : projections)
+        var += (p - mean) * (p - mean);
+    var = projections.size() > 1
+              ? var / static_cast<double>(projections.size() - 1)
+              : 0.0;
+    report.meanProjectedCycles = mean;
+    report.stddevProjectedCycles = std::sqrt(var);
+
+    std::sort(projections.begin(), projections.end());
+    const double alpha = std::clamp(1.0 - options.ciLevel, 0.0, 1.0);
+    const size_t last = projections.size() - 1;
+    size_t lo = static_cast<size_t>(
+        std::floor(alpha / 2.0 * static_cast<double>(last)));
+    size_t hi = static_cast<size_t>(
+        std::ceil((1.0 - alpha / 2.0) * static_cast<double>(last)));
+    report.ciLow = projections[std::min(lo, last)];
+    report.ciHigh = projections[std::min(hi, last)];
+    report.relativeHalfWidth =
+        report.baselineProjectedCycles > 0
+            ? (report.ciHigh - report.ciLow) / 2.0 /
+                  report.baselineProjectedCycles
+            : 0.0;
+
+    report.groupStability.resize(baseline.groups.size(), 1.0);
+    double weighted = 0.0, weight = 0.0;
+    for (size_t g = 0; g < baseline.groups.size(); ++g) {
+        if (counted_pairs[g] > 0)
+            report.groupStability[g] = stable_pairs[g] / counted_pairs[g];
+        double w = baseline.groups[g].weight;
+        weighted += report.groupStability[g] * w;
+        weight += w;
+    }
+    report.meanStability = weight > 0 ? weighted / weight : 1.0;
+    return report;
+}
+
+} // namespace pka::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Selection-stability diagnostics: how much should a PKS selection be
+ * trusted? Bootstrap-resample the detailed profiles, re-run the
+ * selection on each replicate, and report (a) a percentile confidence
+ * interval on the projected total cycles and (b) a per-group stability
+ * score — the fraction of sampled member pairs that stay co-clustered
+ * across replicates. A tight CI and scores near 1 mean the grouping is
+ * a property of the workload; wide intervals flag selections that
+ * hinge on a handful of launches.
+ *
+ * Fully deterministic: replicate r draws from Rng::forKey(seed, r, i),
+ * so the report depends only on (profiles, baseline, options).
+ */
+
+#ifndef PKA_CORE_STABILITY_HH
+#define PKA_CORE_STABILITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pks.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/** Bootstrap configuration. */
+struct StabilityOptions
+{
+    /** Bootstrap replicates (each re-runs PKS on a resample). */
+    uint32_t replicates = 32;
+
+    /** Resampling seed (independent of the selection seed). */
+    uint64_t seed = 0x57AB;
+
+    /** Two-sided CI coverage on projected cycles (percentile method). */
+    double ciLevel = 0.95;
+
+    /** Per-group pair budget for the co-membership score; caps the
+     *  O(members^2) pair enumeration on huge groups. */
+    size_t maxPairSamples = 512;
+
+    /** Selection options applied to every replicate (use the same
+     *  options as the baseline selection). */
+    PksOptions pks;
+};
+
+/** Stability diagnostics for one baseline selection. */
+struct StabilityReport
+{
+    uint32_t replicates = 0;
+
+    /** Baseline projected cycles (the point estimate under test). */
+    double baselineProjectedCycles = 0.0;
+
+    /** Moments of the replicate projected-cycles distribution. */
+    double meanProjectedCycles = 0.0;
+    double stddevProjectedCycles = 0.0;
+
+    /** Percentile CI bounds at options.ciLevel. */
+    double ciLow = 0.0;
+    double ciHigh = 0.0;
+
+    /** Half-width as a fraction of the baseline (0 = perfectly tight). */
+    double relativeHalfWidth = 0.0;
+
+    /** Per-baseline-group co-membership stability in [0, 1]; indexed
+     *  like baseline.groups. 1.0 for groups too small to form a pair. */
+    std::vector<double> groupStability;
+
+    /** Member-weighted mean of groupStability. */
+    double meanStability = 1.0;
+};
+
+/**
+ * Bootstrap the selection `baseline` was derived from. `profiles` must
+ * be the same (screened) detailed profiles that produced `baseline`.
+ */
+StabilityReport
+selectionStability(const std::vector<silicon::DetailedProfile> &profiles,
+                   const PksResult &baseline,
+                   const StabilityOptions &options = {});
+
+} // namespace pka::core
+
+#endif // PKA_CORE_STABILITY_HH

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <memory>
 
 #include "common/logging.hh"
 #include "core/features.hh"
 #include "ml/gaussian_nb.hh"
 #include "ml/mlp_classifier.hh"
+#include "ml/pca.hh"
 #include "ml/scaler.hh"
 #include "ml/sgd_classifier.hh"
 
@@ -54,13 +56,26 @@ twoLevelSelection(const std::vector<DetailedProfile> &detailed,
         }
     }
 
+    // Profiles are matched to the stream by launch id, so a screened
+    // (gappy) prefix is legal: uncovered launches are classified below.
     res.labels.assign(light.size(), 0);
-    for (size_t i = 0; i < detailed.size(); ++i)
-        res.labels[i] = prefix_labels[i];
+    std::vector<uint8_t> covered(light.size(), 0);
+    for (size_t i = 0; i < detailed.size(); ++i) {
+        uint32_t id = detailed[i].launchId;
+        PKA_ASSERT(id < light.size(),
+                   "detailed launch id outside the light stream");
+        res.labels[id] = prefix_labels[i];
+        covered[id] = 1;
+    }
+    size_t uncovered = 0;
+    for (uint8_t c : covered)
+        uncovered += c ? 0 : 1;
 
-    if (light.size() == detailed.size() || num_groups == 1) {
+    if (uncovered == 0 || num_groups == 1) {
         // Nothing to classify, or a single group absorbs everything.
-        for (size_t i = detailed.size(); i < light.size(); ++i) {
+        for (size_t i = 0; i < light.size(); ++i) {
+            if (covered[i])
+                continue;
             res.labels[i] = 0;
             res.groups[0].members.push_back(light[i].launchId);
             res.groups[0].weight += 1.0;
@@ -71,7 +86,7 @@ twoLevelSelection(const std::vector<DetailedProfile> &detailed,
     // Train the ensemble on the prefix's light features.
     ml::Matrix train_raw(detailed.size(), kLightFeatureCount);
     for (size_t i = 0; i < detailed.size(); ++i) {
-        auto v = lightFeatureVector(light[i]);
+        auto v = lightFeatureVector(light[detailed[i].launchId]);
         for (size_t c = 0; c < kLightFeatureCount; ++c)
             train_raw.at(i, c) = v[c];
     }
@@ -86,28 +101,135 @@ twoLevelSelection(const std::vector<DetailedProfile> &detailed,
     for (auto &m : models)
         m->fit(train, prefix_labels, num_groups);
 
+    // Abstention fallback: nearest group centroid in a PCA space over
+    // the training prefix. Fit lazily — the gate is off by default and
+    // most streams never abstain.
+    bool fallback_ready = false;
+    ml::Pca fallback_pca;
+    size_t fallback_ncomp = 0;
+    ml::Matrix fallback_centroids;
+    std::vector<double> fallback_counts;
+    auto ensureFallback = [&]() {
+        if (fallback_ready)
+            return;
+        fallback_ready = true;
+        fallback_pca.fit(train);
+        fallback_ncomp =
+            fallback_pca.componentsForVariance(options.pks.pcaVariance);
+        ml::Matrix P = fallback_pca.transform(train, fallback_ncomp);
+        fallback_centroids = ml::Matrix(num_groups, fallback_ncomp);
+        fallback_counts.assign(num_groups, 0.0);
+        for (size_t i = 0; i < detailed.size(); ++i) {
+            uint32_t g = prefix_labels[i];
+            fallback_counts[g] += 1.0;
+            for (size_t c = 0; c < fallback_ncomp; ++c)
+                fallback_centroids.at(g, c) += P.at(i, c);
+        }
+        for (uint32_t g = 0; g < num_groups; ++g)
+            if (fallback_counts[g] > 0)
+                for (size_t c = 0; c < fallback_ncomp; ++c)
+                    fallback_centroids.at(g, c) /= fallback_counts[g];
+    };
+
     size_t unanimous = 0;
     size_t classified = 0;
-    for (size_t i = detailed.size(); i < light.size(); ++i) {
+    double confidence_sum = 0.0;
+    std::array<size_t, 3> disagreements{};
+    for (size_t i = 0; i < light.size(); ++i) {
+        if (covered[i])
+            continue;
         auto raw = lightFeatureVector(light[i]);
         ml::Matrix one = ml::Matrix::fromRows({raw});
         ml::Matrix x = scaler.transform(one);
         std::array<uint32_t, 3> votes;
-        for (size_t mi = 0; mi < models.size(); ++mi)
+        std::array<std::vector<double>, 3> probas;
+        for (size_t mi = 0; mi < models.size(); ++mi) {
             votes[mi] = models[mi]->predict(x.row(0));
+            probas[mi] = models[mi]->predictProba(x.row(0));
+        }
         uint32_t label = ml::majorityVote(votes);
+        double confidence =
+            (probas[0][label] + probas[1][label] + probas[2][label]) / 3.0;
         if (votes[0] == votes[1] && votes[1] == votes[2])
             ++unanimous;
         ++classified;
+        confidence_sum += confidence;
+
+        if (options.abstainThreshold > 0.0 &&
+            confidence < options.abstainThreshold) {
+            ++res.abstentions;
+            ensureFallback();
+            ml::Matrix p = fallback_pca.transform(x, fallback_ncomp);
+            uint32_t best_g = 0;
+            double best_d2 = std::numeric_limits<double>::max();
+            for (uint32_t g = 0; g < num_groups; ++g) {
+                if (!(fallback_counts[g] > 0))
+                    continue;
+                double d2 = ml::squaredDistance(
+                    p.row(0), fallback_centroids.row(g));
+                if (d2 < best_d2) { // strict <: ties keep the lowest id
+                    best_d2 = d2;
+                    best_g = g;
+                }
+            }
+            label = best_g;
+            ++res.fallbackMapped;
+        }
+        for (size_t mi = 0; mi < votes.size(); ++mi)
+            if (votes[mi] != label)
+                ++disagreements[mi];
 
         res.labels[i] = label;
         res.groups[label].members.push_back(light[i].launchId);
         res.groups[label].weight += 1.0;
     }
+    const double denom =
+        classified > 0 ? static_cast<double>(classified) : 1.0;
     res.ensembleUnanimity =
-        classified > 0 ? static_cast<double>(unanimous) /
-                             static_cast<double>(classified)
-                       : 1.0;
+        classified > 0 ? static_cast<double>(unanimous) / denom : 1.0;
+    res.meanEnsembleConfidence =
+        classified > 0 ? confidence_sum / denom : 1.0;
+    for (size_t mi = 0; mi < disagreements.size(); ++mi)
+        res.perModelDisagreement[mi] =
+            static_cast<double>(disagreements[mi]) / denom;
+    return res;
+}
+
+common::Expected<TwoLevelResult>
+twoLevelSelectionChecked(std::vector<DetailedProfile> detailed,
+                         std::vector<LightProfile> light,
+                         const TwoLevelOptions &options)
+{
+    auto bad = [](const char *msg) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = msg;
+        e.context = "twoLevelSelection";
+        return e;
+    };
+    if (detailed.empty())
+        return bad("two-level needs a detailed prefix");
+    if (light.size() < detailed.size())
+        return bad("light profiles must cover the whole stream");
+
+    ProfileValidator validator(options.pks.validation);
+    common::Expected<ValidationReport> drep =
+        validator.screenDetailed(detailed);
+    if (!drep.ok())
+        return drep.error();
+    if (detailed.empty())
+        return bad("every detailed profile was excluded by validation");
+    common::Expected<ValidationReport> lrep =
+        validator.screenLight(light);
+    if (!lrep.ok())
+        return lrep.error();
+    for (const auto &p : detailed)
+        if (p.launchId >= light.size())
+            return bad("detailed launch id outside the light stream");
+
+    TwoLevelResult res = twoLevelSelection(detailed, light, options);
+    res.prefixSelection.validation = drep.value();
+    res.lightValidation = lrep.value();
     return res;
 }
 

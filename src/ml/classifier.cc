@@ -1,10 +1,26 @@
 #include "ml/classifier.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 namespace pka::ml
 {
+
+void
+softmaxInPlace(std::vector<double> &scores)
+{
+    if (scores.empty())
+        return;
+    double mx = *std::max_element(scores.begin(), scores.end());
+    double sum = 0.0;
+    for (double &s : scores) {
+        s = std::exp(s - mx);
+        sum += s;
+    }
+    for (double &s : scores)
+        s /= sum;
+}
 
 std::vector<uint32_t>
 Classifier::predictAll(const Matrix &X) const

@@ -2,7 +2,9 @@
  * @file
  * Common supervised-classifier interface used by the two-level profiling
  * stage: models trained on detailed-phase cluster labels map lightly
- * profiled kernels into groups.
+ * profiled kernels into groups. Every model exposes class probabilities
+ * (predictProba) so the ensemble can gate low-confidence decisions
+ * instead of always emitting a label.
  */
 
 #ifndef PKA_ML_CLASSIFIER_HH
@@ -32,6 +34,15 @@ class Classifier
     /** Predict the class of one sample. */
     virtual uint32_t predict(std::span<const double> x) const = 0;
 
+    /**
+     * Per-class probabilities for one sample (softmax over the model's
+     * class scores; sums to 1). The argmax of predictProba always equals
+     * predict() — both resolve score ties to the lowest class id — so
+     * confidence gating can never silently change a label.
+     */
+    virtual std::vector<double>
+    predictProba(std::span<const double> x) const = 0;
+
     /** Human-readable model name. */
     virtual const char *name() const = 0;
 
@@ -44,6 +55,12 @@ class Classifier
  * model's vote (deterministic ensembling).
  */
 uint32_t majorityVote(std::span<const uint32_t> votes);
+
+/**
+ * In-place numerically stabilized softmax (subtracts the max score before
+ * exponentiating). Empty input is a no-op.
+ */
+void softmaxInPlace(std::vector<double> &scores);
 
 } // namespace pka::ml
 

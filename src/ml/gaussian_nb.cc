@@ -49,27 +49,46 @@ GaussianNb::fit(const Matrix &X, const std::vector<uint32_t> &y,
     }
 }
 
-uint32_t
-GaussianNb::predict(std::span<const double> x) const
+std::vector<double>
+GaussianNb::jointLogLikelihood(std::span<const double> x) const
 {
     PKA_ASSERT(!mean_.empty(), "classifier not fitted");
     PKA_ASSERT(x.size() == mean_.cols(), "feature dimensionality mismatch");
-    uint32_t best = 0;
-    double best_ll = -1e300;
+    std::vector<double> ll(mean_.rows());
     for (size_t k = 0; k < mean_.rows(); ++k) {
-        double ll = logPrior_[k];
+        double s = logPrior_[k];
         for (size_t c = 0; c < x.size(); ++c) {
             double v = var_.at(k, c);
             double diff = x[c] - mean_.at(k, c);
-            ll += -0.5 * (std::log(6.283185307179586 * v) +
-                          diff * diff / v);
+            s += -0.5 * (std::log(6.283185307179586 * v) +
+                         diff * diff / v);
         }
-        if (ll > best_ll) {
-            best_ll = ll;
+        ll[k] = s;
+    }
+    return ll;
+}
+
+uint32_t
+GaussianNb::predict(std::span<const double> x) const
+{
+    std::vector<double> ll = jointLogLikelihood(x);
+    uint32_t best = 0;
+    double best_ll = -1e300;
+    for (size_t k = 0; k < ll.size(); ++k) {
+        if (ll[k] > best_ll) {
+            best_ll = ll[k];
             best = static_cast<uint32_t>(k);
         }
     }
     return best;
+}
+
+std::vector<double>
+GaussianNb::predictProba(std::span<const double> x) const
+{
+    std::vector<double> p = jointLogLikelihood(x);
+    softmaxInPlace(p);
+    return p;
 }
 
 } // namespace pka::ml

@@ -19,9 +19,14 @@ class GaussianNb : public Classifier
     void fit(const Matrix &X, const std::vector<uint32_t> &y,
              uint32_t num_classes) override;
     uint32_t predict(std::span<const double> x) const override;
+    std::vector<double>
+    predictProba(std::span<const double> x) const override;
     const char *name() const override { return "gaussian_nb"; }
 
   private:
+    /** Per-class joint log-likelihood (prior + Gaussian terms). */
+    std::vector<double> jointLogLikelihood(std::span<const double> x) const;
+
     Matrix mean_;              // class x feature
     Matrix var_;               // class x feature
     std::vector<double> logPrior_;

@@ -36,16 +36,26 @@ class DistanceTable
 
 } // namespace
 
-Dendrogram
+common::Expected<Dendrogram>
 buildDendrogram(const Matrix &X, size_t max_samples)
 {
     const size_t n = X.rows();
-    PKA_ASSERT(n > 0, "cannot cluster empty data");
+    if (n == 0) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "cannot cluster empty data";
+        e.context = "buildDendrogram";
+        return e;
+    }
     if (n > max_samples) {
-        pka::common::fatal(pka::common::strfmt(
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = pka::common::strfmt(
             "hierarchical clustering over %zu samples exceeds the %zu "
             "sample guardrail (this is the scaling wall TBPoint hits)",
-            n, max_samples));
+            n, max_samples);
+        e.context = "buildDendrogram";
+        return e;
     }
 
     Dendrogram out;
@@ -162,12 +172,14 @@ cutDendrogram(const Dendrogram &d, double distance_threshold)
     return res;
 }
 
-HierarchicalResult
+common::Expected<HierarchicalResult>
 agglomerativeCluster(const Matrix &X, double distance_threshold,
                      size_t max_samples)
 {
-    return cutDendrogram(buildDendrogram(X, max_samples),
-                         distance_threshold);
+    common::Expected<Dendrogram> d = buildDendrogram(X, max_samples);
+    if (!d.ok())
+        return d.error();
+    return cutDendrogram(d.value(), distance_threshold);
 }
 
 } // namespace pka::ml

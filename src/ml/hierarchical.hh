@@ -5,7 +5,8 @@
  * caching and can then be cut at any distance threshold, so TBPoint's
  * 20-point threshold sweep costs one clustering. Still O(n^2) memory and
  * time — exactly the scaling limitation the paper contrasts K-Means
- * against; a guardrail makes the wall explicit.
+ * against; a guardrail makes the wall explicit as a typed kBadInput
+ * error (library code never fatal()s — see common/error.hh).
  */
 
 #ifndef PKA_ML_HIERARCHICAL_HH
@@ -14,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "ml/matrix.hh"
 
 namespace pka::ml
@@ -36,10 +38,12 @@ struct Dendrogram
 
 /**
  * Build the full average-linkage dendrogram of X (Euclidean distances).
- * @param max_samples guardrail: fatal() beyond it, mirroring the
- *        memory/runtime wall hierarchical clustering hits at MLPerf scale.
+ * @param max_samples guardrail: a kBadInput error beyond it, mirroring
+ *        the memory/runtime wall hierarchical clustering hits at MLPerf
+ *        scale. Empty input is also a kBadInput error.
  */
-Dendrogram buildDendrogram(const Matrix &X, size_t max_samples = 20000);
+common::Expected<Dendrogram> buildDendrogram(const Matrix &X,
+                                             size_t max_samples = 20000);
 
 /** Result of a threshold cut through the dendrogram. */
 struct HierarchicalResult
@@ -57,7 +61,7 @@ HierarchicalResult cutDendrogram(const Dendrogram &d,
                                  double distance_threshold);
 
 /** Convenience: buildDendrogram + cutDendrogram. */
-HierarchicalResult
+common::Expected<HierarchicalResult>
 agglomerativeCluster(const Matrix &X, double distance_threshold,
                      size_t max_samples = 20000);
 

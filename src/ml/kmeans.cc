@@ -1,8 +1,10 @@
 #include "ml/kmeans.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 
 namespace pka::ml
@@ -12,6 +14,17 @@ using pka::common::Rng;
 
 namespace
 {
+
+/** True when every cell of X is finite. */
+bool
+allFinite(const Matrix &X)
+{
+    for (size_t r = 0; r < X.rows(); ++r)
+        for (size_t c = 0; c < X.cols(); ++c)
+            if (!std::isfinite(X.at(r, c)))
+                return false;
+    return true;
+}
 
 /** k-means++ initialization. */
 Matrix
@@ -62,6 +75,7 @@ lloyd(const Matrix &X, uint32_t k, uint32_t max_iters, Rng &rng)
     res.labels.assign(n, 0);
 
     std::vector<double> counts(k);
+    std::vector<double> point_d2(n, 0.0);
     for (uint32_t iter = 0; iter < max_iters; ++iter) {
         bool changed = false;
         res.inertia = 0.0;
@@ -79,6 +93,7 @@ lloyd(const Matrix &X, uint32_t k, uint32_t max_iters, Rng &rng)
                 res.labels[r] = best_c;
                 changed = true;
             }
+            point_d2[r] = best;
             res.inertia += best;
         }
         if (!changed && iter > 0)
@@ -97,10 +112,22 @@ lloyd(const Matrix &X, uint32_t k, uint32_t max_iters, Rng &rng)
                 for (size_t c = 0; c < d; ++c)
                     res.centroids.at(ci, c) = sums.at(ci, c) / counts[ci];
             } else {
-                // Re-seed an empty cluster on a random sample.
-                size_t r = rng.uniformInt(static_cast<uint32_t>(n));
+                // Deterministic empty-cluster reseed: take the point
+                // farthest from its assigned centroid (ties break to the
+                // lowest index), then zero its distance so a second empty
+                // cluster picks a different point. Depends only on the
+                // restart's data/state — never on wall clock.
+                size_t far = 0;
+                double far_d2 = -1.0;
+                for (size_t r = 0; r < n; ++r)
+                    if (point_d2[r] > far_d2) {
+                        far_d2 = point_d2[r];
+                        far = r;
+                    }
+                point_d2[far] = 0.0;
                 for (size_t c = 0; c < d; ++c)
-                    res.centroids.at(ci, c) = X.at(r, c);
+                    res.centroids.at(ci, c) = X.at(far, c);
+                ++res.emptyReseeds;
             }
         }
     }
@@ -116,16 +143,52 @@ kmeans(const Matrix &X, uint32_t k, const KMeansOptions &options)
     k = std::max<uint32_t>(
         1, std::min<uint32_t>(k, static_cast<uint32_t>(X.rows())));
 
+    // Deterministic repair: clamp non-finite cells to 0 so distance
+    // comparisons stay meaningful (checked callers get a typed error).
+    const Matrix *input = &X;
+    Matrix repaired;
+    if (!allFinite(X)) {
+        common::warnRateLimited(
+            "kmeans-nonfinite",
+            "K-Means input contains non-finite cells; clamping to 0");
+        repaired = X;
+        for (size_t r = 0; r < repaired.rows(); ++r)
+            for (size_t c = 0; c < repaired.cols(); ++c)
+                if (!std::isfinite(repaired.at(r, c)))
+                    repaired.at(r, c) = 0.0;
+        input = &repaired;
+    }
+
     KMeansResult best;
     best.inertia = std::numeric_limits<double>::max();
     for (uint32_t rs = 0; rs < std::max<uint32_t>(1, options.restarts);
          ++rs) {
         Rng rng = Rng::forKey(options.seed, k, rs);
-        KMeansResult r = lloyd(X, k, options.maxIterations, rng);
+        KMeansResult r = lloyd(*input, k, options.maxIterations, rng);
         if (r.inertia < best.inertia)
             best = std::move(r);
     }
     return best;
+}
+
+common::Expected<KMeansResult>
+kmeansChecked(const Matrix &X, uint32_t k, const KMeansOptions &options)
+{
+    if (X.rows() == 0 || X.cols() == 0) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "cannot cluster an empty matrix";
+        e.context = "kmeansChecked";
+        return e;
+    }
+    if (!allFinite(X)) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "K-Means input contains non-finite feature values";
+        e.context = "kmeansChecked";
+        return e;
+    }
+    return kmeans(X, k, options);
 }
 
 } // namespace pka::ml

@@ -3,6 +3,19 @@
  * K-Means clustering (k-means++ seeding, Lloyd iterations, multiple
  * restarts). Chosen by the paper over hierarchical clustering because it
  * scales to millions of kernels and K is an interpretable knob.
+ *
+ * Degenerate-case contract (documented, deterministic):
+ *  - k > n_samples clamps to n_samples and k == 0 clamps to 1, so the
+ *    result always has 1 <= k <= n_samples;
+ *  - a cluster that goes empty during a Lloyd iteration is reseeded on
+ *    the in-restart farthest point from its assigned centroid (ties
+ *    break to the lowest sample index). The reseed depends only on
+ *    (X, k, options.seed, restart index) — never on wall clock or any
+ *    global state — so repeated runs are bit-identical;
+ *  - non-finite cells are deterministically clamped to 0 before
+ *    clustering (kmeansChecked() returns a kBadInput error instead);
+ *  - duplicate-point floods are legal: k-means++ falls back to a
+ *    deterministic uniform draw when all remaining distances are zero.
  */
 
 #ifndef PKA_ML_KMEANS_HH
@@ -11,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "ml/matrix.hh"
 
 namespace pka::ml
@@ -23,6 +37,7 @@ struct KMeansResult
     Matrix centroids;             ///< k x d
     double inertia = 0.0;         ///< sum of squared distances to centroid
     uint32_t k = 0;
+    uint32_t emptyReseeds = 0; ///< empty-cluster reseeds (best restart)
 };
 
 /** K-Means options. */
@@ -34,11 +49,20 @@ struct KMeansOptions
 };
 
 /**
- * Cluster X into k groups. k is clamped to the number of samples.
- * Deterministic for fixed (X, k, options).
+ * Cluster X into k groups. k is clamped to [1, n_samples] (see the
+ * degenerate-case contract above). Deterministic for fixed
+ * (X, k, options).
  */
 KMeansResult kmeans(const Matrix &X, uint32_t k,
                     const KMeansOptions &options = {});
+
+/**
+ * kmeans() with typed diagnostics: empty input or non-finite cells
+ * return a kBadInput TaskError instead of asserting/repairing.
+ */
+common::Expected<KMeansResult>
+kmeansChecked(const Matrix &X, uint32_t k,
+              const KMeansOptions &options = {});
 
 } // namespace pka::ml
 

@@ -121,4 +121,15 @@ MlpClassifier::predict(std::span<const double> x) const
         std::max_element(scores.begin(), scores.end()) - scores.begin());
 }
 
+std::vector<double>
+MlpClassifier::predictProba(std::span<const double> x) const
+{
+    PKA_ASSERT(!w1_.empty(), "classifier not fitted");
+    PKA_ASSERT(x.size() == w1_.cols() - 1, "feature dimensionality mismatch");
+    std::vector<double> hidden, scores;
+    forward(x, hidden, scores);
+    softmaxInPlace(scores);
+    return scores;
+}
+
 } // namespace pka::ml

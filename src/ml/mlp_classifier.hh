@@ -31,6 +31,8 @@ class MlpClassifier : public Classifier
     void fit(const Matrix &X, const std::vector<uint32_t> &y,
              uint32_t num_classes) override;
     uint32_t predict(std::span<const double> x) const override;
+    std::vector<double>
+    predictProba(std::span<const double> x) const override;
     const char *name() const override { return "mlp"; }
 
   private:

@@ -4,29 +4,46 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/logging.hh"
+
 namespace pka::ml
 {
 
-void
+bool
 jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
                      Matrix &eigenvectors)
 {
     const size_t n = a.rows();
     PKA_ASSERT(n == a.cols(), "matrix must be square");
 
+    // Reject non-finite input up front: Jacobi rotations would iterate
+    // NaN through every entry and never reduce the off-diagonal mass.
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            if (!std::isfinite(a.at(i, j))) {
+                eigenvalues.assign(n, 0.0);
+                eigenvectors = Matrix(n, n, 0.0);
+                for (size_t k = 0; k < n; ++k)
+                    eigenvectors.at(k, k) = 1.0;
+                return false;
+            }
+
     Matrix m = a;               // working copy
     Matrix v(n, n, 0.0);        // accumulated rotations (columns = vectors)
     for (size_t i = 0; i < n; ++i)
         v.at(i, i) = 1.0;
 
+    bool converged = false;
     const int max_sweeps = 100;
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
         double off = 0.0;
         for (size_t p = 0; p < n; ++p)
             for (size_t q = p + 1; q < n; ++q)
                 off += m.at(p, q) * m.at(p, q);
-        if (off < 1e-20)
+        if (off < 1e-20) {
+            converged = true;
             break;
+        }
         for (size_t p = 0; p < n; ++p) {
             for (size_t q = p + 1; q < n; ++q) {
                 double apq = m.at(p, q);
@@ -74,7 +91,24 @@ jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
         for (size_t k = 0; k < n; ++k)
             eigenvectors.at(i, k) = v.at(k, order[i]);
     }
+    return converged;
 }
+
+namespace
+{
+
+/** True when every cell of X is finite. */
+bool
+allFinite(const Matrix &X)
+{
+    for (size_t r = 0; r < X.rows(); ++r)
+        for (size_t c = 0; c < X.cols(); ++c)
+            if (!std::isfinite(X.at(r, c)))
+                return false;
+    return true;
+}
+
+} // namespace
 
 void
 Pca::fit(const Matrix &X)
@@ -82,19 +116,37 @@ Pca::fit(const Matrix &X)
     PKA_ASSERT(X.rows() > 0 && X.cols() > 0, "cannot fit PCA on empty data");
     const size_t n = X.rows(), d = X.cols();
 
+    // Deterministic repair for non-finite cells: clamp to 0 (constant
+    // features drop out of the covariance anyway). Checked callers get a
+    // typed error via fitChecked() instead.
+    const Matrix *input = &X;
+    Matrix repaired;
+    if (!allFinite(X)) {
+        common::warnRateLimited(
+            "pca-nonfinite",
+            "PCA input contains non-finite cells; clamping to 0");
+        repaired = X;
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < d; ++c)
+                if (!std::isfinite(repaired.at(r, c)))
+                    repaired.at(r, c) = 0.0;
+        input = &repaired;
+    }
+    const Matrix &Xf = *input;
+
     mean_.assign(d, 0.0);
     for (size_t r = 0; r < n; ++r)
         for (size_t c = 0; c < d; ++c)
-            mean_[c] += X.at(r, c);
+            mean_[c] += Xf.at(r, c);
     for (size_t c = 0; c < d; ++c)
         mean_[c] /= static_cast<double>(n);
 
     Matrix cov(d, d);
     for (size_t r = 0; r < n; ++r) {
         for (size_t i = 0; i < d; ++i) {
-            double xi = X.at(r, i) - mean_[i];
+            double xi = Xf.at(r, i) - mean_[i];
             for (size_t j = i; j < d; ++j)
-                cov.at(i, j) += xi * (X.at(r, j) - mean_[j]);
+                cov.at(i, j) += xi * (Xf.at(r, j) - mean_[j]);
         }
     }
     double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
@@ -105,15 +157,49 @@ Pca::fit(const Matrix &X)
         }
 
     std::vector<double> eig;
-    jacobiEigenSymmetric(cov, eig, components_);
+    converged_ = jacobiEigenSymmetric(cov, eig, components_);
 
+    // Rank deficiency: clamp numerically negative eigenvalues; a fully
+    // degenerate (zero) covariance keeps one component by convention so
+    // componentsForVariance() stays well-defined.
     double total = 0.0;
     for (double e : eig)
         total += std::max(0.0, e);
     ratio_.assign(d, 0.0);
-    if (total > 0)
+    if (total > 0) {
         for (size_t i = 0; i < d; ++i)
             ratio_[i] = std::max(0.0, eig[i]) / total;
+    } else {
+        ratio_[0] = 1.0;
+    }
+}
+
+common::Expected<bool>
+Pca::fitChecked(const Matrix &X)
+{
+    if (X.rows() == 0 || X.cols() == 0) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "cannot fit PCA on an empty matrix";
+        e.context = "Pca::fitChecked";
+        return e;
+    }
+    if (!allFinite(X)) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "PCA input contains non-finite feature values";
+        e.context = "Pca::fitChecked";
+        return e;
+    }
+    fit(X);
+    if (!converged_) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "Jacobi eigendecomposition did not converge";
+        e.context = "Pca::fitChecked";
+        return e;
+    }
+    return true;
 }
 
 Matrix
@@ -128,7 +214,7 @@ Pca::transform(const Matrix &X, size_t n_components) const
             double dot = 0.0;
             for (size_t c = 0; c < X.cols(); ++c)
                 dot += (X.at(r, c) - mean_[c]) * components_.at(k, c);
-            out.at(r, k) = dot;
+            out.at(r, k) = std::isfinite(dot) ? dot : 0.0;
         }
     return out;
 }

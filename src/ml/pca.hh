@@ -3,6 +3,19 @@
  * Principal Component Analysis via covariance eigendecomposition (cyclic
  * Jacobi). Feature counts here are small (the 12 Table-2 counters), so
  * Jacobi is simple, robust and exact enough.
+ *
+ * Degenerate-input contract (documented, deterministic):
+ *  - rank-deficient covariance is legal: negative eigenvalues (numerical
+ *    noise) clamp to 0 before variance ratios are formed;
+ *  - a zero covariance matrix (all features constant) keeps exactly one
+ *    component: explainedVarianceRatio() is {1, 0, ...} and every sample
+ *    projects to the origin;
+ *  - non-finite input cells are clamped to 0 by fit() (with a
+ *    rate-limited warning); fitChecked() returns a kBadInput error
+ *    instead;
+ *  - Jacobi non-convergence within the sweep budget is survivable: the
+ *    best rotation found so far is used and converged() reports false
+ *    (fitChecked() additionally returns a kBadInput error).
  */
 
 #ifndef PKA_ML_PCA_HH
@@ -10,6 +23,7 @@
 
 #include <vector>
 
+#include "common/error.hh"
 #include "ml/matrix.hh"
 
 namespace pka::ml
@@ -21,9 +35,16 @@ class Pca
   public:
     /**
      * Fit components from X (rows = samples). Components are sorted by
-     * decreasing explained variance.
+     * decreasing explained variance. Non-finite cells are deterministically
+     * repaired to 0 (use fitChecked() for a typed error instead).
      */
     void fit(const Matrix &X);
+
+    /**
+     * fit() with typed diagnostics: empty input, non-finite cells or a
+     * non-convergent eigendecomposition return a kBadInput TaskError.
+     */
+    common::Expected<bool> fitChecked(const Matrix &X);
 
     /** Project X onto the first `n_components` components. */
     Matrix transform(const Matrix &X, size_t n_components) const;
@@ -43,19 +64,27 @@ class Pca
     /** Fitted component matrix (rows = components). */
     const Matrix &components() const { return components_; }
 
+    /** False when the last fit's Jacobi sweep budget ran out. */
+    bool converged() const { return converged_; }
+
   private:
     Matrix components_;        // n_features x n_features, row per component
     std::vector<double> mean_; // column means used for centering
     std::vector<double> ratio_;
+    bool converged_ = true;
 };
 
 /**
  * Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+ * Non-finite input is rejected up front (identity eigenvectors, zero
+ * eigenvalues, returns false) rather than iterated into NaN soup.
  * @param a symmetric input (n x n)
  * @param[out] eigenvalues descending
  * @param[out] eigenvectors rows correspond to eigenvalues
+ * @return true when the off-diagonal mass vanished within the sweep
+ *         budget
  */
-void jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
+bool jacobiEigenSymmetric(const Matrix &a, std::vector<double> &eigenvalues,
                           Matrix &eigenvectors);
 
 } // namespace pka::ml

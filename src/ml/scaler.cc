@@ -12,6 +12,7 @@ StandardScaler::fit(const Matrix &X)
     const size_t n = X.rows(), d = X.cols();
     mean_.assign(d, 0.0);
     std_.assign(d, 0.0);
+    constant_.assign(d, 0);
     for (size_t r = 0; r < n; ++r)
         for (size_t c = 0; c < d; ++c)
             mean_[c] += X.at(r, c);
@@ -22,8 +23,39 @@ StandardScaler::fit(const Matrix &X)
             double v = X.at(r, c) - mean_[c];
             std_[c] += v * v;
         }
-    for (size_t c = 0; c < d; ++c)
+    for (size_t c = 0; c < d; ++c) {
         std_[c] = std::sqrt(std_[c] / static_cast<double>(n));
+        // Non-finite statistics (NaN/Inf cells upstream) degrade the
+        // column to constant so transform() stays finite.
+        if (!(std_[c] > 1e-12) || !std::isfinite(std_[c]) ||
+            !std::isfinite(mean_[c]))
+            constant_[c] = 1;
+    }
+}
+
+common::Expected<bool>
+StandardScaler::fitChecked(const Matrix &X)
+{
+    if (X.rows() == 0 || X.cols() == 0) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kBadInput;
+        e.message = "cannot fit a scaler on an empty matrix";
+        e.context = "StandardScaler::fitChecked";
+        return e;
+    }
+    for (size_t r = 0; r < X.rows(); ++r)
+        for (size_t c = 0; c < X.cols(); ++c)
+            if (!std::isfinite(X.at(r, c))) {
+                common::TaskError e;
+                e.kind = common::ErrorKind::kBadInput;
+                e.message = common::strfmt(
+                    "non-finite feature value at row %zu, column %zu", r,
+                    c);
+                e.context = "StandardScaler::fitChecked";
+                return e;
+            }
+    fit(X);
+    return true;
 }
 
 Matrix
@@ -34,7 +66,13 @@ StandardScaler::transform(const Matrix &X) const
     for (size_t r = 0; r < X.rows(); ++r)
         for (size_t c = 0; c < X.cols(); ++c) {
             double s = std_[c];
-            out.at(r, c) = s > 1e-12 ? (X.at(r, c) - mean_[c]) / s : 0.0;
+            double v =
+                s > 1e-12 ? (X.at(r, c) - mean_[c]) / s : 0.0;
+            // A degenerate column or a non-finite input cell must not
+            // leak NaN/Inf into the clustering space.
+            if (!constant_.empty() && constant_[c])
+                v = 0.0;
+            out.at(r, c) = std::isfinite(v) ? v : 0.0;
         }
     return out;
 }
@@ -44,6 +82,15 @@ StandardScaler::fitTransform(const Matrix &X)
 {
     fit(X);
     return transform(X);
+}
+
+size_t
+StandardScaler::numConstantColumns() const
+{
+    size_t n = 0;
+    for (uint8_t f : constant_)
+        n += f;
+    return n;
 }
 
 double

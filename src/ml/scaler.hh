@@ -2,13 +2,24 @@
  * @file
  * Feature standardization (zero mean, unit variance per column), applied
  * before PCA/K-Means so counter magnitudes do not dominate the clustering.
+ *
+ * Degenerate-input contract (documented, deterministic):
+ *  - zero-variance (constant) columns standardize to exactly 0.0;
+ *  - columns whose learned mean/std are non-finite (the input contained
+ *    NaN/Inf) are treated like constant columns and also map to 0.0;
+ *  - any individual standardized cell that comes out non-finite is
+ *    clamped to 0.0, so transform() output is always finite.
+ * Callers that want a typed error instead of silent repair use
+ * fitChecked().
  */
 
 #ifndef PKA_ML_SCALER_HH
 #define PKA_ML_SCALER_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
 #include "ml/matrix.hh"
 
 namespace pka::ml
@@ -21,7 +32,15 @@ class StandardScaler
     /** Learn per-column mean/std from X. */
     void fit(const Matrix &X);
 
-    /** Standardize X with the learned statistics. */
+    /**
+     * fit() with typed diagnostics instead of asserts: empty input or a
+     * non-finite cell returns a kBadInput TaskError (and leaves the
+     * scaler unfitted); zero-variance columns are legal and reported via
+     * constantColumns().
+     */
+    common::Expected<bool> fitChecked(const Matrix &X);
+
+    /** Standardize X with the learned statistics (always finite). */
     Matrix transform(const Matrix &X) const;
 
     /** fit() then transform(). */
@@ -33,9 +52,23 @@ class StandardScaler
     /** Learned column standard deviations. */
     const std::vector<double> &stds() const { return std_; }
 
+    /**
+     * Per-column degeneracy flags from the last fit: 1 when the column
+     * had (near-)zero variance or non-finite statistics and therefore
+     * standardizes to 0.
+     */
+    const std::vector<uint8_t> &constantColumns() const
+    {
+        return constant_;
+    }
+
+    /** Number of degenerate (constant or non-finite) columns. */
+    size_t numConstantColumns() const;
+
   private:
     std::vector<double> mean_;
     std::vector<double> std_;
+    std::vector<uint8_t> constant_;
 };
 
 } // namespace pka::ml

@@ -21,25 +21,6 @@ SgdClassifier::SgdClassifier(Options options)
 {
 }
 
-namespace
-{
-
-/** Class scores -> softmax probabilities, numerically stabilized. */
-void
-softmaxInPlace(std::vector<double> &scores)
-{
-    double mx = *std::max_element(scores.begin(), scores.end());
-    double sum = 0.0;
-    for (double &s : scores) {
-        s = std::exp(s - mx);
-        sum += s;
-    }
-    for (double &s : scores)
-        s /= sum;
-}
-
-} // namespace
-
 void
 SgdClassifier::fit(const Matrix &X, const std::vector<uint32_t> &y,
                    uint32_t num_classes)
@@ -81,24 +62,43 @@ SgdClassifier::fit(const Matrix &X, const std::vector<uint32_t> &y,
     }
 }
 
-uint32_t
-SgdClassifier::predict(std::span<const double> x) const
+std::vector<double>
+SgdClassifier::classScores(std::span<const double> x) const
 {
     PKA_ASSERT(!weights_.empty(), "classifier not fitted");
     const size_t d = weights_.cols() - 1;
     PKA_ASSERT(x.size() == d, "feature dimensionality mismatch");
-    uint32_t best = 0;
-    double best_score = -1e300;
+    std::vector<double> scores(weights_.rows());
     for (size_t c = 0; c < weights_.rows(); ++c) {
         double s = weights_.at(c, d);
         for (size_t j = 0; j < d; ++j)
             s += weights_.at(c, j) * x[j];
-        if (s > best_score) {
-            best_score = s;
+        scores[c] = s;
+    }
+    return scores;
+}
+
+uint32_t
+SgdClassifier::predict(std::span<const double> x) const
+{
+    std::vector<double> scores = classScores(x);
+    uint32_t best = 0;
+    double best_score = -1e300;
+    for (size_t c = 0; c < scores.size(); ++c) {
+        if (scores[c] > best_score) {
+            best_score = scores[c];
             best = static_cast<uint32_t>(c);
         }
     }
     return best;
+}
+
+std::vector<double>
+SgdClassifier::predictProba(std::span<const double> x) const
+{
+    std::vector<double> p = classScores(x);
+    softmaxInPlace(p);
+    return p;
 }
 
 } // namespace pka::ml

@@ -31,9 +31,14 @@ class SgdClassifier : public Classifier
     void fit(const Matrix &X, const std::vector<uint32_t> &y,
              uint32_t num_classes) override;
     uint32_t predict(std::span<const double> x) const override;
+    std::vector<double>
+    predictProba(std::span<const double> x) const override;
     const char *name() const override { return "sgd"; }
 
   private:
+    /** Raw linear class scores (pre-softmax). */
+    std::vector<double> classScores(std::span<const double> x) const;
+
     Options opts_;
     Matrix weights_; // num_classes x (d + 1), last column is bias
 };

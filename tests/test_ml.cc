@@ -292,6 +292,73 @@ TEST(Classifiers, MlpLearnsNonLinearBoundary)
     EXPECT_GT(accuracy(m, X, y), 0.9);
 }
 
+TEST(Classifiers, PredictProbaIsADistributionAndMatchesPredict)
+{
+    Matrix X;
+    std::vector<uint32_t> y;
+    makeBlobs(X, y);
+    SgdClassifier sgd;
+    GaussianNb nb;
+    MlpClassifier mlp;
+    sgd.fit(X, y, 3);
+    nb.fit(X, y, 3);
+    mlp.fit(X, y, 3);
+    const Classifier *models[] = {&sgd, &nb, &mlp};
+    for (const Classifier *m : models) {
+        for (size_t r = 0; r < X.rows(); ++r) {
+            auto p = m->predictProba(X.row(r));
+            ASSERT_EQ(p.size(), 3u) << m->name();
+            double sum = 0.0;
+            for (double v : p) {
+                EXPECT_GE(v, 0.0) << m->name();
+                EXPECT_LE(v, 1.0 + 1e-12) << m->name();
+                sum += v;
+            }
+            EXPECT_NEAR(sum, 1.0, 1e-9) << m->name();
+            // Argmax of the distribution is the predicted label — the
+            // confidence gate can never silently change a decision.
+            uint32_t argmax = 0;
+            for (uint32_t c = 1; c < 3; ++c)
+                if (p[c] > p[argmax])
+                    argmax = c;
+            EXPECT_EQ(argmax, m->predict(X.row(r))) << m->name();
+        }
+    }
+}
+
+TEST(KMeans, EmptyClusterReseedIsDeterministic)
+{
+    // Six identical points with k=3: every centroid collapses onto the
+    // one location, assignment sends all points to cluster 0, and the
+    // farthest-point reseed must fire for the empty clusters — without
+    // breaking determinism or label validity.
+    Matrix X = Matrix::fromRows({{2, 2}, {2, 2}, {2, 2},
+                                 {2, 2}, {2, 2}, {2, 2}});
+    auto a = kmeans(X, 3);
+    auto b = kmeans(X, 3);
+    EXPECT_GT(a.emptyReseeds, 0u);
+    EXPECT_EQ(a.emptyReseeds, b.emptyReseeds);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.inertia, 0.0);
+    for (uint32_t l : a.labels)
+        EXPECT_LT(l, a.k);
+}
+
+TEST(KMeans, ClampContractKNeverExceedsSamples)
+{
+    // The k > n clamp is a contract, not a best effort: any k maps into
+    // [1, n] and every sample still gets a valid label.
+    Matrix X = Matrix::fromRows({{0, 0}, {1, 1}, {2, 2}});
+    for (uint32_t k : {1u, 3u, 4u, 100u}) {
+        auto res = kmeans(X, k);
+        EXPECT_GE(res.k, 1u);
+        EXPECT_LE(res.k, 3u);
+        ASSERT_EQ(res.labels.size(), 3u);
+        for (uint32_t l : res.labels)
+            EXPECT_LT(l, res.k);
+    }
+}
+
 TEST(Classifiers, PredictBeforeFitPanics)
 {
     SgdClassifier s;
@@ -319,7 +386,7 @@ TEST(Hierarchical, MergesBlobsAtLooseThreshold)
     Matrix X;
     std::vector<uint32_t> y;
     makeBlobs(X, y, 15);
-    auto res = agglomerativeCluster(X, 3.0);
+    auto res = agglomerativeCluster(X, 3.0).value();
     EXPECT_EQ(res.numClusters, 3u);
     for (int c = 0; c < 3; ++c)
         for (int i = 1; i < 15; ++i)
@@ -329,7 +396,7 @@ TEST(Hierarchical, MergesBlobsAtLooseThreshold)
 TEST(Hierarchical, TightThresholdKeepsSingletons)
 {
     Matrix X = Matrix::fromRows({{0, 0}, {5, 0}, {10, 0}});
-    auto res = agglomerativeCluster(X, 0.1);
+    auto res = agglomerativeCluster(X, 0.1).value();
     EXPECT_EQ(res.numClusters, 3u);
 }
 
@@ -338,14 +405,25 @@ TEST(Hierarchical, EverythingMergesAtHugeThreshold)
     Matrix X;
     std::vector<uint32_t> y;
     makeBlobs(X, y, 10);
-    auto res = agglomerativeCluster(X, 1e6);
+    auto res = agglomerativeCluster(X, 1e6).value();
     EXPECT_EQ(res.numClusters, 1u);
 }
 
-TEST(Hierarchical, GuardrailIsFatal)
+TEST(Hierarchical, GuardrailIsTypedError)
 {
     Matrix X(50, 2);
-    EXPECT_DEATH(agglomerativeCluster(X, 1.0, 10), "guardrail");
+    auto res = agglomerativeCluster(X, 1.0, 10);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, pka::common::ErrorKind::kBadInput);
+    EXPECT_NE(res.error().message.find("guardrail"), std::string::npos);
+}
+
+TEST(Hierarchical, EmptyInputIsTypedError)
+{
+    Matrix X;
+    auto res = buildDendrogram(X);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().kind, pka::common::ErrorKind::kBadInput);
 }
 
 /** K sweep property: kmeans always yields labels < k and k >= 1. */
@@ -372,7 +450,7 @@ TEST(Hierarchical, DendrogramCutMonotone)
     Matrix X;
     std::vector<uint32_t> y;
     makeBlobs(X, y, 12);
-    Dendrogram d = buildDendrogram(X);
+    Dendrogram d = buildDendrogram(X).value();
     EXPECT_EQ(d.merges.size(), X.rows() - 1);
     uint32_t prev = static_cast<uint32_t>(X.rows()) + 1;
     for (double t : {0.0, 0.5, 1.0, 3.0, 1e6}) {
@@ -388,16 +466,16 @@ TEST(Hierarchical, DendrogramMatchesConvenienceCut)
     Matrix X;
     std::vector<uint32_t> y;
     makeBlobs(X, y, 8);
-    Dendrogram d = buildDendrogram(X);
+    Dendrogram d = buildDendrogram(X).value();
     auto a = cutDendrogram(d, 2.0);
-    auto b = agglomerativeCluster(X, 2.0);
+    auto b = agglomerativeCluster(X, 2.0).value();
     EXPECT_EQ(a.labels, b.labels);
 }
 
 TEST(Hierarchical, SingleSampleDendrogram)
 {
     Matrix X = Matrix::fromRows({{1.0, 2.0}});
-    Dendrogram d = buildDendrogram(X);
+    Dendrogram d = buildDendrogram(X).value();
     EXPECT_TRUE(d.merges.empty());
     auto cut = cutDendrogram(d, 1.0);
     EXPECT_EQ(cut.numClusters, 1u);

@@ -8,9 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/pks.hh"
+#include "ml/kmeans.hh"
+#include "ml/pca.hh"
+#include "ml/scaler.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
 #include "sim/simulator.hh"
@@ -122,6 +127,122 @@ TEST_P(WorkloadProperty, TraceReplayReproducesFirstKernel)
     EXPECT_EQ(replay.cycles, live.cycles);
     EXPECT_EQ(replay.warpInstructions, live.warpInstructions);
 }
+
+/**
+ * Degenerate feature matrices swept through the scaler → PCA → K-Means
+ * stack. The contract under test (see each class's header): lenient
+ * entry points always produce finite output, checked entry points turn
+ * poison into typed kBadInput errors — no asserts, no NaN leakage.
+ */
+class DegenerateMatrix
+    : public ::testing::TestWithParam<std::pair<const char *, ml::Matrix>>
+{
+  public:
+    static std::vector<std::pair<const char *, ml::Matrix>> cases()
+    {
+        const double inf = std::numeric_limits<double>::infinity();
+        ml::Matrix zero_col = ml::Matrix::fromRows(
+            {{1, 0, 3}, {2, 0, 5}, {4, 0, 2}, {8, 0, 9}});
+        ml::Matrix single_row = ml::Matrix::fromRows({{3, 1, 4}});
+        ml::Matrix duplicated = ml::Matrix::fromRows(
+            {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}});
+        ml::Matrix pos_inf = ml::Matrix::fromRows(
+            {{1, 2, 3}, {4, inf, 6}, {7, 8, 9}, {2, 1, 0}});
+        ml::Matrix neg_inf = ml::Matrix::fromRows(
+            {{1, 2, 3}, {4, 5, 6}, {7, -inf, 9}, {2, 1, 0}});
+        return {{"all_zero_column", zero_col},
+                {"single_row", single_row},
+                {"duplicated_rows", duplicated},
+                {"pos_inf_cell", pos_inf},
+                {"neg_inf_cell", neg_inf}};
+    }
+
+    static bool hasPoison(const ml::Matrix &X)
+    {
+        for (size_t r = 0; r < X.rows(); ++r)
+            for (size_t c = 0; c < X.cols(); ++c)
+                if (!std::isfinite(X.at(r, c)))
+                    return true;
+        return false;
+    }
+};
+
+TEST_P(DegenerateMatrix, ScalerOutputIsAlwaysFinite)
+{
+    const ml::Matrix &X = GetParam().second;
+    ml::StandardScaler scaler;
+    ml::Matrix Z = scaler.fitTransform(X);
+    for (size_t r = 0; r < Z.rows(); ++r)
+        for (size_t c = 0; c < Z.cols(); ++c)
+            EXPECT_TRUE(std::isfinite(Z.at(r, c))) << r << "," << c;
+
+    ml::StandardScaler checked;
+    auto res = checked.fitChecked(X);
+    if (hasPoison(X)) {
+        ASSERT_FALSE(res.ok());
+        EXPECT_EQ(res.error().kind, common::ErrorKind::kBadInput);
+    } else {
+        ASSERT_TRUE(res.ok());
+    }
+}
+
+TEST_P(DegenerateMatrix, PcaOutputIsAlwaysFinite)
+{
+    const ml::Matrix &X = GetParam().second;
+    ml::Pca pca;
+    pca.fit(X); // lenient path clamps poison, never asserts
+    ml::Matrix Y = pca.transform(X, std::min<size_t>(2, X.cols()));
+    for (size_t r = 0; r < Y.rows(); ++r)
+        for (size_t c = 0; c < Y.cols(); ++c)
+            EXPECT_TRUE(std::isfinite(Y.at(r, c))) << r << "," << c;
+    size_t k = pca.componentsForVariance(0.9);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, X.cols());
+
+    ml::Pca checked;
+    auto res = checked.fitChecked(X);
+    if (hasPoison(X)) {
+        ASSERT_FALSE(res.ok());
+        EXPECT_EQ(res.error().kind, common::ErrorKind::kBadInput);
+    } else {
+        ASSERT_TRUE(res.ok());
+    }
+}
+
+TEST_P(DegenerateMatrix, KmeansLabelsEveryRow)
+{
+    const ml::Matrix &X = GetParam().second;
+    // Ask for more clusters than rows: k must clamp, every row must get
+    // a valid label, and inertia must stay finite.
+    ml::KMeansResult res = ml::kmeans(X, static_cast<uint32_t>(
+                                             X.rows() + 3));
+    EXPECT_GE(res.k, 1u);
+    EXPECT_LE(res.k, X.rows());
+    ASSERT_EQ(res.labels.size(), X.rows());
+    for (uint32_t l : res.labels)
+        EXPECT_LT(l, res.k);
+    EXPECT_TRUE(std::isfinite(res.inertia));
+    for (size_t r = 0; r < res.centroids.rows(); ++r)
+        for (size_t c = 0; c < res.centroids.cols(); ++c)
+            EXPECT_TRUE(std::isfinite(res.centroids.at(r, c)));
+
+    auto checked = ml::kmeansChecked(X, 2);
+    if (hasPoison(X)) {
+        ASSERT_FALSE(checked.ok());
+        EXPECT_EQ(checked.error().kind, common::ErrorKind::kBadInput);
+    } else {
+        ASSERT_TRUE(checked.ok());
+        EXPECT_EQ(checked.value().labels, ml::kmeans(X, 2).labels);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degenerate, DegenerateMatrix,
+    ::testing::ValuesIn(DegenerateMatrix::cases()),
+    [](const ::testing::TestParamInfo<
+        std::pair<const char *, ml::Matrix>> &info) {
+        return info.param.first;
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     Registry, WorkloadProperty, ::testing::ValuesIn(sampleNames()),

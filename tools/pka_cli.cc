@@ -29,7 +29,9 @@
 #include "core/baselines.hh"
 #include "core/experiments.hh"
 #include "core/pka.hh"
+#include "core/profile_validator.hh"
 #include "core/serialize.hh"
+#include "core/stability.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "store/file_store.hh"
@@ -97,6 +99,17 @@ fault tolerance (simulate/analyze):
                               'store.read:io:250,worker.exec:throw'
                               (requires a PKA_FAULT_INJECTION build)
   --fault-seed N              fault-injection seed (default 1)
+
+robustness (select/analyze):
+  --strict-profiles           treat malformed silicon profiles as a hard
+                              error (exit 4) instead of deterministically
+                              repairing or excluding them
+  --abstain-threshold F       two-level ensemble confidence gate in
+                              [0,1]: abstain below F and map the launch
+                              by nearest PCA centroid (default 0 = off)
+  --stability                 bootstrap the selection and report a CI on
+                              projected cycles plus per-group stability
+  --stability-bootstrap N     bootstrap replicates (default 32)
 )";
 
 silicon::GpuSpec
@@ -166,6 +179,86 @@ reportCampaignHealth(const char *stage, uint64_t failed,
                      static_cast<unsigned long long>(f.index),
                      f.error.str().c_str());
     return quorum_met ? 0 : 3;
+}
+
+/** PKA options from the shared robustness flags. */
+core::PkaOptions
+pkaOptionsFor(const CliArgs &args)
+{
+    core::PkaOptions opts;
+    opts.strictProfiles = args.has("strict-profiles");
+    opts.abstainThreshold =
+        args.getNumInRange("abstain-threshold", 0.0, 0.0, 1.0);
+    opts.pks.validation = opts.strictProfiles
+                              ? core::ValidationPolicy::kStrict
+                              : core::ValidationPolicy::kRepair;
+    return opts;
+}
+
+/** Print the selection's robustness accounting (only when something
+ *  actually happened, so default clean runs keep their exact output). */
+void
+reportSelectionRobustness(FILE *out, const core::SelectionOutcome &sel)
+{
+    const auto &v = sel.validation;
+    if (v.clean() && sel.abstentions == 0)
+        return;
+    std::fprintf(out,
+                 "robustness: %zu profile(s) excluded, %llu value(s) "
+                 "repaired, %zu abstention(s) (%zu fallback-mapped, "
+                 "mean confidence %.3f)\n",
+                 v.excludedLaunchIds.size(),
+                 static_cast<unsigned long long>(v.repairedValues),
+                 sel.abstentions, sel.fallbackMapped,
+                 sel.meanEnsembleConfidence);
+}
+
+/**
+ * Bootstrap-stability report over detailed profiles (--stability).
+ * Screens, selects a baseline and resamples; prints the CI and the
+ * member-weighted group stability. Returns 4 on a strict-validation
+ * error, 0 otherwise.
+ */
+int
+reportStability(const CliArgs &args, FILE *out,
+                std::vector<silicon::DetailedProfile> profiles,
+                const core::PkaOptions &opts)
+{
+    core::ProfileValidator validator(opts.pks.validation);
+    auto screened = validator.screenDetailed(profiles);
+    if (!screened.ok()) {
+        std::fprintf(stderr, "stability: %s\n",
+                     screened.error().str().c_str());
+        return 4;
+    }
+    if (profiles.empty()) {
+        std::fprintf(stderr,
+                     "stability: no usable profiles after screening\n");
+        return 4;
+    }
+    core::StabilityOptions so;
+    so.replicates = static_cast<uint32_t>(
+        args.getUint("stability-bootstrap", 32, 2, 100000));
+    so.pks = opts.pks;
+    core::PksResult baseline =
+        core::principalKernelSelection(profiles, so.pks);
+    core::StabilityReport rep =
+        core::selectionStability(profiles, baseline, so);
+    std::fprintf(out,
+                 "stability: projected %.4e, %.0f%% CI [%.4e, %.4e] "
+                 "(half-width %.2f%% of baseline)\n",
+                 rep.baselineProjectedCycles, so.ciLevel * 100.0,
+                 rep.ciLow, rep.ciHigh, rep.relativeHalfWidth * 100.0);
+    std::fprintf(out,
+                 "stability: mean group co-membership %.3f over %u "
+                 "bootstrap replicates\n",
+                 rep.meanStability, rep.replicates);
+    for (size_t g = 0; g < rep.groupStability.size(); ++g)
+        std::fprintf(out,
+                     "  group %zu (rep launch %u, weight %.0f): %.3f\n", g,
+                     baseline.groups[g].representative,
+                     baseline.groups[g].weight, rep.groupStability[g]);
+    return 0;
 }
 
 workload::Workload
@@ -251,31 +344,60 @@ cmdSelect(const CliArgs &args)
     auto w = loadWorkload(args, 0);
     silicon::SiliconGpu gpu(specFor(args.get("gpu", "volta")));
 
-    core::PkaOptions opts;
+    core::PkaOptions opts = pkaOptionsFor(args);
     opts.pks.targetErrorPct =
         args.getPositiveNum("target-error", 5.0, 100.0);
     opts.pks.maxK = static_cast<uint32_t>(
         args.getUint("max-k", 20, 1, 1u << 20));
 
     core::SelectionOutcome sel;
+    std::vector<silicon::DetailedProfile> stability_profiles;
     if (args.has("profiles")) {
         std::ifstream is(args.get("profiles"));
         if (!is)
             common::fatal("cannot read '" + args.get("profiles") + "'");
         auto profiles = core::readDetailedProfiles(is);
-        auto pks = core::principalKernelSelection(profiles, opts.pks);
-        sel.groups = std::move(pks.groups);
-        sel.detailedCount = profiles.size();
+        auto pks =
+            core::principalKernelSelectionChecked(profiles, opts.pks);
+        if (!pks.ok()) {
+            std::fprintf(stderr, "selection: %s\n",
+                         pks.error().str().c_str());
+            return 4;
+        }
+        sel.validation = pks.value().validation;
+        sel.groups = std::move(pks.value().groups);
+        sel.detailedCount =
+            profiles.size() - sel.validation.excludedLaunchIds.size();
         std::fprintf(stderr, "selection from %zu profiles: %u groups, "
                              "projected error %.2f%%\n",
-                     profiles.size(), pks.chosenK, pks.projectedErrorPct);
+                     profiles.size(), pks.value().chosenK,
+                     pks.value().projectedErrorPct);
+        stability_profiles = std::move(profiles);
     } else {
-        sel = core::selectKernels(w, gpu, opts);
+        auto checked = core::selectKernelsChecked(w, gpu, opts);
+        if (!checked.ok()) {
+            std::fprintf(stderr, "selection: %s\n",
+                         checked.error().str().c_str());
+            return 4;
+        }
+        sel = std::move(checked.value());
         std::fprintf(stderr, "selection: %zu groups (%s profiling, "
                              "modeled cost %s)\n",
                      sel.groups.size(),
                      sel.usedTwoLevel ? "two-level" : "full detailed",
                      common::humanTime(sel.profilingCostSec).c_str());
+        if (args.has("stability")) {
+            silicon::DetailedProfiler prof(gpu);
+            stability_profiles = prof.profile(
+                w, sel.usedTwoLevel ? opts.twoLevelDetailedKernels : 0);
+        }
+    }
+    reportSelectionRobustness(stderr, sel);
+    if (args.has("stability")) {
+        int rc = reportStability(args, stderr,
+                                 std::move(stability_profiles), opts);
+        if (rc != 0)
+            return rc;
     }
     std::ostringstream out;
     core::writeSelection(out, sel);
@@ -402,9 +524,20 @@ cmdAnalyze(const CliArgs &args)
     sim::GpuSimulator simulator(spec);
     core::CampaignCheckpoint cp = checkpointFor(args);
     core::CampaignPolicy policy = policyFor(args);
+    core::PkaOptions opts = pkaOptionsFor(args);
+    if (opts.strictProfiles) {
+        // Pre-flight the selection so strict validation failures exit
+        // with a distinct code instead of a generic fatal inside runPka.
+        auto checked = core::selectKernelsChecked(*profiled, gpu, opts);
+        if (!checked.ok()) {
+            std::fprintf(stderr, "selection: %s\n",
+                         checked.error().str().c_str());
+            return 4;
+        }
+    }
     core::PkaAppResult res = core::runPka(
         sim::SimEngine::shared(), *traced, *profiled, gpu, simulator,
-        core::PkaOptions{}, cp.dir.empty() ? nullptr : &cp,
+        opts, cp.dir.empty() ? nullptr : &cp,
         wantsTolerantCampaign(args) ? &policy : nullptr);
     if (res.excluded) {
         std::printf("EXCLUDED: %s\n", res.exclusionReason.c_str());
@@ -418,6 +551,17 @@ cmdAnalyze(const CliArgs &args)
     std::printf("selection: %zu groups, %s profiling\n",
                 res.selection.groups.size(),
                 res.selection.usedTwoLevel ? "two-level" : "detailed");
+    reportSelectionRobustness(stdout, res.selection);
+    if (args.has("stability")) {
+        silicon::DetailedProfiler prof(gpu);
+        auto profiles = prof.profile(
+            *profiled, res.selection.usedTwoLevel
+                           ? opts.twoLevelDetailedKernels
+                           : 0);
+        int rc = reportStability(args, stdout, std::move(profiles), opts);
+        if (rc != 0)
+            return rc;
+    }
     std::printf("silicon:   %.4e cycles\n", sil_cycles);
     std::printf("PKS:       %.4e projected (%.1f%% err), %.3e simulated\n",
                 res.pks.projectedCycles,
@@ -456,7 +600,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     CliArgs args(argc, argv, 2,
                  {"light", "pkp", "force", "no-memo", "content-seed",
-                  "resume", "store-stats", "fail-fast"});
+                  "resume", "store-stats", "fail-fast", "strict-profiles",
+                  "stability"});
 
     if (args.has("faults")) {
         if (!common::kFaultInjectionCompiledIn)
