@@ -3,17 +3,24 @@
  * Simulator-core microbenchmark: wall time of the dense reference cycle
  * loop versus the event-driven core over a kernel set spanning the
  * simulator's regimes (compute-bound, memory-streaming, latency-bound
- * low-occupancy, small grid, mixed). Emits JSON (BENCH_simcore.json
- * schema) so CI can assert the acceptance criteria: bit-identical
- * per-kernel result hashes and the aggregate speedup.
+ * low-occupancy, small grid, mixed, and one large GEMM-shaped launch),
+ * plus an intra-kernel --sm-threads sweep of the sharded core. Every
+ * measurement reports tail latency (p50/p95/max wall-ms across reps),
+ * and every core/thread-count variant is hash-gated against the
+ * reference result. Emits JSON (BENCH_simcore.json schema) so CI can
+ * assert the acceptance criteria: bit-identical per-kernel hashes, the
+ * aggregate event-core speedup, and the sharded-core speedup on the
+ * largest kernel.
  *
  * Pure simulator measurement — no engine, no result store, no
  * filesystem or PKA_CACHE_DIR dependence.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "silicon/gpu_spec.hh"
@@ -54,7 +61,9 @@ launch(workload::ProgramPtr p, uint32_t ctas, uint32_t threads,
  * The regimes the event core must win (and never lose correctness) on.
  * Latency-bound and small-grid kernels leave most SMs eventless almost
  * every cycle; compute-bound kernels keep every SM ready and bound the
- * overhead of the event heap itself.
+ * overhead of the event heap itself. gemm_large is the campaign-tail
+ * case the sharded core exists for: one launch large enough to dominate
+ * wall-clock no matter how many kernels run concurrently.
  */
 std::vector<BenchCase>
 benchCases()
@@ -148,6 +157,22 @@ benchCases()
         c.opts.traceIpc = true;
         cases.push_back(c);
     }
+    // Tiled-GEMM shape: cache-friendly loads feeding long FMA runs, a
+    // large grid, many iterations — the biggest launch in the set by an
+    // order of magnitude and the intra-kernel sharding headline case.
+    cases.push_back(
+        {"gemm_large",
+         launch(ProgramBuilder("gemm")
+                    .seg(InstrClass::GlobalLoad, 2)
+                    .seg(InstrClass::FpAlu, 24)
+                    .seg(InstrClass::IntAlu, 2)
+                    .seg(InstrClass::FpAlu, 20)
+                    .seg(InstrClass::GlobalStore, 1)
+                    .mem(2.0, 0.85, 0.9)
+                    .build(),
+                4000, 256, 16),
+         8,
+         {}});
     return cases;
 }
 
@@ -180,32 +205,57 @@ hashResult(const sim::KernelSimResult &r)
 
 struct Measured
 {
-    double ms = 0.0;
+    double best_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double max_ms = 0.0;
     uint64_t hash = 0;
     uint64_t cycles = 0;
 };
 
-/** Best-of-`reps` wall time for one case under one core. */
+/**
+ * Wall time of one case under one core/thread-count, over `reps`
+ * repetitions: best (the steady-state cost) plus p50/p95/max (what a
+ * campaign's tail sees, including allocator and scheduler noise).
+ */
 Measured
 measure(const sim::GpuSimulator &simulator, const BenchCase &c,
-        bool reference, int reps)
+        bool reference, uint32_t sm_threads, int reps)
 {
     sim::SimOptions opts = c.opts;
     opts.referenceCore = reference;
+    opts.intraKernelThreads = sm_threads;
     Measured m;
-    m.ms = 1e300;
+    std::vector<double> samples;
+    samples.reserve(reps);
     for (int i = 0; i < reps; ++i) {
         auto t0 = std::chrono::steady_clock::now();
         auto r = simulator.simulateKernel(c.k, c.seed, opts);
         auto t1 = std::chrono::steady_clock::now();
-        double ms = std::chrono::duration<double, std::milli>(t1 - t0)
-                        .count();
-        if (ms < m.ms)
-            m.ms = ms;
+        samples.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
         m.hash = hashResult(r);
         m.cycles = r.cycles;
     }
+    std::sort(samples.begin(), samples.end());
+    auto pct = [&](double q) {
+        size_t idx = static_cast<size_t>(
+            q * static_cast<double>(samples.size() - 1) + 0.5);
+        return samples[std::min(idx, samples.size() - 1)];
+    };
+    m.best_ms = samples.front();
+    m.p50_ms = pct(0.50);
+    m.p95_ms = pct(0.95);
+    m.max_ms = samples.back();
     return m;
+}
+
+void
+printTail(const char *indent, const char *prefix, const Measured &m)
+{
+    std::printf("%s\"%sp50_ms\": %.3f,\n", indent, prefix, m.p50_ms);
+    std::printf("%s\"%sp95_ms\": %.3f,\n", indent, prefix, m.p95_ms);
+    std::printf("%s\"%smax_ms\": %.3f,\n", indent, prefix, m.max_ms);
 }
 
 } // namespace
@@ -215,41 +265,97 @@ main()
 {
     sim::GpuSimulator simulator(silicon::voltaV100());
     auto cases = benchCases();
-    const int reps = 3;
+    const int reps = 5;
+    const uint32_t sweep[] = {2, 4, 8};
+    // Thread counts beyond the host's cores can only show overhead, not
+    // speedup; still run them (the hash gate is the point) but with
+    // fewer reps so an undersized CI box doesn't stall the bench.
+    const uint32_t host_cpus =
+        std::max(1u, std::thread::hardware_concurrency());
+    auto sweep_reps = [&](uint32_t threads) {
+        return threads <= host_cpus ? reps : 2;
+    };
 
     double ref_total = 0.0, ev_total = 0.0;
     bool all_identical = true;
+    double largest_seq_ms = 0.0, largest_sm4_ms = 0.0;
+    std::string largest_name;
+    uint64_t largest_cycles = 0;
 
     std::printf("{\n  \"kernels\": [\n");
     for (size_t i = 0; i < cases.size(); ++i) {
         const auto &c = cases[i];
-        Measured ref = measure(simulator, c, true, reps);
-        Measured ev = measure(simulator, c, false, reps);
+        Measured ref = measure(simulator, c, true, 1, 3);
+        Measured ev = measure(simulator, c, false, 1, reps);
         bool identical = ref.hash == ev.hash;
-        all_identical = all_identical && identical;
-        ref_total += ref.ms;
-        ev_total += ev.ms;
+        ref_total += ref.best_ms;
+        ev_total += ev.best_ms;
         std::printf("    {\n");
         std::printf("      \"name\": \"%s\",\n", c.name.c_str());
         std::printf("      \"cycles\": %llu,\n",
                     static_cast<unsigned long long>(ev.cycles));
-        std::printf("      \"reference_ms\": %.3f,\n", ref.ms);
-        std::printf("      \"event_ms\": %.3f,\n", ev.ms);
+        std::printf("      \"reference_ms\": %.3f,\n", ref.best_ms);
+        std::printf("      \"event_ms\": %.3f,\n", ev.best_ms);
+        printTail("      ", "event_", ev);
         std::printf("      \"speedup\": %.2f,\n",
-                    ev.ms > 0 ? ref.ms / ev.ms : 0.0);
+                    ev.best_ms > 0 ? ref.best_ms / ev.best_ms : 0.0);
         std::printf("      \"reference_hash\": \"%016llx\",\n",
                     static_cast<unsigned long long>(ref.hash));
         std::printf("      \"event_hash\": \"%016llx\",\n",
                     static_cast<unsigned long long>(ev.hash));
+        // The sharded core at each team size, hash-gated against the
+        // sequential event core (sm_threads=1 IS the event core, so ev
+        // doubles as the sweep baseline).
+        double sm4_ms = 0.0;
+        std::printf("      \"sm_threads\": [\n");
+        std::printf("        { \"threads\": 1, \"ms\": %.3f, "
+                    "\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                    "\"max_ms\": %.3f, \"speedup_vs_1\": 1.00, "
+                    "\"bit_identical\": %s },\n",
+                    ev.best_ms, ev.p50_ms, ev.p95_ms, ev.max_ms,
+                    identical ? "true" : "false");
+        for (size_t t = 0; t < sizeof(sweep) / sizeof(sweep[0]); ++t) {
+            Measured par = measure(simulator, c, false, sweep[t],
+                                   sweep_reps(sweep[t]));
+            bool par_ok = par.hash == ref.hash;
+            identical = identical && par_ok;
+            if (sweep[t] == 4)
+                sm4_ms = par.best_ms;
+            std::printf("        { \"threads\": %u, \"ms\": %.3f, "
+                        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                        "\"max_ms\": %.3f, \"speedup_vs_1\": %.2f, "
+                        "\"bit_identical\": %s }%s\n",
+                        sweep[t], par.best_ms, par.p50_ms, par.p95_ms,
+                        par.max_ms,
+                        par.best_ms > 0 ? ev.best_ms / par.best_ms : 0.0,
+                        par_ok ? "true" : "false",
+                        t + 1 < sizeof(sweep) / sizeof(sweep[0]) ? ","
+                                                                 : "");
+        }
+        std::printf("      ],\n");
         std::printf("      \"bit_identical\": %s\n",
                     identical ? "true" : "false");
         std::printf("    }%s\n", i + 1 < cases.size() ? "," : "");
+        all_identical = all_identical && identical;
+        if (ev.best_ms > largest_seq_ms) {
+            largest_seq_ms = ev.best_ms;
+            largest_sm4_ms = sm4_ms;
+            largest_name = c.name;
+            largest_cycles = ev.cycles;
+        }
     }
     std::printf("  ],\n");
+    std::printf("  \"host_cpus\": %u,\n", host_cpus);
     std::printf("  \"reference_total_ms\": %.3f,\n", ref_total);
     std::printf("  \"event_total_ms\": %.3f,\n", ev_total);
     std::printf("  \"aggregate_speedup\": %.2f,\n",
                 ev_total > 0 ? ref_total / ev_total : 0.0);
+    std::printf("  \"largest_kernel\": \"%s\",\n", largest_name.c_str());
+    std::printf("  \"largest_kernel_cycles\": %llu,\n",
+                static_cast<unsigned long long>(largest_cycles));
+    std::printf("  \"largest_kernel_sm4_speedup\": %.2f,\n",
+                largest_sm4_ms > 0 ? largest_seq_ms / largest_sm4_ms
+                                   : 0.0);
     std::printf("  \"all_bit_identical\": %s\n",
                 all_identical ? "true" : "false");
     std::printf("}\n");

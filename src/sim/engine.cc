@@ -73,6 +73,32 @@ SimEngine::SimEngine(EngineOptions options)
 
 SimEngine::~SimEngine() = default;
 
+uint32_t
+SimEngine::acquireExtraWorkers(uint32_t want) const
+{
+    if (want == 0)
+        return 0;
+    const uint32_t budget = pool_->size();
+    uint32_t cur = activeExtra_.load(std::memory_order_relaxed);
+    for (;;) {
+        const uint32_t used =
+            activeTasks_.load(std::memory_order_relaxed) + cur;
+        if (used >= budget)
+            return 0;
+        const uint32_t take = std::min(want, budget - used);
+        if (activeExtra_.compare_exchange_weak(
+                cur, cur + take, std::memory_order_relaxed))
+            return take;
+    }
+}
+
+void
+SimEngine::releaseExtraWorkers(uint32_t n) const
+{
+    if (n > 0)
+        activeExtra_.fetch_sub(n, std::memory_order_relaxed);
+}
+
 // Precondition (enforced by runJobChecked): job.kernel is non-null and
 // job.opts.stop is null. May throw common::TaskException — the checked
 // wrapper owns classification, retry and quarantine.
@@ -144,12 +170,48 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
         opts.stop = stop.get();
     }
 
+    // Thread-budget split: a big kernel on the default core borrows
+    // however many engine threads are idle right now for an
+    // intra-kernel shard team (jobs that set intraKernelThreads
+    // themselves keep their explicit choice). The team size never
+    // affects the result bits, so this is pure wall-clock policy.
+    struct TaskSlot
+    {
+        const SimEngine *e;
+        uint32_t extra = 0;
+        explicit TaskSlot(const SimEngine *eng) : e(eng)
+        {
+            e->activeTasks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ~TaskSlot()
+        {
+            e->releaseExtraWorkers(extra);
+            e->activeTasks_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    } slot(this);
+    if (!opts.referenceCore && opts.intraKernelThreads <= 1 &&
+        opts_.smThreads != 1 && simulator.spec().numSms > 1 &&
+        job.kernel->totalWarpInstructions() >= kIntraKernelMinWarpInsts &&
+        job.kernel->numCtas() * job.kernel->warpsPerCta() >=
+            kIntraKernelMinWarpsPerSm * simulator.spec().numSms) {
+        const uint32_t cap =
+            opts_.smThreads == 0
+                ? pool_->size()
+                : std::min<uint32_t>(opts_.smThreads, pool_->size());
+        slot.extra = acquireExtraWorkers(cap > 1 ? cap - 1 : 0);
+        opts.intraKernelThreads = 1 + slot.extra;
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     KernelSimResult r =
         simulator.simulateKernel(*job.kernel, job.workloadSeed, opts);
     outcome->seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (!r.shardBusyMs.empty()) {
+        outcome->sharded = 1;
+        outcome->shardBusyMs = r.shardBusyMs;
+    }
 
     if (cacheable) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -308,6 +370,15 @@ SimEngine::runChecked(const GpuSimulator &simulator,
                 ++stats->cacheMisses;
             if (o.corruptSkipped)
                 ++stats->corruptSkipped;
+            if (o.sharded) {
+                ++stats->shardedLaunches;
+                if (stats->intraShardBusyMs.size() <
+                    o.shardBusyMs.size())
+                    stats->intraShardBusyMs.resize(
+                        o.shardBusyMs.size(), 0.0);
+                for (size_t w = 0; w < o.shardBusyMs.size(); ++w)
+                    stats->intraShardBusyMs[w] += o.shardBusyMs[w];
+            }
         }
     }
     return results;
@@ -363,6 +434,15 @@ SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
                 ++stats->cacheMisses;
             if (o.corruptSkipped)
                 ++stats->corruptSkipped;
+            if (o.sharded) {
+                ++stats->shardedLaunches;
+                if (stats->intraShardBusyMs.size() <
+                    o.shardBusyMs.size())
+                    stats->intraShardBusyMs.resize(
+                        o.shardBusyMs.size(), 0.0);
+                for (size_t w = 0; w < o.shardBusyMs.size(); ++w)
+                    stats->intraShardBusyMs[w] += o.shardBusyMs[w];
+            }
         }
     }
     if (!r.ok())

@@ -1,6 +1,10 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/error.hh"
@@ -8,6 +12,7 @@
 #include "common/logging.hh"
 #include "sim/fnv.hh"
 #include "sim/memory_model.hh"
+#include "sim/shard.hh"
 #include "sim/sm_core.hh"
 #include "sim/timing_wheel.hh"
 
@@ -25,6 +30,26 @@ constexpr uint64_t kHardCycleCap = 4'000'000'000ULL;
 
 /** GigaThread-style CTA dispatch rate limit (CTAs per device cycle). */
 constexpr double kCtaDispatchPerCycle = 4.0;
+
+/**
+ * CTA dispatch cadence in cycles: freed CTA slots are refilled in
+ * batches every `dispatchQuantum` cycles rather than instantaneously
+ * (real GigaThread engines have a CTA launch latency of this order).
+ * The quantum doubles as the sharded core's epoch length, so it must
+ * never exceed the minimum stall of a *global-memory* instruction —
+ * the only instruction class whose wake time depends on shared device
+ * state. Loads stall max(2, lat/6) with lat >= l1Latency * 0.92
+ * (jitter floor), stores 4, atomics >= 4, so the bound below is
+ * conservative for every spec.
+ */
+uint32_t
+dispatchQuantum(const GpuSpec &spec)
+{
+    const uint64_t min_lat =
+        static_cast<uint64_t>(spec.l1LatencyCycles * 0.9);
+    const uint64_t min_load_stall = std::max<uint64_t>(2, min_lat / 6);
+    return static_cast<uint32_t>(std::min<uint64_t>(4, min_load_stall));
+}
 
 /**
  * One kernel launch in flight: the device state (SMs, memory model,
@@ -97,6 +122,7 @@ class KernelRun
                               opts_.trace ? &opts_.trace->ctaIterations
                                           : nullptr,
                               launch_salt_);
+        free_slots_ = static_cast<uint64_t>(occ) * spec_.numSms;
         dispatch([](uint32_t) {});
         prev_ctr_ = mem_.counters();
     }
@@ -108,6 +134,8 @@ class KernelRun
             opts_.stop->beginKernel(snapshot(0));
         if (opts_.referenceCore)
             runReference();
+        else if (opts_.intraKernelThreads > 1 && sms_.size() > 1)
+            runSharded(opts_.intraKernelThreads);
         else
             runEventDriven();
         // Launch overhead is outside the measured IPC window but part of
@@ -144,6 +172,7 @@ class KernelRun
             if (sms_[s].hasFreeSlot()) {
                 sms_[s].assignCta(next_cta_++);
                 dispatch_credit_ -= 1.0;
+                --free_slots_;
                 full_sms = 0;
                 on_assign(static_cast<uint32_t>(s));
             } else {
@@ -260,9 +289,14 @@ class KernelRun
 
     /**
      * Replay the reference core's dense ticking of the zero-activity
-     * span [first, last] (dispatch phase, no free slot, no due event):
-     * per-cycle credit accrual, per-bucket polls, per-cycle cap check —
-     * without touching any SM. Returns false when the run ended inside.
+     * span [first, last] (dispatch phase, no effective dispatch
+     * boundary, no due event): per-cycle credit accrual and countdown
+     * advance, per-bucket polls, per-cycle cap check — without touching
+     * any SM. Returns false when the run ended inside. Callers
+     * guarantee no dispatch fires inside the span (either no slot is
+     * free, so boundary cycles are state no-ops, or the span ends
+     * before the next boundary), so advancing the countdown modulo the
+     * quantum is exactly the reference's per-cycle increment-and-reset.
      */
     bool
     emulateDenseIdle(uint64_t first, uint64_t last)
@@ -274,6 +308,8 @@ class KernelRun
             uint64_t chunk = std::min(
                 {last - c + 1, to_boundary, cycle_cap_ - c + 1});
             accrueDispatchCredit(chunk);
+            disp_countdown_ = static_cast<uint32_t>(
+                (disp_countdown_ + chunk) % dispatch_quantum_);
             tracker_.advanceIdle(chunk);
             uint64_t cyc = c + chunk - 1; // the cycle just emulated
             if (chunk == to_boundary && bucketSideEffects(cyc))
@@ -301,11 +337,17 @@ class KernelRun
                 r_.warpInstructions += t.warpInstsIssued;
                 finished_now += t.ctasFinished;
             }
-            if (finished_now > 0)
+            if (finished_now > 0) {
                 r_.finishedCtas += finished_now;
+                free_slots_ += finished_now;
+            }
             if (next_cta_ < total_ctas_) {
                 accrueDispatchCredit(1);
-                dispatch([](uint32_t) {});
+                if (++disp_countdown_ == dispatch_quantum_) {
+                    disp_countdown_ = 0;
+                    if (free_slots_ > 0)
+                        dispatch([](uint32_t) {});
+                }
             }
             r_.threadInstructions += retired;
             bool bucket_done = tracker_.push(retired);
@@ -345,113 +387,47 @@ class KernelRun
         end_cycle_ = cycle;
     }
 
-    /** The event-driven loop: tick only SMs with a due event. */
+    /**
+     * The event-driven loop: tick only SMs with a due event. The
+     * classify/drain/validate bookkeeping lives in SmEventSet, shared
+     * with the sharded core's per-shard workers.
+     */
     void
     runEventDriven()
     {
         const uint32_t n = static_cast<uint32_t>(sms_.size());
-        // Two-tier event tracking. SMs with ready warps tick every cycle
-        // and are found by scanning the is_ready bitmap in ascending
-        // index order — the reference core's tick order — at a cost of n
-        // byte loads, far below per-cycle event churn. Only *sleeping*
-        // SMs (no ready warp, earliest pending wake in the future) live
-        // in a device-level timing wheel keyed by next-wake cycle;
-        // traffic there happens on ready->sleeping transitions and
-        // wake-ups, which is bounded by instructions issued rather than
-        // cycles elapsed. sm_event holds each sleeping SM's current
-        // valid wheel entry (UINT64_MAX for ready/empty SMs, whose
-        // stale entries the drain paths discard).
-        TimingWheel events;
-        std::vector<uint64_t> sm_event(n, UINT64_MAX);
-        std::vector<uint8_t> is_ready(n, 0);
-        std::vector<uint32_t> sm_scratch;
-        uint32_t num_ready = 0;
-        // Wheel entries whose SM has since re-armed or become ready.
-        // Stale entries are only minted when a dispatch lands on a
-        // sleeping SM, so this is almost always zero outside the
-        // dispatch phase and next_event() can trust nextWake() as-is.
-        uint32_t stale_count = 0;
+        SmEventSet ev(sms_, 0, n);
         uint64_t cycle = 0;
-
-        // Re-classify SM s after its state may have changed.
-        auto refresh = [&](uint32_t s) {
-            bool ready = sms_[s].hasReady();
-            if (ready != static_cast<bool>(is_ready[s])) {
-                is_ready[s] = ready ? 1 : 0;
-                if (ready)
-                    ++num_ready;
-                else
-                    --num_ready;
-            }
-            uint64_t w = ready ? UINT64_MAX : sms_[s].nextWake();
-            if (w != sm_event[s]) {
-                // A superseded entry (if one is still queued) goes stale.
-                if (sm_event[s] != UINT64_MAX)
-                    ++stale_count;
-                sm_event[s] = w;
-                if (w != UINT64_MAX)
-                    events.schedule(cycle, w, s);
-            }
-        };
-        // Earliest cycle with a *valid* pending SM wake. A slot can
-        // hold only stale entries (SMs re-armed or made ready after the
-        // entry was written); returning such a cycle would make the
-        // skip emulation insert a bucket poll the reference core's
-        // silent fast-forward does not perform. So when stale entries
-        // exist, validate: drain the candidate slot, drop stale entries
-        // for good, re-schedule the valid ones, and only then accept
-        // the cycle.
-        auto next_event = [&]() -> uint64_t {
-            for (;;) {
-                uint64_t nw = events.nextWake();
-                if (stale_count == 0 || nw == UINT64_MAX)
-                    return nw;
-                events.drain(nw, sm_scratch);
-                bool any_valid = false;
-                for (uint32_t s : sm_scratch) {
-                    if (sm_event[s] == nw) {
-                        events.schedule(cycle, nw, s);
-                        any_valid = true;
-                    } else {
-                        --stale_count;
-                    }
-                }
-                if (any_valid)
-                    return nw;
-            }
-        };
-
         for (uint32_t s = 0; s < n; ++s)
-            refresh(s); // classify the SMs seeded by initial dispatch
+            ev.refresh(s, 0); // classify SMs seeded by initial dispatch
 
         std::vector<uint32_t> wake_due;
         while (r_.finishedCtas < total_ctas_) {
-            wake_due.clear();
-            if (events.nextWake() <= cycle) {
-                PKA_CHECK(events.nextWake() == cycle, "missed SM event");
-                events.drain(cycle, sm_scratch);
-                for (uint32_t s : sm_scratch) {
-                    if (sm_event[s] != cycle) {
-                        --stale_count; // stale (also drops duplicates)
-                        continue;
-                    }
-                    sm_event[s] = UINT64_MAX; // consumed; re-armed below
-                    wake_due.push_back(s); // drain order: ascending s
-                }
-            }
+            ev.drainDue(cycle, wake_due);
             double retired = 0.0;
             uint32_t finished_now = 0;
-            // refresh() touches only SM s's own state, so it can run
-            // right after s's tick without perturbing the tick order
-            // (and hence the shared memory-model access sequence).
+            // refreshAfterTick() touches only SM s's own state, so it
+            // can run right after s's tick without perturbing the tick
+            // order (and hence the shared memory-model access sequence).
             auto tick_sm = [&](uint32_t s) {
                 SmTickResult t = sms_[s].tick(cycle);
                 retired += t.threadInstsRetired;
                 r_.warpInstructions += t.warpInstsIssued;
                 finished_now += t.ctasFinished;
-                refresh(s);
+                ev.refreshAfterTick(s, cycle);
             };
-            if (num_ready > 0) {
+            const uint32_t num_ready = ev.numReady();
+            if (num_ready == n) {
+                // Saturated device: every SM has a ready warp, so no
+                // valid wheel entry exists (wake_due can only have held
+                // stale entries, discarded by the drain). Tick densely —
+                // the compute-bound hot path, where per-tick event
+                // bookkeeping is pure overhead against the reference
+                // loop.
+                PKA_CHECK(wake_due.empty(), "valid wake on a ready SM");
+                for (uint32_t s = 0; s < n; ++s)
+                    tick_sm(s);
+            } else if (num_ready > 0) {
                 // Merge ready SMs (bitmap scan) with due wakes, both
                 // ascending; a ready SM never has a valid heap entry,
                 // so the two sets are disjoint.
@@ -460,20 +436,25 @@ class KernelRun
                     bool woke = w < wake_due.size() && wake_due[w] == s;
                     if (woke)
                         ++w;
-                    if (is_ready[s] || woke)
+                    if (ev.isReady(s) || woke)
                         tick_sm(s);
                 }
             } else {
                 for (uint32_t s : wake_due)
                     tick_sm(s);
             }
-            if (finished_now > 0)
+            if (finished_now > 0) {
                 r_.finishedCtas += finished_now;
-            bool all_full = false;
+                free_slots_ += finished_now;
+            }
             if (next_cta_ < total_ctas_) {
                 accrueDispatchCredit(1);
-                all_full =
-                    dispatch([&](uint32_t s) { refresh(s); });
+                if (++disp_countdown_ == dispatch_quantum_) {
+                    disp_countdown_ = 0;
+                    if (free_slots_ > 0)
+                        dispatch(
+                            [&](uint32_t s) { ev.refresh(s, cycle); });
+                }
             }
             r_.threadInstructions += retired;
             bool bucket_done = tracker_.push(retired);
@@ -491,26 +472,29 @@ class KernelRun
 
             // Pick the next cycle anything can happen at; replay the
             // reference protocol over the provably-idle span between.
-            if (num_ready > 0) {
+            if (ev.numReady() > 0) {
                 ++cycle; // some SM issues next cycle: stay dense
                 continue;
             }
             if (next_cta_ < total_ctas_) {
-                if (!all_full) {
-                    ++cycle; // a CTA can land next cycle
-                    continue;
-                }
-                uint64_t nw = next_event();
-                PKA_CHECK(nw != UINT64_MAX,
+                // Next activity: an SM wake, or — when a freed slot
+                // awaits a CTA — the next dispatch boundary.
+                uint64_t target = ev.nextEvent(cycle);
+                if (free_slots_ > 0)
+                    target = std::min(
+                        target,
+                        cycle + (dispatch_quantum_ - disp_countdown_));
+                PKA_CHECK(target != UINT64_MAX,
                           "deadlock: no ready or pending warps");
                 // The reference loop ticks these cycles densely (its
                 // fast-forward is disabled during dispatch).
-                if (nw > cycle + 1 && !emulateDenseIdle(cycle + 1, nw - 1))
+                if (target > cycle + 1 &&
+                    !emulateDenseIdle(cycle + 1, target - 1))
                     return;
-                cycle = nw;
+                cycle = target;
                 continue;
             }
-            uint64_t nw = next_event();
+            uint64_t nw = ev.nextEvent(cycle);
             PKA_CHECK(nw != UINT64_MAX,
                       "deadlock: no ready or pending warps");
             if (nw <= cycle + 1) {
@@ -542,6 +526,392 @@ class KernelRun
         end_cycle_ = cycle;
     }
 
+    /**
+     * The sharded parallel core: the SM array splits into contiguous
+     * shards, one worker thread each, advancing in lock-step *epochs*
+     * of at most dispatch_quantum_ cycles. The quantum never exceeds
+     * the minimum warp stall of any shared-state instruction (see
+     * dispatchQuantum), so nothing a worker simulates inside an epoch
+     * can depend on a memory-model outcome from the same epoch:
+     *
+     *  - Workers advance their shard over [start, H) with the same
+     *    SmEventSet logic as the sequential event core, except that
+     *    global-memory instructions *stage* a StagedAccess instead of
+     *    touching the shared MemoryModel (loads/atomics park their
+     *    warp; stores stall a fixed 4 >= quantum cycles, scheduled
+     *    locally). Every SM tick appends a TickRecord carrying the
+     *    per-tick aggregates and the SM's post-tick classification,
+     *    so the record streams are (cycle, SM)-sorted by construction.
+     *  - With the workers parked at the barrier, the coordinator
+     *    *replays* the epoch cycle by cycle: it consumes tick records
+     *    in ascending (cycle, SM) order — exactly the sequential tick
+     *    order, which makes both the double-precision retire fold and
+     *    the shared memory-model/RNG access sequence bit-identical —
+     *    and runs the whole reference per-cycle protocol itself
+     *    (dispatch credit and cadence, IPC-tracker pushes, bucket side
+     *    effects including StopController and watchdog polls, cycle-cap
+     *    checks, idle-span emulation). Load/atomic latencies resolved
+     *    here are delivered back into the owning SM's timing wheel at
+     *    their issue cycle; the quantum bound puts every such wake at
+     *    or past the next epoch, so no worker ever needed it early.
+     *
+     * Bit-identity therefore holds at any thread count: workers touch
+     * disjoint SM state between barriers, and every shared-state
+     * mutation happens on the coordinator in replay order. Early exits
+     * (StopController, budgets, watchdog throws) leave overran
+     * worker-side SM state simply unread — results are built from
+     * coordinator state, exact as of the end cycle.
+     */
+    void
+    runSharded(uint32_t threads)
+    {
+        const uint32_t n = static_cast<uint32_t>(sms_.size());
+        const uint32_t nt = std::min(threads, n);
+        PKA_ASSERT(nt >= 2, "runSharded needs at least two shards");
+
+        /** One worker-side SM tick, staged for the serial replay. */
+        struct TickRecord
+        {
+            uint64_t cycle;
+            uint64_t next_wake; ///< post-tick SmCore::nextWake()
+            double retired;
+            uint32_t sm;
+            uint32_t issued;
+            uint32_t finished;
+            uint8_t ready; ///< post-tick SmCore::hasReady()
+        };
+
+        struct Shard
+        {
+            uint32_t lo = 0, hi = 0;
+            std::unique_ptr<SmEventSet> ev;
+            std::vector<TickRecord> ticks;
+            std::vector<StagedAccess> accs;
+            std::vector<uint32_t> refresh; ///< SMs touched at the merge
+            std::vector<uint32_t> due;     ///< drain scratch
+            size_t tick_cur = 0, acc_cur = 0;
+            int64_t busy_ns = 0;
+        };
+
+        std::vector<Shard> shards(nt);
+        std::vector<uint32_t> shard_of(n);
+        for (uint32_t t = 0, lo = 0; t < nt; ++t) {
+            const uint32_t len = n / nt + (t < n % nt ? 1 : 0);
+            shards[t].lo = lo;
+            shards[t].hi = lo + len;
+            shards[t].ev =
+                std::make_unique<SmEventSet>(sms_, lo, lo + len);
+            for (uint32_t s = lo; s < lo + len; ++s) {
+                shard_of[s] = t;
+                sms_[s].beginStaging(&shards[t].accs, s);
+                shards[t].refresh.push_back(s); // initial classify
+            }
+            lo += len;
+        }
+
+        // Exact views of per-SM state, updated in replay order; every
+        // coordinator decision (skip targets, dispatch, deadlock
+        // checks) reads only these, never worker-side state that may
+        // have run ahead. wake_view[s] equals sms_[s].nextWake() as of
+        // the replay cycle: records carry the worker-known value, and
+        // merge-delivered wakes fold in via pending_min (a record
+        // written *before* a delivery at an earlier replay cycle must
+        // not overwrite it).
+        std::vector<uint8_t> ready_view(n);
+        std::vector<uint64_t> wake_view(n);
+        std::vector<uint64_t> pending_min(n, UINT64_MAX);
+        std::vector<uint32_t> delivered_sms;
+        uint32_t num_ready_view = 0;
+        for (uint32_t s = 0; s < n; ++s) {
+            ready_view[s] = sms_[s].hasReady() ? 1 : 0;
+            num_ready_view += ready_view[s];
+            wake_view[s] = sms_[s].nextWake();
+        }
+        auto global_next_wake = [&]() -> uint64_t {
+            uint64_t nw = UINT64_MAX;
+            for (uint32_t s = 0; s < n; ++s)
+                if (!ready_view[s])
+                    nw = std::min(nw, wake_view[s]);
+            return nw;
+        };
+
+        // Epoch command, published by the coordinator before the epoch
+        // barrier and read by workers after it — the barrier's
+        // release/acquire pairing orders both directions, so plain
+        // fields suffice.
+        uint64_t ep_start = 0;
+        uint64_t ep_horizon = 0;
+        bool exit_flag = false;
+        SpinBarrier bar(nt + 1);
+        std::vector<std::exception_ptr> werr(nt);
+
+        auto run_epoch = [&](Shard &sh) {
+            // Re-arm SMs the previous merge touched (dispatch, wake
+            // delivery). Anchoring at start-1 keeps the wheel's
+            // wake > now precondition for wakes landing exactly at the
+            // epoch start.
+            for (uint32_t s : sh.refresh)
+                sh.ev->refresh(s, ep_start == 0 ? 0 : ep_start - 1);
+            sh.refresh.clear();
+            const uint64_t horizon = ep_horizon;
+            uint64_t cycle = ep_start;
+            auto tick_one = [&](uint32_t s) {
+                SmTickResult t = sms_[s].tick(cycle);
+                sh.ev->refreshAfterTick(s, cycle);
+                sh.ticks.push_back(
+                    {cycle, sms_[s].nextWake(), t.threadInstsRetired, s,
+                     t.warpInstsIssued, t.ctasFinished,
+                     static_cast<uint8_t>(sms_[s].hasReady() ? 1 : 0)});
+            };
+            while (cycle < horizon) {
+                sh.ev->drainDue(cycle, sh.due);
+                const uint32_t nr = sh.ev->numReady();
+                if (nr == 0 && sh.due.empty()) {
+                    uint64_t nw = sh.ev->nextEvent(cycle);
+                    if (nw >= horizon) // UINT64_MAX included
+                        break;
+                    cycle = nw;
+                    continue;
+                }
+                if (nr == sh.hi - sh.lo) {
+                    PKA_CHECK(sh.due.empty(),
+                              "valid wake on a ready SM");
+                    for (uint32_t s = sh.lo; s < sh.hi; ++s)
+                        tick_one(s);
+                } else if (nr > 0) {
+                    size_t w = 0;
+                    for (uint32_t s = sh.lo; s < sh.hi; ++s) {
+                        bool woke =
+                            w < sh.due.size() && sh.due[w] == s;
+                        if (woke)
+                            ++w;
+                        if (sh.ev->isReady(s) || woke)
+                            tick_one(s);
+                    }
+                } else {
+                    for (uint32_t s : sh.due)
+                        tick_one(s);
+                }
+                ++cycle;
+            }
+        };
+
+        std::vector<std::thread> team;
+        team.reserve(nt);
+        for (uint32_t t = 0; t < nt; ++t) {
+            team.emplace_back([&, t] {
+                for (;;) {
+                    bar.arriveAndWait(); // epoch start
+                    if (exit_flag)
+                        return;
+                    auto t0 = std::chrono::steady_clock::now();
+                    try {
+                        run_epoch(shards[t]);
+                    } catch (...) {
+                        werr[t] = std::current_exception();
+                    }
+                    shards[t].busy_ns +=
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    bar.arriveAndWait(); // merge start
+                }
+            });
+        }
+        // Shut the team down on every exit path (normal completion,
+        // early stop, watchdog throw). The coordinator only runs while
+        // workers are parked at the epoch barrier, so releasing them
+        // with the exit flag set is always safe.
+        struct TeamGuard
+        {
+            bool &exit_flag;
+            SpinBarrier &bar;
+            std::vector<std::thread> &team;
+            ~TeamGuard()
+            {
+                exit_flag = true;
+                bar.arriveAndWait();
+                for (auto &th : team)
+                    th.join();
+            }
+        } guard{exit_flag, bar, team};
+
+        uint64_t merged_until = 0;
+        auto run_workers = [&](uint64_t start, uint64_t horizon) {
+            for (auto &sh : shards) {
+                PKA_ASSERT(sh.tick_cur == sh.ticks.size() &&
+                               sh.acc_cur == sh.accs.size(),
+                           "unconsumed epoch records");
+                sh.ticks.clear();
+                sh.accs.clear();
+                sh.tick_cur = 0;
+                sh.acc_cur = 0;
+            }
+            // pending_min entries are absorbed into worker event sets
+            // (and record next_wake values) from this epoch on.
+            for (uint32_t s : delivered_sms)
+                pending_min[s] = UINT64_MAX;
+            delivered_sms.clear();
+            ep_start = start;
+            ep_horizon = horizon;
+            bar.arriveAndWait(); // release workers into the epoch
+            bar.arriveAndWait(); // wait for the slowest worker
+            for (auto &e : werr)
+                if (e)
+                    std::rethrow_exception(e);
+            merged_until = horizon;
+        };
+
+        auto replay = [&]() {
+            uint64_t cycle = 0;
+            while (r_.finishedCtas < total_ctas_) {
+                const bool ticks_now =
+                    num_ready_view > 0 || global_next_wake() == cycle;
+                if (ticks_now && cycle >= merged_until)
+                    run_workers(
+                        cycle, next_cta_ < total_ctas_
+                                   ? cycle + (dispatch_quantum_ -
+                                              disp_countdown_)
+                                   : cycle + dispatch_quantum_);
+                double retired = 0.0;
+                uint32_t finished_now = 0;
+                if (ticks_now) {
+                    bool any_rec = false;
+                    for (auto &sh : shards) {
+                        while (sh.tick_cur < sh.ticks.size() &&
+                               sh.ticks[sh.tick_cur].cycle == cycle) {
+                            const TickRecord &rec =
+                                sh.ticks[sh.tick_cur++];
+                            any_rec = true;
+                            // This record's staged accesses, in issue
+                            // order — the exact sequential sequence of
+                            // mem_.access calls (and RNG draws).
+                            while (sh.acc_cur < sh.accs.size() &&
+                                   sh.accs[sh.acc_cur].cycle == cycle &&
+                                   sh.accs[sh.acc_cur].sm == rec.sm) {
+                                const StagedAccess &a =
+                                    sh.accs[sh.acc_cur++];
+                                uint64_t lat =
+                                    mem_.access(*k_.program, cycle);
+                                if (a.warp == StagedAccess::kNoWake)
+                                    continue;
+                                uint64_t wake =
+                                    cycle + SmCore::memStall(a.cls, lat);
+                                sms_[a.sm].deliverWake(cycle, wake,
+                                                       a.warp);
+                                if (pending_min[a.sm] == UINT64_MAX)
+                                    delivered_sms.push_back(a.sm);
+                                pending_min[a.sm] =
+                                    std::min(pending_min[a.sm], wake);
+                                wake_view[a.sm] =
+                                    std::min(wake_view[a.sm], wake);
+                                shards[shard_of[a.sm]]
+                                    .refresh.push_back(a.sm);
+                            }
+                            retired += rec.retired;
+                            r_.warpInstructions += rec.issued;
+                            finished_now += rec.finished;
+                            if (ready_view[rec.sm] != rec.ready) {
+                                ready_view[rec.sm] = rec.ready;
+                                if (rec.ready)
+                                    ++num_ready_view;
+                                else
+                                    --num_ready_view;
+                            }
+                            wake_view[rec.sm] = std::min(
+                                rec.next_wake, pending_min[rec.sm]);
+                        }
+                    }
+                    PKA_CHECK(any_rec, "view/worker tick desync");
+                }
+                if (finished_now > 0) {
+                    r_.finishedCtas += finished_now;
+                    free_slots_ += finished_now;
+                }
+                if (next_cta_ < total_ctas_) {
+                    accrueDispatchCredit(1);
+                    if (++disp_countdown_ == dispatch_quantum_) {
+                        disp_countdown_ = 0;
+                        if (free_slots_ > 0)
+                            dispatch([&](uint32_t s) {
+                                // assignCta readies warps; the wheel is
+                                // untouched, so wake_view stays exact.
+                                if (!ready_view[s]) {
+                                    ready_view[s] = 1;
+                                    ++num_ready_view;
+                                }
+                                shards[shard_of[s]].refresh.push_back(
+                                    s);
+                            });
+                    }
+                }
+                r_.threadInstructions += retired;
+                bool bucket_done = tracker_.push(retired);
+                if (bucket_done && bucketSideEffects(cycle))
+                    return;
+                if (cycle >= cycle_cap_) {
+                    capTruncate(cycle);
+                    return;
+                }
+
+                if (r_.finishedCtas >= total_ctas_) {
+                    ++cycle;
+                    continue;
+                }
+                if (num_ready_view > 0) {
+                    ++cycle;
+                    continue;
+                }
+                if (next_cta_ < total_ctas_) {
+                    uint64_t target = global_next_wake();
+                    if (free_slots_ > 0)
+                        target = std::min(
+                            target, cycle + (dispatch_quantum_ -
+                                             disp_countdown_));
+                    PKA_CHECK(target != UINT64_MAX,
+                              "deadlock: no ready or pending warps");
+                    if (target > cycle + 1 &&
+                        !emulateDenseIdle(cycle + 1, target - 1))
+                        return;
+                    cycle = target;
+                    continue;
+                }
+                uint64_t nw = global_next_wake();
+                PKA_CHECK(nw != UINT64_MAX,
+                          "deadlock: no ready or pending warps");
+                if (nw <= cycle + 1) {
+                    ++cycle;
+                    continue;
+                }
+                if (retired == 0.0 && finished_now == 0) {
+                    tracker_.advanceIdle(nw - cycle - 1);
+                    cycle = nw;
+                    continue;
+                }
+                uint64_t idle = cycle + 1;
+                bool bd = tracker_.push(0.0);
+                if (bd && bucketSideEffects(idle))
+                    return;
+                if (idle >= cycle_cap_) {
+                    capTruncate(idle);
+                    return;
+                }
+                if (nw > idle + 1)
+                    tracker_.advanceIdle(nw - idle - 1);
+                cycle = nw;
+            }
+            end_cycle_ = cycle;
+        };
+        replay();
+        // Worker utilization telemetry; the barrier that parked the
+        // team makes their busy_ns writes visible here.
+        r_.shardBusyMs.reserve(nt);
+        for (const auto &sh : shards)
+            r_.shardBusyMs.push_back(
+                static_cast<double>(sh.busy_ns) / 1e6);
+    }
+
     const GpuSpec &spec_;
     const KernelDescriptor &k_;
     const SimOptions &opts_;
@@ -552,6 +922,9 @@ class KernelRun
     uint64_t next_cta_ = 0;
     double dispatch_credit_ = 8.0;
     size_t rr_cursor_ = 0;
+    const uint32_t dispatch_quantum_ = dispatchQuantum(spec_);
+    uint32_t disp_countdown_ = 0;
+    uint64_t free_slots_ = 0;
     IpcTracker tracker_;
     MemoryModel::Counters prev_ctr_;
     uint64_t prev_trace_cycle_ = 0;

@@ -99,6 +99,18 @@ struct SimOptions
 #else
     bool referenceCore = false;
 #endif
+
+    /**
+     * Worker threads sharding the SM array *within* this kernel
+     * (<= 1 = sequential). SMs interact only through the shared
+     * memory model, so shards advance independently between
+     * deterministic epoch barriers and a serial merge replays the
+     * staged memory traffic in the sequential access order — results
+     * are bit-identical to both sequential cores at any thread count
+     * (enforced by the SimCoreParallel tests and a CI smoke). Ignored
+     * by the reference core. Never part of any cache key.
+     */
+    uint32_t intraKernelThreads = 1;
 };
 
 /** Result of simulating one kernel launch. */
@@ -119,6 +131,14 @@ struct KernelSimResult
     double dramUtilPct = 0.0;
     double l2MissPct = 0.0;
     std::vector<IpcSample> trace;
+
+    /**
+     * Wall-clock milliseconds each intra-kernel shard worker spent
+     * inside its epochs (empty for sequential runs). Utilization
+     * telemetry only — never part of result hashes or cache payloads,
+     * and not bit-stable across runs.
+     */
+    std::vector<double> shardBusyMs;
 
     /** Average thread-level IPC over the simulated span. */
     double ipc() const

@@ -70,35 +70,17 @@ SmCore::assignCta(uint64_t cta_id)
 }
 
 uint64_t
-SmCore::stallCycles(InstrClass cls, uint64_t cycle)
+SmCore::localStall(InstrClass cls) const
 {
-    switch (cls) {
-      case InstrClass::GlobalLoad:
-      case InstrClass::LocalLoad:
-      case InstrClass::GlobalAtomic: {
-        // Loads overlap within a warp (MLP ~6 outstanding requests).
-        uint64_t lat = mem_.access(*k_.program, cycle);
-        uint64_t mlp_stall = std::max<uint64_t>(2, lat / 6);
-        if (cls == InstrClass::GlobalAtomic)
-            mlp_stall = std::max<uint64_t>(4, lat / 2); // partly serialized
-        return mlp_stall;
-      }
-      case InstrClass::GlobalStore:
-      case InstrClass::LocalStore:
-        // Write-back: traffic charged, little warp stall.
-        mem_.access(*k_.program, cycle);
-        return 4;
-      case InstrClass::Sync:
+    if (cls == InstrClass::Sync)
         // Barrier skew approximation: scales with CTA width.
         return static_cast<uint64_t>(
             spec_.classLatency[static_cast<size_t>(cls)] +
             k_.warpsPerCta());
-      default:
-        // Instruction-level parallelism: ~2 independent instructions in
-        // flight per warp hide half the pipe latency.
-        return static_cast<uint64_t>(std::max(
-            2.0, spec_.classLatency[static_cast<size_t>(cls)] / 2.0));
-    }
+    // Instruction-level parallelism: ~2 independent instructions in
+    // flight per warp hide half the pipe latency.
+    return static_cast<uint64_t>(std::max(
+        2.0, spec_.classLatency[static_cast<size_t>(cls)] / 2.0));
 }
 
 SmTickResult
@@ -122,7 +104,6 @@ SmCore::tick(uint64_t cycle)
         uint32_t wi = popReady();
 
         InstrClass cls = body[seg_idx_[wi]].cls;
-        uint64_t stall = stallCycles(cls, cycle);
         ++r.warpInstsIssued;
 
         // Advance the warp's position in its program.
@@ -148,8 +129,29 @@ SmCore::tick(uint64_t cycle)
                 ++r.ctasFinished;
                 free_slot_ids_.push_back(slot);
             }
-        } else {
-            wheel_.schedule(cycle, cycle + stall, wi);
+        }
+
+        if (isMemClass(cls)) {
+            // Memory traffic is charged even for a final instruction
+            // (the access is in flight when the warp retires).
+            if (staging_ != nullptr) {
+                // Sharded core: defer the access to the merge. Stores
+                // stall a fixed 4 cycles, so they schedule now; loads
+                // and atomics park until the merge delivers their wake.
+                const bool no_wake = done || isStoreClass(cls);
+                staging_->push_back(
+                    {cycle, sm_index_,
+                     no_wake ? StagedAccess::kNoWake : wi, cls});
+                if (!done && isStoreClass(cls))
+                    wheel_.schedule(cycle, cycle + 4, wi);
+            } else {
+                uint64_t lat = mem_.access(*k_.program, cycle);
+                if (!done)
+                    wheel_.schedule(cycle, cycle + memStall(cls, lat),
+                                    wi);
+            }
+        } else if (!done) {
+            wheel_.schedule(cycle, cycle + localStall(cls), wi);
         }
     }
     return r;
@@ -158,6 +160,7 @@ SmCore::tick(uint64_t cycle)
 void
 SmCore::makeReady(uint32_t warp_idx)
 {
+    ++ready_count_;
     if (policy_ == SchedulerPolicy::Gto)
         ready_by_age_.emplace(age_[warp_idx], warp_idx);
     else
@@ -167,6 +170,7 @@ SmCore::makeReady(uint32_t warp_idx)
 uint32_t
 SmCore::popReady()
 {
+    --ready_count_;
     if (policy_ == SchedulerPolicy::Gto) {
         uint32_t wi = ready_by_age_.top().second;
         ready_by_age_.pop();

@@ -16,6 +16,7 @@
 #ifndef PKA_SIM_SM_CORE_HH
 #define PKA_SIM_SM_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <queue>
@@ -42,6 +43,24 @@ struct SmTickResult
     double threadInstsRetired = 0.0;
     uint32_t warpInstsIssued = 0;
     uint32_t ctasFinished = 0;
+};
+
+/**
+ * One global-memory warp access recorded under deferred-memory staging
+ * (the sharded core). The merge replays these against the shared
+ * MemoryModel in (cycle, sm, issue slot) order — exactly the access
+ * sequence the sequential cores produce — and delivers the resulting
+ * wake back to `warp` (kNoWake for stores, whose stall is fixed, and
+ * for final instructions, whose warp retired at issue).
+ */
+struct StagedAccess
+{
+    static constexpr uint32_t kNoWake = UINT32_MAX;
+
+    uint64_t cycle;
+    uint32_t sm;
+    uint32_t warp;
+    pka::workload::InstrClass cls;
 };
 
 /**
@@ -81,13 +100,43 @@ class SmCore
     bool busy() const { return live_warps_ > 0; }
 
     /** True if a warp could issue this cycle. */
-    bool hasReady() const
-    {
-        return !ready_.empty() || !ready_by_age_.empty();
-    }
+    bool hasReady() const { return ready_count_ != 0; }
 
     /** Earliest pending wake cycle, or UINT64_MAX when none pending. */
     uint64_t nextWake() const { return wheel_.nextWake(); }
+
+    /** CTA slots currently free. */
+    uint32_t freeSlotCount() const
+    {
+        return static_cast<uint32_t>(free_slot_ids_.size());
+    }
+
+    /**
+     * Enter deferred-memory staging (the sharded core): global-memory
+     * instructions append a StagedAccess to `out` instead of touching
+     * the shared MemoryModel. Loads and atomics park — their stall is
+     * unknown until the merge charges the access — while stores (fixed
+     * stall) and final instructions behave as usual minus the access.
+     * `sm_index` tags staged records with this SM's device index.
+     */
+    void
+    beginStaging(std::vector<StagedAccess> *out, uint32_t sm_index)
+    {
+        staging_ = out;
+        sm_index_ = sm_index;
+    }
+
+    /**
+     * Deliver the merge-computed wake for a parked warp. `issue_cycle`
+     * is the cycle the instruction issued, so the wheel placement (and
+     * hence drain behaviour) is identical to the sequential cores
+     * scheduling at issue time.
+     */
+    void
+    deliverWake(uint64_t issue_cycle, uint64_t wake_cycle, uint32_t warp)
+    {
+        wheel_.schedule(issue_cycle, wake_cycle, warp);
+    }
 
     /**
      * Test hook: seed the GTO age counter, e.g. near 2^32 to pin the
@@ -96,6 +145,23 @@ class SmCore
      */
     void seedAgeCounter(uint64_t v) { next_age_ = v; }
 
+    /**
+     * Warp stall for a memory instruction of class `cls` whose access
+     * latency came back as `lat` — the single definition both the
+     * inline (sequential) and merge (sharded) paths charge from.
+     */
+    static uint64_t
+    memStall(pka::workload::InstrClass cls, uint64_t lat)
+    {
+        using pka::workload::InstrClass;
+        if (cls == InstrClass::GlobalAtomic)
+            return std::max<uint64_t>(4, lat / 2); // partly serialized
+        if (isStoreClass(cls))
+            return 4; // write-back: traffic charged, little warp stall
+        // Loads overlap within a warp (MLP ~6 outstanding requests).
+        return std::max<uint64_t>(2, lat / 6);
+    }
+
   private:
     /** Move a woken/new warp into the ready structure. */
     void makeReady(uint32_t warp_idx);
@@ -103,8 +169,27 @@ class SmCore
     /** Pop the next warp to issue; requires hasReady(). */
     uint32_t popReady();
 
-    /** Timing for one issued instruction of class `cls`. */
-    uint64_t stallCycles(pka::workload::InstrClass cls, uint64_t cycle);
+    /** True for instruction classes that access the memory model. */
+    static bool isMemClass(pka::workload::InstrClass cls)
+    {
+        using pka::workload::InstrClass;
+        return cls == InstrClass::GlobalLoad ||
+               cls == InstrClass::LocalLoad ||
+               cls == InstrClass::GlobalAtomic ||
+               cls == InstrClass::GlobalStore ||
+               cls == InstrClass::LocalStore;
+    }
+
+    /** True for the memory classes whose warp stall is a fixed 4. */
+    static bool isStoreClass(pka::workload::InstrClass cls)
+    {
+        using pka::workload::InstrClass;
+        return cls == InstrClass::GlobalStore ||
+               cls == InstrClass::LocalStore;
+    }
+
+    /** Stall for a non-memory instruction of class `cls` (pure). */
+    uint64_t localStall(pka::workload::InstrClass cls) const;
 
     const pka::silicon::GpuSpec &spec_;
     const pka::workload::KernelDescriptor &k_;
@@ -134,6 +219,9 @@ class SmCore
     const std::vector<uint32_t> *trace_iters_;
     uint64_t next_age_ = 0; ///< 64-bit: never wraps within a kernel
     uint32_t live_warps_ = 0;
+    uint32_t ready_count_ = 0; ///< warps in the ready structure
+    std::vector<StagedAccess> *staging_ = nullptr; ///< sharded-core mode
+    uint32_t sm_index_ = 0; ///< device index, tags staged accesses
     double retire_per_inst_; ///< thread insts per warp inst (divergence)
 };
 
