@@ -268,13 +268,11 @@ main()
     const int reps = 5;
     const uint32_t sweep[] = {2, 4, 8};
     // Thread counts beyond the host's cores can only show overhead, not
-    // speedup; still run them (the hash gate is the point) but with
-    // fewer reps so an undersized CI box doesn't stall the bench.
+    // speedup. Their timings would read as a regression on an undersized
+    // CI box, so those entries keep the hash gate (one rep) but report
+    // "skipped": "insufficient_cpus" instead of a misleading speedup.
     const uint32_t host_cpus =
         std::max(1u, std::thread::hardware_concurrency());
-    auto sweep_reps = [&](uint32_t threads) {
-        return threads <= host_cpus ? reps : 2;
-    };
 
     double ref_total = 0.0, ev_total = 0.0;
     bool all_identical = true;
@@ -315,10 +313,20 @@ main()
                     ev.best_ms, ev.p50_ms, ev.p95_ms, ev.max_ms,
                     identical ? "true" : "false");
         for (size_t t = 0; t < sizeof(sweep) / sizeof(sweep[0]); ++t) {
-            Measured par = measure(simulator, c, false, sweep[t],
-                                   sweep_reps(sweep[t]));
+            bool timed = sweep[t] <= host_cpus;
+            Measured par =
+                measure(simulator, c, false, sweep[t], timed ? reps : 1);
             bool par_ok = par.hash == ref.hash;
             identical = identical && par_ok;
+            const char *sep =
+                t + 1 < sizeof(sweep) / sizeof(sweep[0]) ? "," : "";
+            if (!timed) {
+                std::printf("        { \"threads\": %u, "
+                            "\"skipped\": \"insufficient_cpus\", "
+                            "\"bit_identical\": %s }%s\n",
+                            sweep[t], par_ok ? "true" : "false", sep);
+                continue;
+            }
             if (sweep[t] == 4)
                 sm4_ms = par.best_ms;
             std::printf("        { \"threads\": %u, \"ms\": %.3f, "
@@ -328,9 +336,7 @@ main()
                         sweep[t], par.best_ms, par.p50_ms, par.p95_ms,
                         par.max_ms,
                         par.best_ms > 0 ? ev.best_ms / par.best_ms : 0.0,
-                        par_ok ? "true" : "false",
-                        t + 1 < sizeof(sweep) / sizeof(sweep[0]) ? ","
-                                                                 : "");
+                        par_ok ? "true" : "false", sep);
         }
         std::printf("      ],\n");
         std::printf("      \"bit_identical\": %s\n",
@@ -353,9 +359,13 @@ main()
     std::printf("  \"largest_kernel\": \"%s\",\n", largest_name.c_str());
     std::printf("  \"largest_kernel_cycles\": %llu,\n",
                 static_cast<unsigned long long>(largest_cycles));
-    std::printf("  \"largest_kernel_sm4_speedup\": %.2f,\n",
-                largest_sm4_ms > 0 ? largest_seq_ms / largest_sm4_ms
-                                   : 0.0);
+    if (4 <= host_cpus)
+        std::printf("  \"largest_kernel_sm4_speedup\": %.2f,\n",
+                    largest_sm4_ms > 0 ? largest_seq_ms / largest_sm4_ms
+                                       : 0.0);
+    else
+        std::printf("  \"largest_kernel_sm4_speedup\": "
+                    "\"skipped: insufficient_cpus\",\n");
     std::printf("  \"all_bit_identical\": %s\n",
                 all_identical ? "true" : "false");
     std::printf("}\n");

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Smoke test for the `pka serve` daemon, exercised the way CI runs it
+# (including ASan/UBSan builds):
+#
+#   1. concurrency — one daemon, >= 2 script clients running campaigns
+#      at the same time; every client's "full simulation:" line must
+#      match the batch CLI on the same workload bit for bit (the line
+#      is printed from the same doubles on both paths, so any wire or
+#      scheduling nondeterminism shows up as a diff);
+#   2. admission control — a daemon with a small launch quota turns an
+#      oversized campaign into a typed rejection (client exit 5), never
+#      a crash, and leaves the journal behind;
+#   3. session resume — a fresh daemon on the same cache dir resumes
+#      the rejected campaign by session key and finishes with output
+#      bit-identical to an uninterrupted batch run.
+#
+# Usage: scripts/ci_serve_smoke.sh [path-to-pka]
+
+set -euo pipefail
+
+PKA=${1:-${PKA:-./build/tools/pka}}
+WORKLOADS=(bfs4096 gauss_s64)
+RESUME_WORKLOAD=gauss_s64
+WORK=$(mktemp -d)
+SERVER_PID=
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# Starts a daemon, waits for its readiness line and sets ADDR/SERVER_PID.
+start_daemon() {
+    local out="$1"
+    shift
+    "$PKA" serve --listen 127.0.0.1:0 "$@" >"$out" 2>"$out.err" &
+    SERVER_PID=$!
+    ADDR=
+    for _ in $(seq 1 200); do
+        ADDR=$(sed -n 's/^pka serve: listening on //p' "$out")
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null ||
+            fail "daemon died at startup: $(cat "$out.err")"
+        sleep 0.05
+    done
+    fail "daemon never printed its readiness line"
+}
+
+stop_daemon() {
+    "$PKA" client --connect "$ADDR" --shutdown >/dev/null
+    wait "$SERVER_PID" || true
+    SERVER_PID=
+}
+
+# The deterministic prefix of the result line: aggregates + launch
+# count. Cache/store/miss counters legitimately differ between a warm
+# daemon and a cold batch run, so they are cut off.
+sim_prefix() {
+    sed -n 's/^\(full simulation: .* launches\),.*/\1/p' "$1"
+}
+
+echo "== phase 1: >= ${#WORKLOADS[@]} concurrent clients vs batch CLI"
+start_daemon "$WORK/serve1.out" --cache-dir "$WORK/serve-cache" --threads 2
+
+pids=()
+for w in "${WORKLOADS[@]}"; do
+    "$PKA" client --connect "$ADDR" "$w" --session "smoke-$w" \
+        >"$WORK/client-$w.out" 2>&1 &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do
+    wait "$p" || fail "concurrent client exited non-zero"
+done
+
+for w in "${WORKLOADS[@]}"; do
+    "$PKA" simulate "$w" >"$WORK/batch-$w.out" 2>/dev/null ||
+        fail "batch simulate $w failed"
+    daemon_line=$(sim_prefix "$WORK/client-$w.out")
+    batch_line=$(sim_prefix "$WORK/batch-$w.out")
+    [ -n "$daemon_line" ] || fail "no result line from the $w client"
+    [ "$daemon_line" = "$batch_line" ] ||
+        fail "$w daemon/batch mismatch: '$daemon_line' vs '$batch_line'"
+    echo "   $w: daemon == batch ($daemon_line)"
+done
+stop_daemon
+
+echo "== phase 2: launch quota -> typed rejection (exit 5)"
+start_daemon "$WORK/serve2.out" --cache-dir "$WORK/resume-cache" \
+    --threads 2 --launch-quota 64
+set +e
+"$PKA" client --connect "$ADDR" "$RESUME_WORKLOAD" --session smoke-resume \
+    >"$WORK/rejected.out" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 5 ] || fail "expected quota rejection exit 5, got $rc"
+grep -q "quota" "$WORK/rejected.out" ||
+    fail "rejection output does not mention the quota"
+echo "   rejected as expected: $(grep -m1 quota "$WORK/rejected.out")"
+stop_daemon
+
+echo "== phase 3: resume by session key, bit-identical to batch"
+start_daemon "$WORK/serve3.out" --cache-dir "$WORK/resume-cache" --threads 2
+"$PKA" client --connect "$ADDR" "$RESUME_WORKLOAD" --session smoke-resume \
+    --resume >"$WORK/resumed.out" 2>&1 ||
+    fail "resumed client exited non-zero: $(cat "$WORK/resumed.out")"
+grep -q "^resumed:" "$WORK/resumed.out" ||
+    fail "resumed run did not report journal credit"
+resumed_line=$(sim_prefix "$WORK/resumed.out")
+batch_line=$(sim_prefix "$WORK/batch-$RESUME_WORKLOAD.out")
+[ "$resumed_line" = "$batch_line" ] ||
+    fail "resume mismatch: '$resumed_line' vs '$batch_line'"
+echo "   $(grep -m1 '^resumed:' "$WORK/resumed.out")"
+echo "   resumed == batch ($resumed_line)"
+stop_daemon
+
+echo "PASS: serve smoke (concurrency, admission, resume) all green"

@@ -17,6 +17,8 @@ errorKindName(ErrorKind kind)
         return "store-io";
     case ErrorKind::kCancelled:
         return "cancelled";
+    case ErrorKind::kRejected:
+        return "rejected";
     case ErrorKind::kInternal:
         return "internal";
     }

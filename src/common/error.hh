@@ -36,6 +36,7 @@ enum class ErrorKind : uint8_t
     kTimeout,      ///< watchdog cancelled (wall-clock or cycle budget)
     kStoreIo,      ///< persistent store / journal I/O failure
     kCancelled,    ///< cooperatively cancelled from outside
+    kRejected,     ///< admission control / quota refused the work
     kInternal,     ///< unexpected failure (unclassified exception)
 };
 

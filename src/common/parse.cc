@@ -1,0 +1,88 @@
+#include "common/parse.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace pka::common
+{
+
+namespace
+{
+
+TaskError
+badInput(std::string message)
+{
+    TaskError e;
+    e.kind = ErrorKind::kBadInput;
+    e.message = std::move(message);
+    return e;
+}
+
+} // namespace
+
+Expected<uint64_t>
+parseUint(const std::string &s, uint64_t lo, uint64_t hi)
+{
+    uint64_t v = 0;
+    try {
+        // stoull silently wraps "-5" around; reject signs up front.
+        if (s.find_first_of("-+") != std::string::npos)
+            throw std::invalid_argument("signed");
+        size_t pos = 0;
+        v = std::stoull(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument("trailing");
+    } catch (const std::exception &) {
+        return badInput("expects a non-negative integer, got '" + s +
+                        "'");
+    }
+    if (v < lo || v > hi)
+        return badInput(strfmt(
+            "expects an integer in [%llu, %llu], got %llu",
+            static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi),
+            static_cast<unsigned long long>(v)));
+    return v;
+}
+
+Expected<double>
+parseNum(const std::string &s)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        return badInput("expects a number, got '" + s + "'");
+    }
+}
+
+Expected<double>
+parseNumInRange(const std::string &s, double lo, double hi)
+{
+    Expected<double> v = parseNum(s);
+    if (!v.ok())
+        return v;
+    if (!(v.value() >= lo && v.value() <= hi))
+        return badInput(strfmt("expects a number in [%g, %g], got %g",
+                               lo, hi, v.value()));
+    return v;
+}
+
+Expected<double>
+parsePositiveNum(const std::string &s, double hi)
+{
+    Expected<double> v = parseNum(s);
+    if (!v.ok())
+        return v;
+    if (!(v.value() > 0.0 && v.value() <= hi))
+        return badInput(strfmt(
+            "expects a positive number <= %g, got %g", hi, v.value()));
+    return v;
+}
+
+} // namespace pka::common

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hardened numeric string parsing, shared by every configuration
+ * surface that accepts untrusted text: the CLI flag parser
+ * (tools/cli_args.hh) and the serve protocol/server config path
+ * (src/serve/). One implementation means one set of rules — signs,
+ * fractions, trailing garbage, NaN and out-of-range values are rejected
+ * identically everywhere — and typed errors (kBadInput) instead of
+ * process exits, so a daemon can refuse one malformed request without
+ * dying.
+ */
+
+#ifndef PKA_COMMON_PARSE_HH
+#define PKA_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.hh"
+
+namespace pka::common
+{
+
+/**
+ * Parse a non-negative integer in [lo, hi]. Rejects signs (stoull would
+ * silently wrap "-5"), fractions, trailing garbage, and out-of-range
+ * values with a kBadInput TaskError naming the offending text. Parsed
+ * with stoull (not via double) so the full 64-bit range stays exact.
+ */
+Expected<uint64_t>
+parseUint(const std::string &s, uint64_t lo = 0,
+          uint64_t hi = std::numeric_limits<uint64_t>::max());
+
+/** Parse a finite double; trailing garbage is a kBadInput error. */
+Expected<double> parseNum(const std::string &s);
+
+/** Parse a number required to lie in [lo, hi] (NaN always rejected). */
+Expected<double> parseNumInRange(const std::string &s, double lo, double hi);
+
+/** Parse a strictly positive number in (0, hi]. */
+Expected<double>
+parsePositiveNum(const std::string &s,
+                 double hi = std::numeric_limits<double>::infinity());
+
+} // namespace pka::common
+
+#endif // PKA_COMMON_PARSE_HH

@@ -1,0 +1,320 @@
+#include "core/online_pks.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+#include "core/features.hh"
+#include "ml/matrix.hh"
+
+namespace pka::core
+{
+
+namespace
+{
+
+/** SplitMix64 step: cheap, deterministic reservoir randomness. */
+uint64_t
+nextRand(uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+OnlinePks::OnlinePks(const OnlinePksOptions &options)
+    : opt_(options), rng_(options.pks.seed ^ 0x0423F00Dull)
+{
+    if (opt_.warmupLaunches == 0)
+        opt_.warmupLaunches = 1;
+    if (opt_.reservoirCapacity == 0)
+        opt_.reservoirCapacity = 1;
+    warmup_.reserve(opt_.warmupLaunches);
+}
+
+void
+OnlinePks::noteResident()
+{
+    size_t resident =
+        warmup_.size() + reservoir_.size() + groups_.size();
+    stats_.maxResidentProfiles =
+        std::max(stats_.maxResidentProfiles, resident);
+}
+
+std::vector<double>
+OnlinePks::project(const silicon::DetailedProfile &p) const
+{
+    ml::Matrix feat = detailedFeatures({p});
+    ml::Matrix projected =
+        pca_.transform(scaler_.transform(feat), components_);
+    std::span<const double> row = projected.row(0);
+    return {row.begin(), row.end()};
+}
+
+common::Expected<bool>
+OnlinePks::fitFromWarmup()
+{
+    if (warmup_.empty())
+        return common::TaskError{common::ErrorKind::kBadInput,
+                                 "online selection fit with no profiles"};
+
+    // The warmup fit IS batch PKS over the prefix: same K-sweep, same
+    // first-chronological representatives, so a stream that ends inside
+    // warmup degenerates to exactly the batch methodology.
+    common::Expected<PksResult> fit = principalKernelSelectionChecked(
+        warmup_, opt_.pks);
+    if (!fit.ok())
+        return fit.error();
+    PksResult &r = fit.value();
+
+    // Re-derive the projection geometry (the batch fit does not expose
+    // its model): standardize + PCA over the same warmup features.
+    ml::Matrix feat = detailedFeatures(warmup_);
+    ml::Matrix Xs = scaler_.fitTransform(feat);
+    pca_.fit(Xs);
+    components_ = pca_.componentsForVariance(opt_.pks.pcaVariance);
+    ml::Matrix Xp = pca_.transform(Xs, components_);
+
+    // Per-group centroids in projected space, from the fit's labels.
+    // The validator may have excluded launches (labels shorter than the
+    // buffer): index labels by surviving order, centroids by member mean.
+    groups_.clear();
+    groups_.resize(r.groups.size());
+    for (size_t g = 0; g < r.groups.size(); ++g) {
+        Group &grp = groups_[g];
+        grp.centroid.assign(components_, 0.0);
+        grp.count = r.groups[g].weight;
+        grp.representative = r.groups[g].representative;
+        grp.representativeCycles = r.groups[g].representativeCycles;
+        for (const auto &p : warmup_)
+            if (p.launchId == grp.representative) {
+                grp.repProfile = p;
+                break;
+            }
+    }
+    std::vector<size_t> members(groups_.size(), 0);
+    for (size_t i = 0; i < r.labels.size() && i < Xp.rows(); ++i) {
+        uint32_t g = r.labels[i];
+        if (g >= groups_.size())
+            continue;
+        std::span<const double> row = Xp.row(i);
+        for (size_t c = 0; c < components_; ++c)
+            groups_[g].centroid[c] += row[c];
+        ++members[g];
+    }
+    for (size_t g = 0; g < groups_.size(); ++g)
+        if (members[g] > 0)
+            for (double &c : groups_[g].centroid)
+                c /= static_cast<double>(members[g]);
+
+    fitted_ = true;
+    stats_.groups = groups_.size();
+    warmup_.clear();
+    warmup_.shrink_to_fit();
+    return true;
+}
+
+void
+OnlinePks::reservoirAdd(const silicon::DetailedProfile &p)
+{
+    ++reservoirSeen_;
+    if (reservoir_.size() < opt_.reservoirCapacity) {
+        reservoir_.push_back(p);
+        return;
+    }
+    // Algorithm R: keep each offered profile with probability
+    // capacity/seen, evicting uniformly. Deterministic via the LCG.
+    uint64_t slot = nextRand(rng_) % reservoirSeen_;
+    if (slot < reservoir_.size())
+        reservoir_[slot] = p;
+}
+
+common::Expected<bool>
+OnlinePks::refit()
+{
+    // Bounded re-clustering input: current representatives (so existing
+    // groups stay anchored) plus the reservoir sample, chronological,
+    // deduplicated by launch id.
+    std::vector<silicon::DetailedProfile> sample;
+    sample.reserve(groups_.size() + reservoir_.size());
+    for (const auto &g : groups_)
+        sample.push_back(g.repProfile);
+    for (const auto &p : reservoir_)
+        sample.push_back(p);
+    std::sort(sample.begin(), sample.end(),
+              [](const auto &a, const auto &b) {
+                  return a.launchId < b.launchId;
+              });
+    sample.erase(std::unique(sample.begin(), sample.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.launchId == b.launchId;
+                             }),
+                 sample.end());
+
+    common::Expected<PksResult> fit =
+        principalKernelSelectionChecked(sample, opt_.pks);
+    if (!fit.ok())
+        return fit.error();
+    PksResult &r = fit.value();
+
+    ml::Matrix feat = detailedFeatures(sample);
+    ml::Matrix Xs = scaler_.fitTransform(feat);
+    pca_.fit(Xs);
+    components_ = pca_.componentsForVariance(opt_.pks.pcaVariance);
+    ml::Matrix Xp = pca_.transform(Xs, components_);
+
+    std::vector<Group> next(r.groups.size());
+    std::vector<size_t> members(next.size(), 0);
+    for (size_t g = 0; g < r.groups.size(); ++g) {
+        next[g].centroid.assign(components_, 0.0);
+        next[g].count = 0.0; // weights are remapped below, not re-counted
+        next[g].representative = r.groups[g].representative;
+        next[g].representativeCycles = r.groups[g].representativeCycles;
+        for (const auto &p : sample)
+            if (p.launchId == next[g].representative) {
+                next[g].repProfile = p;
+                break;
+            }
+    }
+    for (size_t i = 0; i < r.labels.size() && i < Xp.rows(); ++i) {
+        uint32_t g = r.labels[i];
+        if (g >= next.size())
+            continue;
+        std::span<const double> row = Xp.row(i);
+        for (size_t c = 0; c < components_; ++c)
+            next[g].centroid[c] += row[c];
+        ++members[g];
+    }
+    for (size_t g = 0; g < next.size(); ++g)
+        if (members[g] > 0)
+            for (double &c : next[g].centroid)
+                c /= static_cast<double>(members[g]);
+
+    // Remap accumulated weights: each old group's count follows its
+    // representative into the new clustering, so total observed weight
+    // is conserved across the re-fit.
+    for (const auto &old : groups_) {
+        std::vector<double> x = project(old.repProfile);
+        size_t best = 0;
+        double bestd = std::numeric_limits<double>::infinity();
+        for (size_t g = 0; g < next.size(); ++g) {
+            double d = ml::squaredDistance(x, next[g].centroid);
+            if (d < bestd) {
+                bestd = d;
+                best = g;
+            }
+        }
+        if (!next.empty())
+            next[best].count += old.count;
+    }
+
+    groups_ = std::move(next);
+    stats_.groups = groups_.size();
+    ++stats_.refits;
+    driftSinceRefit_ = 0;
+    classifiedSinceRefit_ = 0;
+    ewmaSamples_ = 0; // distances live in a new space; restart the EWMA
+    ewmaDist_ = 0.0;
+    return true;
+}
+
+common::Expected<bool>
+OnlinePks::observe(const silicon::DetailedProfile &p)
+{
+    ++stats_.observed;
+    profiledCycles_ += static_cast<double>(p.cycles);
+
+    if (!fitted_) {
+        warmup_.push_back(p);
+        noteResident();
+        if (warmup_.size() >= opt_.warmupLaunches)
+            return fitFromWarmup();
+        return true;
+    }
+
+    std::vector<double> x = project(p);
+    size_t best = 0;
+    double bestd = std::numeric_limits<double>::infinity();
+    for (size_t g = 0; g < groups_.size(); ++g) {
+        double d = ml::squaredDistance(x, groups_[g].centroid);
+        if (d < bestd) {
+            bestd = d;
+            best = g;
+        }
+    }
+    double dist = std::sqrt(std::max(bestd, 0.0));
+
+    // Drift detection against the EWMA of assignment distance. The EWMA
+    // needs a few samples before a threshold comparison means anything.
+    constexpr size_t kMinEwmaSamples = 8;
+    bool drifted = false;
+    if (ewmaSamples_ >= kMinEwmaSamples && ewmaDist_ > 0.0 &&
+        dist > opt_.driftThreshold * ewmaDist_) {
+        drifted = true;
+        ++stats_.driftEvents;
+        ++driftSinceRefit_;
+    }
+    ewmaDist_ = ewmaSamples_ == 0
+                    ? dist
+                    : (1.0 - opt_.driftAlpha) * ewmaDist_ +
+                          opt_.driftAlpha * dist;
+    ++ewmaSamples_;
+
+    Group &g = groups_[best];
+    g.count += 1.0;
+    // Mini-batch centroid update: the centroid tracks its group's
+    // running mean in projection space.
+    for (size_t c = 0; c < g.centroid.size(); ++c)
+        g.centroid[c] += (x[c] - g.centroid[c]) / g.count;
+
+    ++stats_.classified;
+    ++classifiedSinceRefit_;
+    reservoirAdd(p);
+    noteResident();
+
+    if (drifted && driftSinceRefit_ >= opt_.refitDriftEvents &&
+        classifiedSinceRefit_ >= opt_.minLaunchesBetweenRefits)
+        return refit();
+    return true;
+}
+
+common::Expected<OnlinePksSelection>
+OnlinePks::finish()
+{
+    if (!fitted_) {
+        common::Expected<bool> fit = fitFromWarmup();
+        if (!fit.ok())
+            return fit.error();
+    }
+
+    OnlinePksSelection out;
+    out.stats = stats_;
+    out.profiledCycles = profiledCycles_;
+    out.groups.reserve(groups_.size());
+    for (const auto &g : groups_) {
+        KernelGroup kg;
+        kg.representative = g.representative;
+        kg.weight = g.count;
+        kg.representativeCycles = g.representativeCycles;
+        out.groups.push_back(std::move(kg));
+        out.projectedCycles +=
+            static_cast<double>(g.representativeCycles) * g.count;
+    }
+    std::sort(out.groups.begin(), out.groups.end(),
+              [](const KernelGroup &a, const KernelGroup &b) {
+                  return a.representative < b.representative;
+              });
+    if (out.profiledCycles > 0.0)
+        out.projectedErrorPct =
+            std::fabs(out.projectedCycles - out.profiledCycles) /
+            out.profiledCycles * 100.0;
+    return out;
+}
+
+} // namespace pka::core

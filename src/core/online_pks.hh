@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Streaming (online) Principal Kernel Selection. The batch pipeline
+ * (core/pks.hh) needs every detailed profile resident before it can
+ * cluster; a long-running campaign service cannot afford that. OnlinePks
+ * instead:
+ *
+ *  - buffers a bounded warmup prefix and fits the ordinary PKS model on
+ *    it (scaler + PCA + K-sweep K-Means, first-chronological
+ *    representatives), then frees the buffer;
+ *  - classifies every subsequent profile as it arrives — standardize,
+ *    project onto the fitted principal components, assign to the nearest
+ *    centroid — and folds it into that group with a mini-batch centroid
+ *    update (c += (x - c) / count);
+ *  - tracks an EWMA of assignment distance to detect centroid drift and,
+ *    after enough drift evidence, re-clusters from a bounded reservoir
+ *    sample plus the current representatives, remapping accumulated
+ *    group weights onto the new clusters.
+ *
+ * Resident state is O(warmup + reservoir + clusters) profiles — chosen
+ * up front and independent of stream length — which is what lets the
+ * serve daemon run selection over an unbounded launch stream.
+ * Everything is deterministic for a fixed (stream, options): reservoir
+ * replacement uses a counter-seeded LCG, never wall clock.
+ */
+
+#ifndef PKA_CORE_ONLINE_PKS_HH
+#define PKA_CORE_ONLINE_PKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/pks.hh"
+#include "ml/pca.hh"
+#include "ml/scaler.hh"
+#include "silicon/profiler.hh"
+
+namespace pka::core
+{
+
+/** OnlinePks tuning. Defaults suit the serve daemon's small streams. */
+struct OnlinePksOptions
+{
+    /** Batch PKS configuration for the warmup fit and every re-fit. */
+    PksOptions pks;
+
+    /** Profiles buffered before the first model fit. */
+    size_t warmupLaunches = 64;
+
+    /** Reservoir capacity for re-clustering (post-warmup sample). */
+    size_t reservoirCapacity = 96;
+
+    /** Drift event: assignment distance > multiplier x EWMA distance. */
+    double driftThreshold = 3.0;
+
+    /** EWMA smoothing factor for the assignment-distance tracker. */
+    double driftAlpha = 0.05;
+
+    /** Drift events accumulated before a re-fit is considered. */
+    size_t refitDriftEvents = 8;
+
+    /** Minimum classified launches between re-fits (re-fit hysteresis). */
+    size_t minLaunchesBetweenRefits = 128;
+};
+
+/** Streaming-selection accounting. */
+struct OnlinePksStats
+{
+    size_t observed = 0;      ///< profiles fed through observe()
+    size_t classified = 0;    ///< assigned by the online classifier
+    size_t driftEvents = 0;   ///< assignments flagged as drifted
+    size_t refits = 0;        ///< bounded re-clusterings performed
+    size_t groups = 0;        ///< current cluster count
+
+    /**
+     * Peak number of whole profiles resident at once (warmup buffer +
+     * reservoir + per-group representatives). The bounded-memory
+     * contract: this never exceeds warmupLaunches + reservoirCapacity +
+     * groups regardless of stream length.
+     */
+    size_t maxResidentProfiles = 0;
+
+    /** Rough bytes for maxResidentProfiles (sizeof(DetailedProfile)). */
+    size_t residentBytes() const
+    {
+        return maxResidentProfiles * sizeof(silicon::DetailedProfile);
+    }
+};
+
+/** Final streaming selection: projection-ready groups plus accounting. */
+struct OnlinePksSelection
+{
+    /**
+     * Groups in representative launch order. `members` is intentionally
+     * empty — retaining per-launch membership would reintroduce O(stream)
+     * memory; `weight` carries the accumulated member count, which is all
+     * projection needs.
+     */
+    std::vector<KernelGroup> groups;
+
+    /** Total profiled silicon cycles observed (streamed scalar). */
+    double profiledCycles = 0.0;
+
+    /** Sum over groups of representative cycles x weight. */
+    double projectedCycles = 0.0;
+
+    /** |projected - profiled| / profiled x 100. */
+    double projectedErrorPct = 0.0;
+
+    OnlinePksStats stats;
+};
+
+/**
+ * Incremental kernel-selection session. Feed profiles in stream order
+ * with observe(); call finish() once to obtain the selection. Not
+ * thread-safe — the serve layer owns one instance per campaign.
+ */
+class OnlinePks
+{
+  public:
+    explicit OnlinePks(const OnlinePksOptions &options = {});
+
+    /**
+     * Observe the next profile in stream order. During warmup the
+     * profile is buffered; afterwards it is classified online. The fit
+     * that ends warmup can fail (e.g. every profile invalid) — the
+     * error surfaces here and the session stays in warmup.
+     */
+    common::Expected<bool> observe(const silicon::DetailedProfile &p);
+
+    /** True once the warmup fit has run. */
+    bool fitted() const { return fitted_; }
+
+    /** Live accounting (valid at any point in the stream). */
+    const OnlinePksStats &stats() const { return stats_; }
+
+    /**
+     * Finalize the selection over everything observed so far. A session
+     * still in warmup is fitted on the partial buffer first. Errors
+     * (kBadInput): no profiles observed, or the fit failed.
+     */
+    common::Expected<OnlinePksSelection> finish();
+
+  private:
+    /** One streaming cluster. */
+    struct Group
+    {
+        std::vector<double> centroid; ///< in fitted PCA space
+        double count = 0.0;           ///< accumulated weight
+        uint32_t representative = 0;  ///< first-chronological launch id
+        uint64_t representativeCycles = 0;
+        silicon::DetailedProfile repProfile; ///< kept for re-fits
+    };
+
+    common::Expected<bool> fitFromWarmup();
+    common::Expected<bool> refit();
+    std::vector<double> project(const silicon::DetailedProfile &p) const;
+    void reservoirAdd(const silicon::DetailedProfile &p);
+    void noteResident();
+
+    OnlinePksOptions opt_;
+    bool fitted_ = false;
+
+    std::vector<silicon::DetailedProfile> warmup_;
+    std::vector<silicon::DetailedProfile> reservoir_;
+    size_t reservoirSeen_ = 0; ///< post-warmup profiles offered
+    uint64_t rng_;             ///< deterministic reservoir LCG state
+
+    ml::StandardScaler scaler_;
+    ml::Pca pca_;
+    size_t components_ = 1;
+    std::vector<Group> groups_;
+
+    double ewmaDist_ = 0.0;
+    size_t ewmaSamples_ = 0;
+    size_t driftSinceRefit_ = 0;
+    size_t classifiedSinceRefit_ = 0;
+    double profiledCycles_ = 0.0;
+
+    OnlinePksStats stats_;
+};
+
+} // namespace pka::core
+
+#endif // PKA_CORE_ONLINE_PKS_HH

@@ -78,11 +78,31 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
     std::vector<size_t> chunk_indices;
     for (size_t begin = 0; begin < jobs.size(); begin += chunk_launches) {
         size_t end = std::min(begin + chunk_launches, jobs.size());
+        if (policy.admitChunk) {
+            common::Expected<bool> admit = policy.admitChunk(end - begin);
+            if (!admit.ok() || !admit.value()) {
+                // The gate refused this chunk: stop here, preserving the
+                // journaled progress so the campaign can resume once the
+                // quota frees up. The refusal lands as a typed failure on
+                // the chunk's first launch so callers see *why*.
+                common::TaskError e;
+                if (!admit.ok()) {
+                    e = admit.error();
+                } else {
+                    e.kind = common::ErrorKind::kRejected;
+                    e.message = "chunk refused by admission control";
+                }
+                out.failures.push_back(
+                    {static_cast<uint64_t>(begin), std::move(e)});
+                out.stoppedEarly = true;
+                break;
+            }
+        }
         std::vector<sim::SimJob> chunk(jobs.begin() + begin,
                                        jobs.begin() + end);
         size_t prev_errors = stats ? stats->launchErrors.size() : 0;
         std::vector<common::Expected<sim::KernelSimResult>> part =
-            engine.runChecked(simulator, chunk, stats);
+            engine.runChecked(simulator, chunk, stats, policy.priority);
         if (stats) // lift chunk-local error indices into campaign space
             for (size_t e = prev_errors; e < stats->launchErrors.size();
                  ++e)
@@ -109,6 +129,8 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
         }
         if (journal)
             journal->markDone(chunk_indices);
+        if (policy.onProgress)
+            policy.onProgress(end, jobs.size());
         if (policy.failFast && chunk_failed) {
             out.stoppedEarly = true;
             break;

@@ -9,6 +9,7 @@
 #ifndef PKA_CORE_PKA_HH
 #define PKA_CORE_PKA_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,31 @@ struct CampaignPolicy
 
     /** Stop fanning out work at the first failed chunk. */
     bool failFast = false;
+
+    /**
+     * Scheduling priority of this campaign's fan-outs when several
+     * campaigns share one engine (the serve daemon). Higher overtakes
+     * queued lower-priority batches; never affects results.
+     */
+    unsigned priority = 0;
+
+    /**
+     * Called after every completed chunk with the cumulative number of
+     * launches attempted so far and the campaign total. Runs on the
+     * campaign thread, between fan-outs — keep it cheap.
+     */
+    std::function<void(size_t done, size_t total)> onProgress;
+
+    /**
+     * Admission gate consulted before each chunk fans out, with the
+     * chunk's launch count. Return false (or an error) to stop the
+     * campaign before that chunk: the run is marked stoppedEarly and
+     * the refusal is recorded as a kRejected launch failure at the
+     * chunk's first index. Already-journaled progress is preserved, so
+     * a campaign stopped by its quota can resume later. Null = admit
+     * everything.
+     */
+    std::function<common::Expected<bool>(size_t chunkLaunches)> admitChunk;
 };
 
 /**

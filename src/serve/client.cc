@@ -1,0 +1,67 @@
+#include "serve/client.hh"
+
+namespace pka::serve
+{
+
+common::Expected<Client>
+Client::connect(const std::string &address)
+{
+    common::Expected<Fd> fd = connectTo(address);
+    if (!fd.ok())
+        return fd.error();
+    return Client(std::move(fd.value()));
+}
+
+common::Expected<Message>
+Client::call(const Message &req,
+             const std::function<void(const Message &)> &onEvent)
+{
+    common::Expected<bool> sent =
+        sendLine(fd_.get(), formatMessage(req));
+    if (!sent.ok())
+        return sent.error();
+    for (;;) {
+        common::Expected<std::string> line = reader_.readLine();
+        if (!line.ok())
+            return line.error();
+        common::Expected<Message> m = parseMessage(line.value());
+        if (!m.ok())
+            return m.error();
+        if (m.value().verb == "EVENT") {
+            if (onEvent)
+                onEvent(m.value());
+            continue;
+        }
+        return m;
+    }
+}
+
+common::Expected<Message>
+Client::hello(const std::string &sessionKey, bool resume)
+{
+    Message req{"HELLO", {}};
+    req.add("session", sessionKey);
+    if (resume)
+        req.add("resume", "1");
+    return call(req);
+}
+
+common::TaskError
+errorFromMessage(const Message &m)
+{
+    common::TaskError e;
+    e.kind = common::ErrorKind::kInternal;
+    std::string kind = m.get("kind");
+    for (uint8_t k = 0; k <= static_cast<uint8_t>(
+                                 common::ErrorKind::kInternal);
+         ++k)
+        if (kind == common::errorKindName(
+                        static_cast<common::ErrorKind>(k))) {
+            e.kind = static_cast<common::ErrorKind>(k);
+            break;
+        }
+    e.message = m.get("msg");
+    return e;
+}
+
+} // namespace pka::serve

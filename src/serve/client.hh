@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Blocking client for the serve protocol, shared by `pka client` and
+ * the tests/CI smoke scripts. One Client is one connection; call() runs
+ * one request to its terminal reply (OK/ERR/RESULT), forwarding EVENT
+ * messages to an optional callback, and the convenience runners wrap
+ * the HELLO/RUN and HELLO/STREAM-FEED-END exchanges.
+ */
+
+#ifndef PKA_SERVE_CLIENT_HH
+#define PKA_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+
+namespace pka::serve
+{
+
+/** One connection to a serve daemon. */
+class Client
+{
+  public:
+    /** Connect; kStoreIo/kBadInput errors on failure. */
+    static common::Expected<Client> connect(const std::string &address);
+
+    Client(Client &&) = default;
+    Client &operator=(Client &&) = default;
+
+    /**
+     * Send `req` and read messages until a terminal reply (anything but
+     * EVENT) arrives; EVENTs go to `onEvent` when provided. An ERR
+     * reply is returned as a value (the caller decides severity) — only
+     * transport failures surface as errors.
+     */
+    common::Expected<Message>
+    call(const Message &req,
+         const std::function<void(const Message &)> &onEvent = {});
+
+    /** HELLO with a session key (resume-aware). */
+    common::Expected<Message> hello(const std::string &sessionKey,
+                                    bool resume = false);
+
+    int fd() const { return fd_.get(); }
+
+  private:
+    explicit Client(Fd fd)
+        : fd_(std::move(fd)), reader_(fd_.get())
+    {
+    }
+
+    Fd fd_;
+    LineReader reader_;
+};
+
+/** Convert an ERR message back into a value-level TaskError. */
+common::TaskError errorFromMessage(const Message &m);
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_CLIENT_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal POSIX socket plumbing for the serve daemon and its client:
+ * listen/connect on "host:port" (TCP, IPv4) or "unix:/path" (unix
+ * domain) addresses, plus a buffered line reader matching the
+ * protocol's one-message-per-line discipline. Errors are value-level
+ * TaskErrors (kStoreIo for syscall failures, kBadInput for malformed
+ * addresses) — a daemon must never fatal on a bad peer.
+ */
+
+#ifndef PKA_SERVE_NET_HH
+#define PKA_SERVE_NET_HH
+
+#include <string>
+
+#include "common/error.hh"
+
+namespace pka::serve
+{
+
+/** RAII file descriptor (closes on destruction; movable, not copyable). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd)
+        : fd_(fd)
+    {
+    }
+    ~Fd() { close(); }
+
+    Fd(Fd &&other) noexcept
+        : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Fd &operator=(Fd &&other) noexcept;
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** shutdown(2) both directions — unblocks a reader in another
+     *  thread without racing the fd number (close() alone does not). */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A bound, listening socket. `address` accepts "host:port" (port 0 =
+ * ephemeral) or "unix:/path"; boundAddress() reports the resolved
+ * form (actual port filled in), which is what clients connect to.
+ */
+class Listener
+{
+  public:
+    static common::Expected<Listener> open(const std::string &address);
+
+    /** Accept one connection (blocks). kCancelled after shutdownBoth(). */
+    common::Expected<Fd> accept();
+
+    /** The resolved listen address ("127.0.0.1:45123", "unix:/path"). */
+    const std::string &boundAddress() const { return bound_; }
+
+    /** Unblock accept() from another thread. */
+    void stop() { fd_.shutdownBoth(); }
+
+    /** Remove a unix socket file on destruction (no-op for TCP). */
+    ~Listener();
+
+    Listener(Listener &&) = default;
+    Listener &operator=(Listener &&) = default;
+
+  private:
+    Listener() = default;
+
+    Fd fd_;
+    std::string bound_;
+    std::string unixPath_; ///< socket file to unlink, when unix
+};
+
+/** Connect to an address in the same "host:port"/"unix:/path" syntax. */
+common::Expected<Fd> connectTo(const std::string &address);
+
+/** Write `line` plus '\n', handling partial writes. */
+common::Expected<bool> sendLine(int fd, const std::string &line);
+
+/**
+ * Buffered '\n'-delimited reader over one socket. Returns kCancelled
+ * on orderly EOF, kStoreIo on read errors. Lines longer than the cap
+ * (1 MiB) are kBadInput — no peer can balloon daemon memory.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd)
+        : fd_(fd)
+    {
+    }
+
+    common::Expected<std::string> readLine();
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_NET_HH

@@ -1,0 +1,190 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/parse.hh"
+
+namespace pka::serve
+{
+
+namespace
+{
+
+common::TaskError
+badInput(std::string message)
+{
+    common::TaskError e;
+    e.kind = common::ErrorKind::kBadInput;
+    e.message = std::move(message);
+    return e;
+}
+
+bool
+needsEscape(char c)
+{
+    return c == '%' || c == ' ' || c == '=' || c == '\r' || c == '\n';
+}
+
+} // namespace
+
+std::string
+Message::get(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &[k, v] : fields)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+bool
+Message::has(const std::string &key) const
+{
+    for (const auto &[k, v] : fields)
+        if (k == key)
+            return true;
+    return false;
+}
+
+Message &
+Message::add(const std::string &key, std::string value)
+{
+    fields.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Message &
+Message::addUint(const std::string &key, uint64_t value)
+{
+    return add(key, std::to_string(value));
+}
+
+Message &
+Message::addDouble(const std::string &key, double value)
+{
+    return add(key, formatDouble(value));
+}
+
+common::Expected<uint64_t>
+Message::getUint(const std::string &key, uint64_t fallback, uint64_t lo,
+                 uint64_t hi) const
+{
+    if (!has(key))
+        return fallback;
+    common::Expected<uint64_t> v = common::parseUint(get(key), lo, hi);
+    if (!v.ok())
+        return badInput("field '" + key + "' " + v.error().message);
+    return v;
+}
+
+common::Expected<double>
+Message::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    common::Expected<double> v = common::parseNum(get(key));
+    if (!v.ok())
+        return badInput("field '" + key + "' " + v.error().message);
+    if (std::isnan(v.value()))
+        return badInput("field '" + key + "' is NaN");
+    return v;
+}
+
+std::string
+encodeValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (unsigned char c : v) {
+        if (needsEscape(static_cast<char>(c))) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out += buf;
+        } else {
+            out.push_back(static_cast<char>(c));
+        }
+    }
+    return out;
+}
+
+std::string
+decodeValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == '%' && i + 2 < v.size()) {
+            auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9')
+                    return c - '0';
+                if (c >= 'a' && c <= 'f')
+                    return c - 'a' + 10;
+                if (c >= 'A' && c <= 'F')
+                    return c - 'A' + 10;
+                return -1;
+            };
+            int hi = hex(v[i + 1]);
+            int lo = hex(v[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out.push_back(static_cast<char>(hi * 16 + lo));
+                i += 2;
+                continue;
+            }
+        }
+        out.push_back(v[i]);
+    }
+    return out;
+}
+
+std::string
+formatMessage(const Message &m)
+{
+    std::string out = m.verb;
+    for (const auto &[k, v] : m.fields) {
+        out.push_back(' ');
+        out += k;
+        out.push_back('=');
+        out += encodeValue(v);
+    }
+    return out;
+}
+
+common::Expected<Message>
+parseMessage(const std::string &line)
+{
+    Message m;
+    size_t pos = 0;
+    auto nextToken = [&]() -> std::string {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ')
+            ++pos;
+        return line.substr(start, pos - start);
+    };
+    m.verb = nextToken();
+    if (m.verb.empty())
+        return badInput("empty protocol line");
+    for (;;) {
+        std::string tok = nextToken();
+        if (tok.empty())
+            break;
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return badInput("malformed field '" + tok +
+                            "' (expected key=value)");
+        m.fields.emplace_back(tok.substr(0, eq),
+                              decodeValue(tok.substr(eq + 1)));
+    }
+    return m;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+} // namespace pka::serve

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Wire protocol of the pka serve daemon: line-oriented text, one message
+ * per '\n'-terminated line, each message a verb followed by key=value
+ * fields separated by single spaces:
+ *
+ *   client -> server
+ *     HELLO session=<key> [resume=1]
+ *     RUN id=<c> workload=<name> [gpu=<g>] [scale=<f>] [quorum=<f>]
+ *         [priority=<n>] [resume=1]
+ *     STREAM id=<c> workload=<name> [gpu=<g>] [scale=<f>] [warmup=<n>]
+ *            [reservoir=<n>] [pkp=1] [priority=<n>] [resume=1]
+ *     FEED id=<c> from=<n> count=<n>
+ *     END id=<c>
+ *     STATS
+ *     BYE
+ *     SHUTDOWN
+ *
+ *   server -> client
+ *     OK [id=<c>] [k=v ...]
+ *     ERR [id=<c>] kind=<error-kind> msg=<text>
+ *     EVENT id=<c> kind=<progress|drift|refit> [k=v ...]
+ *     RESULT id=<c> <aggregate fields>
+ *
+ * Values are percent-encoded (%, space, '=', CR, LF), so any string —
+ * error messages included — survives the line discipline. Doubles
+ * travel as C hexfloats ("%a"): the daemon's bit-identical-results
+ * contract extends across the wire, and a client can compare aggregates
+ * exactly against a batch run.
+ */
+
+#ifndef PKA_SERVE_PROTOCOL_HH
+#define PKA_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace pka::serve
+{
+
+/** One parsed protocol message. */
+struct Message
+{
+    std::string verb;
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    /** Value of `key`, or `fallback` when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** True when `key` is present. */
+    bool has(const std::string &key) const;
+
+    /** Append a string field. */
+    Message &add(const std::string &key, std::string value);
+
+    /** Append an unsigned integer field. */
+    Message &addUint(const std::string &key, uint64_t value);
+
+    /** Append a double field, encoded as a hexfloat (exact round-trip). */
+    Message &addDouble(const std::string &key, double value);
+
+    /**
+     * Parse `key` as an unsigned integer in [lo, hi]; `fallback` when
+     * absent. Malformed values return a kBadInput error.
+     */
+    common::Expected<uint64_t>
+    getUint(const std::string &key, uint64_t fallback, uint64_t lo = 0,
+            uint64_t hi = std::numeric_limits<uint64_t>::max()) const;
+
+    /**
+     * Parse `key` as a double (decimal or hexfloat); `fallback` when
+     * absent. NaN and malformed values return a kBadInput error.
+     */
+    common::Expected<double> getDouble(const std::string &key,
+                                       double fallback) const;
+};
+
+/** Percent-encode a field value for the wire. */
+std::string encodeValue(const std::string &v);
+
+/** Decode a percent-encoded field value. */
+std::string decodeValue(const std::string &v);
+
+/** Render one message as a single protocol line (no trailing newline). */
+std::string formatMessage(const Message &m);
+
+/**
+ * Parse one protocol line. Errors (kBadInput): empty line, or a field
+ * token without '='. Unknown verbs parse fine — the dispatcher rejects
+ * them, so the protocol layer never needs updating for new verbs.
+ */
+common::Expected<Message> parseMessage(const std::string &line);
+
+/** Exact-round-trip rendering of a double ("%a" hexfloat). */
+std::string formatDouble(double v);
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_PROTOCOL_HH

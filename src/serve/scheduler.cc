@@ -1,0 +1,55 @@
+#include "serve/scheduler.hh"
+
+namespace pka::serve
+{
+
+common::Expected<bool>
+LaunchQuota::admit(size_t launches)
+{
+    if (quota_ == 0) {
+        used_ += launches;
+        return true;
+    }
+    if (used_ + launches > quota_) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kRejected;
+        e.message = "campaign launch quota exceeded (" +
+                    std::to_string(used_) + " used + " +
+                    std::to_string(launches) + " requested > " +
+                    std::to_string(quota_) + " quota)";
+        return e;
+    }
+    used_ += launches;
+    return true;
+}
+
+common::Expected<bool>
+CampaignScheduler::admit(const std::string &campaignId)
+{
+    // Optimistic increment; back out on overshoot. Keeps the gate a
+    // single atomic in the admit path.
+    size_t now = active_.fetch_add(1) + 1;
+    if (now > limits_.maxConcurrentCampaigns) {
+        active_.fetch_sub(1);
+        rejected_.fetch_add(1);
+        common::TaskError e;
+        e.kind = common::ErrorKind::kRejected;
+        e.message = "campaign '" + campaignId +
+                    "' rejected: " +
+                    std::to_string(limits_.maxConcurrentCampaigns) +
+                    " campaigns already in flight";
+        return e;
+    }
+    size_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+    return true;
+}
+
+void
+CampaignScheduler::release()
+{
+    active_.fetch_sub(1);
+}
+
+} // namespace pka::serve

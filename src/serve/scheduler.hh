@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Admission control and quota accounting for the serve daemon. Three
+ * independent gates, all surfacing typed kRejected errors instead of
+ * queueing unboundedly or crashing:
+ *
+ *  - campaign concurrency: at most maxConcurrentCampaigns in flight
+ *    across all connections (the engine's thread pool then orders the
+ *    admitted campaigns' fan-outs by priority);
+ *  - per-campaign launch quota: a campaign may fan out at most
+ *    campaignLaunchQuota launches, enforced incrementally per chunk so
+ *    a streaming campaign hits its quota mid-stream, not at submit;
+ *  - session count: SessionManager caps distinct session keys.
+ */
+
+#ifndef PKA_SERVE_SCHEDULER_HH
+#define PKA_SERVE_SCHEDULER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+
+namespace pka::serve
+{
+
+/** Daemon-wide admission limits. */
+struct ServeLimits
+{
+    /** Campaigns simulating/streaming at once; further RUN/STREAM
+     *  requests are rejected (typed), never queued. */
+    size_t maxConcurrentCampaigns = 8;
+
+    /** Launches one campaign may fan out in total; 0 = unlimited. */
+    uint64_t campaignLaunchQuota = 0;
+
+    /** Distinct session keys the daemon will materialize. */
+    size_t maxSessions = 64;
+};
+
+/**
+ * Per-campaign launch budget. Carved off the daemon limits at campaign
+ * admission; admit() is handed to CampaignPolicy::admitChunk so every
+ * chunk the campaign fans out draws down the budget.
+ */
+class LaunchQuota
+{
+  public:
+    explicit LaunchQuota(uint64_t quota = 0)
+        : quota_(quota)
+    {
+    }
+
+    /** Admit `launches` more; kRejected once the budget would overrun. */
+    common::Expected<bool> admit(size_t launches);
+
+    uint64_t used() const { return used_; }
+
+  private:
+    uint64_t quota_; ///< 0 = unlimited
+    uint64_t used_ = 0;
+};
+
+/**
+ * Concurrency gate for campaigns. Thread-safe; release exactly once per
+ * successful admit (use CampaignSlot for RAII).
+ */
+class CampaignScheduler
+{
+  public:
+    explicit CampaignScheduler(const ServeLimits &limits)
+        : limits_(limits)
+    {
+    }
+
+    /** Try to admit one campaign; kRejected at capacity. */
+    common::Expected<bool> admit(const std::string &campaignId);
+
+    void release();
+
+    /** A fresh per-campaign launch budget from the daemon limits. */
+    LaunchQuota makeQuota() const
+    {
+        return LaunchQuota(limits_.campaignLaunchQuota);
+    }
+
+    const ServeLimits &limits() const { return limits_; }
+    size_t active() const { return active_.load(); }
+    size_t peakActive() const { return peak_.load(); }
+    uint64_t rejected() const { return rejected_.load(); }
+
+  private:
+    ServeLimits limits_;
+    std::atomic<size_t> active_{0};
+    std::atomic<size_t> peak_{0};
+    std::atomic<uint64_t> rejected_{0};
+};
+
+/** RAII campaign slot: releases the scheduler on destruction. */
+class CampaignSlot
+{
+  public:
+    CampaignSlot() = default;
+    explicit CampaignSlot(CampaignScheduler *s)
+        : sched_(s)
+    {
+    }
+    ~CampaignSlot() { release(); }
+
+    CampaignSlot(CampaignSlot &&other) noexcept
+        : sched_(other.sched_)
+    {
+        other.sched_ = nullptr;
+    }
+    CampaignSlot &operator=(CampaignSlot &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            sched_ = other.sched_;
+            other.sched_ = nullptr;
+        }
+        return *this;
+    }
+    CampaignSlot(const CampaignSlot &) = delete;
+    CampaignSlot &operator=(const CampaignSlot &) = delete;
+
+    void release()
+    {
+        if (sched_) {
+            sched_->release();
+            sched_ = nullptr;
+        }
+    }
+
+  private:
+    CampaignScheduler *sched_ = nullptr;
+};
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_SCHEDULER_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The pka serve daemon: accepts campaign requests over the line
+ * protocol (serve/protocol.hh) and multiplexes every client's campaigns
+ * onto ONE shared SimEngine and ONE content-addressed result store —
+ * concurrent campaigns share the thread-budget token pool (priority-
+ * fair, see sim/thread_pool.hh), the memoization cache and the disk
+ * store, so a kernel simulated for one client answers every other
+ * client from cache.
+ *
+ * Request lifecycle:
+ *  - HELLO binds the connection to a session; campaigns journal under
+ *    the session directory, so a client that reconnects with the same
+ *    key and resume=1 continues where the connection died, with
+ *    bit-identical final aggregates (the journal + store replay
+ *    machinery from the batch path, lifted per-session).
+ *  - RUN executes a full-simulation campaign over a registry workload.
+ *  - STREAM/FEED/END run a streaming campaign: launches are profiled
+ *    one at a time as the client feeds index ranges, classified online
+ *    (core::OnlinePks — bounded resident memory), and at END the
+ *    selected representatives are simulated and the projection
+ *    returned.
+ *
+ * Admission control (serve/scheduler.hh) gates campaign concurrency,
+ * per-campaign launch quotas and session count with typed kRejected
+ * errors on the wire; an over-quota request is refused, never crashes
+ * or queues unboundedly. One thread per connection: campaigns execute
+ * on their connection's thread, so per-connection message order is the
+ * natural campaign order while the engine below multiplexes the actual
+ * simulation work.
+ */
+
+#ifndef PKA_SERVE_SERVER_HH
+#define PKA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hh"
+#include "serve/scheduler.hh"
+#include "serve/session.hh"
+#include "sim/engine.hh"
+
+namespace pka::store
+{
+class KernelResultStore;
+}
+
+namespace pka::serve
+{
+
+/** Daemon configuration. */
+struct ServerOptions
+{
+    /** "host:port" (port 0 = ephemeral) or "unix:/path". */
+    std::string listen = "127.0.0.1:0";
+
+    /** Result-store + session root. Required. */
+    std::string cacheDir;
+
+    /** Engine configuration (store pointer is filled in by the server). */
+    sim::EngineOptions engine;
+
+    /** Admission limits. */
+    ServeLimits limits;
+};
+
+/** The daemon. start() binds and spawns the accept loop. */
+class Server
+{
+  public:
+    /** Bind, open the store, start accepting. Errors: kBadInput for a
+     *  malformed address, kStoreIo for bind/store failures. */
+    static common::Expected<std::unique_ptr<Server>>
+    start(const ServerOptions &options);
+
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Resolved listen address (actual port filled in). */
+    const std::string &address() const { return address_; }
+
+    /** Block until the daemon shuts down (SHUTDOWN verb or shutdown()). */
+    void wait();
+
+    /** Stop accepting, unblock every connection, drain threads. */
+    void shutdown();
+
+    /** The shared engine (tests poke cache counters through this). */
+    const sim::SimEngine &engine() const { return *engine_; }
+
+    /** Peak concurrently-running campaigns since start. */
+    size_t peakConcurrentCampaigns() const
+    {
+        return scheduler_->peakActive();
+    }
+
+    /** Campaigns that ran to a RESULT. */
+    uint64_t campaignsCompleted() const { return completed_.load(); }
+
+  private:
+    Server() = default;
+
+    void acceptLoop();
+    void handleConnection(Fd fd);
+
+    ServerOptions opts_;
+    std::string address_;
+    std::unique_ptr<Listener> listener_;
+    std::unique_ptr<store::KernelResultStore> store_;
+    std::unique_ptr<sim::SimEngine> engine_;
+    std::unique_ptr<SessionManager> sessions_;
+    std::unique_ptr<CampaignScheduler> scheduler_;
+
+    std::thread acceptThread_;
+    std::mutex conn_m_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_; ///< for shutdown-time unblock
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> completed_{0};
+};
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_SERVER_HH

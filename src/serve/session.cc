@@ -1,0 +1,58 @@
+#include "serve/session.hh"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "store/journal.hh"
+
+namespace pka::serve
+{
+
+SessionManager::SessionManager(std::string cacheDir, size_t maxSessions)
+    : cacheDir_(std::move(cacheDir)), maxSessions_(maxSessions)
+{
+}
+
+common::Expected<Session *>
+SessionManager::open(const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+        ++it->second->connects;
+        return it->second.get();
+    }
+    if (sessions_.size() >= maxSessions_) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kRejected;
+        e.message = "session limit reached (" +
+                    std::to_string(maxSessions_) + " sessions)";
+        return e;
+    }
+    auto s = std::make_unique<Session>();
+    s->key = key;
+    s->dir = store::sessionDir(cacheDir_, key);
+    s->connects = 1;
+    std::error_code ec;
+    std::filesystem::create_directories(s->dir, ec);
+    if (ec) {
+        common::TaskError e;
+        e.kind = common::ErrorKind::kStoreIo;
+        e.message = "cannot create session dir '" + s->dir +
+                    "': " + ec.message();
+        return e;
+    }
+    Session *out = s.get();
+    sessions_.emplace(key, std::move(s));
+    return out;
+}
+
+size_t
+SessionManager::count() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return sessions_.size();
+}
+
+} // namespace pka::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Client sessions for the serve daemon. A session is the durable unit
+ * of work: it owns a directory under `<cacheDir>/sessions/<key>` where
+ * its campaigns journal their checkpoints, so a client that lost its
+ * connection mid-campaign reconnects with the same key, re-issues the
+ * request with resume=1, and the campaign restarts from the last
+ * journaled chunk — quarantine decisions included (the journal persists
+ * them) — with bit-identical final aggregates. Session state lives on
+ * disk; the in-memory registry only tracks liveness and admission.
+ */
+
+#ifndef PKA_SERVE_SESSION_HH
+#define PKA_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.hh"
+
+namespace pka::serve
+{
+
+/** One client session (connection-spanning). */
+struct Session
+{
+    std::string key;
+    std::string dir;       ///< journal/checkpoint directory
+    uint64_t connects = 0; ///< HELLOs seen for this key
+};
+
+/**
+ * Registry of sessions keyed by client-supplied session key.
+ * Thread-safe. Sessions are never evicted while the daemon runs — their
+ * on-disk journals are the resume mechanism — but the registry caps how
+ * many distinct keys it will materialize (admission control).
+ */
+class SessionManager
+{
+  public:
+    SessionManager(std::string cacheDir, size_t maxSessions);
+
+    /**
+     * Open (or re-open) the session for `key`: creates its directory on
+     * first use and counts the connect. Errors: kRejected when the new
+     * key would exceed maxSessions, kStoreIo when the directory cannot
+     * be created. The returned pointer stays valid for the manager's
+     * lifetime.
+     */
+    common::Expected<Session *> open(const std::string &key);
+
+    /** Number of distinct sessions materialized. */
+    size_t count() const;
+
+  private:
+    std::string cacheDir_;
+    size_t maxSessions_;
+
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+} // namespace pka::serve
+
+#endif // PKA_SERVE_SESSION_HH

@@ -107,17 +107,23 @@ DetailedProfiler::profile(const Workload &w, size_t max_kernels) const
         count = std::min(count, max_kernels);
     std::vector<DetailedProfile> out;
     out.reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-        const auto &k = w.launches[i];
-        DetailedProfile p;
-        p.launchId = k.launchId;
-        p.kernelName = k.program->name;
-        p.metrics = deriveMetrics(k);
-        addMeasurementNoise(p.metrics, w.seed, k.launchId);
-        p.cycles = gpu_.execute(k, w.seed).cycles;
-        out.push_back(std::move(p));
-    }
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(profileLaunch(w, i));
     return out;
+}
+
+DetailedProfile
+DetailedProfiler::profileLaunch(const Workload &w, size_t index) const
+{
+    PKA_ASSERT(index < w.launches.size(), "launch index out of range");
+    const auto &k = w.launches[index];
+    DetailedProfile p;
+    p.launchId = k.launchId;
+    p.kernelName = k.program->name;
+    p.metrics = deriveMetrics(k);
+    addMeasurementNoise(p.metrics, w.seed, k.launchId);
+    p.cycles = gpu_.execute(k, w.seed).cycles;
+    return p;
 }
 
 double

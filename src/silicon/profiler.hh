@@ -85,6 +85,15 @@ class DetailedProfiler
     profile(const pka::workload::Workload &w, size_t max_kernels = 0) const;
 
     /**
+     * Profile a single launch by stream index. Bit-identical to the
+     * corresponding element of profile(w) — the streaming selection path
+     * profiles launches one at a time and must observe exactly what the
+     * batch path would have.
+     */
+    DetailedProfile profileLaunch(const pka::workload::Workload &w,
+                                  size_t index) const;
+
+    /**
      * Wall-clock cost of profiling the first `max_kernels` launches
      * (0 = all): per-kernel replay overhead dominates for short kernels.
      */

@@ -325,7 +325,7 @@ SimEngine::runJobChecked(const GpuSimulator &simulator, uint64_t spec_hash,
 std::vector<common::Expected<KernelSimResult>>
 SimEngine::runChecked(const GpuSimulator &simulator,
                       const std::vector<SimJob> &jobs,
-                      EngineStats *stats) const
+                      EngineStats *stats, unsigned priority) const
 {
     const uint64_t spec_hash = specContentHash(simulator.spec());
     std::vector<common::Expected<KernelSimResult>> results(
@@ -333,10 +333,13 @@ SimEngine::runChecked(const GpuSimulator &simulator,
     std::vector<TaskOutcome> outcomes(jobs.size());
 
     auto t0 = std::chrono::steady_clock::now();
-    pool_->parallelFor(jobs.size(), [&](size_t i) {
-        results[i] =
-            runJobChecked(simulator, spec_hash, jobs[i], &outcomes[i]);
-    });
+    pool_->parallelFor(
+        jobs.size(),
+        [&](size_t i) {
+            results[i] =
+                runJobChecked(simulator, spec_hash, jobs[i], &outcomes[i]);
+        },
+        priority);
     double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -386,10 +389,11 @@ SimEngine::runChecked(const GpuSimulator &simulator,
 
 std::vector<KernelSimResult>
 SimEngine::run(const GpuSimulator &simulator,
-               const std::vector<SimJob> &jobs, EngineStats *stats) const
+               const std::vector<SimJob> &jobs, EngineStats *stats,
+               unsigned priority) const
 {
     std::vector<common::Expected<KernelSimResult>> checked =
-        runChecked(simulator, jobs, stats);
+        runChecked(simulator, jobs, stats, priority);
     std::vector<KernelSimResult> results;
     results.reserve(checked.size());
     for (auto &c : checked) {

@@ -274,10 +274,15 @@ class SimEngine
      * over them is deterministic for every thread count. Any failure is
      * fatal (the legacy contract): use runChecked() for campaigns that
      * must survive failing tasks.
+     *
+     * `priority` orders this run against other runs *queued on the same
+     * engine* (the serve daemon's multiplexed campaigns): the pool
+     * admits the highest-priority waiter first, FIFO within a priority.
+     * Scheduling only — results and cache keys never depend on it.
      */
     std::vector<KernelSimResult>
     run(const GpuSimulator &simulator, const std::vector<SimJob> &jobs,
-        EngineStats *stats = nullptr) const;
+        EngineStats *stats = nullptr, unsigned priority = 0) const;
 
     /**
      * Fault-tolerant variant of run(): every job yields either a result
@@ -297,7 +302,7 @@ class SimEngine
     std::vector<common::Expected<KernelSimResult>>
     runChecked(const GpuSimulator &simulator,
                const std::vector<SimJob> &jobs,
-               EngineStats *stats = nullptr) const;
+               EngineStats *stats = nullptr, unsigned priority = 0) const;
 
     /** Simulate one job on the calling thread (cache-aware). */
     KernelSimResult simulateOne(const GpuSimulator &simulator,

@@ -68,11 +68,62 @@ ThreadPool::runBatch(Batch &b)
 }
 
 void
-ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+ThreadPool::acquireRun(unsigned priority)
+{
+    std::unique_lock<std::mutex> lk(gate_m_);
+    uint64_t ticket = next_ticket_++;
+    waiters_.push_back({priority, ticket});
+    gate_cv_.wait(lk, [&] {
+        if (run_active_)
+            return false;
+        // Best waiter: highest priority, FIFO (lowest ticket) within it.
+        const RunWaiter *best = nullptr;
+        for (const auto &w : waiters_)
+            if (!best || w.priority > best->priority ||
+                (w.priority == best->priority && w.ticket < best->ticket))
+                best = &w;
+        return best != nullptr && best->ticket == ticket;
+    });
+    for (size_t i = 0; i < waiters_.size(); ++i)
+        if (waiters_[i].ticket == ticket) {
+            waiters_.erase(waiters_.begin() +
+                           static_cast<ptrdiff_t>(i));
+            break;
+        }
+    run_active_ = true;
+}
+
+void
+ThreadPool::releaseRun()
+{
+    {
+        std::lock_guard<std::mutex> lk(gate_m_);
+        run_active_ = false;
+    }
+    gate_cv_.notify_all();
+}
+
+size_t
+ThreadPool::queuedRuns() const
+{
+    std::lock_guard<std::mutex> lk(gate_m_);
+    return waiters_.size();
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                        unsigned priority)
 {
     if (n == 0)
         return;
-    std::lock_guard<std::mutex> serial(run_m_);
+    acquireRun(priority);
+    // RAII so an exception escaping fn on the calling thread cannot
+    // leave the run gate held forever.
+    struct RunLease
+    {
+        ThreadPool *pool;
+        ~RunLease() { pool->releaseRun(); }
+    } lease{this};
     if (size_ == 1 || n == 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);

@@ -49,11 +49,22 @@ class ThreadPool
     /**
      * Run fn(i) once for every i in [0, n), distributed across the pool;
      * blocks until all n calls completed. Concurrent parallelFor calls
-     * from different threads are serialized against each other.
+     * from different threads are serialized against each other: waiting
+     * callers are admitted highest `priority` first, FIFO within a
+     * priority, so a high-priority campaign sharing the pool overtakes
+     * queued lower-priority batches (but never preempts the batch
+     * already running). Priority affects scheduling order only — never
+     * results.
      */
-    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                     unsigned priority = 0);
+
+    /** Batches currently waiting for the pool (excludes the runner). */
+    size_t queuedRuns() const;
 
   private:
+    void acquireRun(unsigned priority);
+    void releaseRun();
     /** One parallelFor invocation's shared state. */
     struct Batch
     {
@@ -77,7 +88,19 @@ class ThreadPool
     unsigned active_workers_ = 0; ///< workers holding a pointer to batch_
     bool stop_ = false;
 
-    std::mutex run_m_; ///< serializes concurrent parallelFor calls
+    /** One caller waiting to run a batch. */
+    struct RunWaiter
+    {
+        unsigned priority = 0;
+        uint64_t ticket = 0; ///< FIFO order within a priority
+    };
+
+    // Priority-fair serialization of concurrent parallelFor callers.
+    mutable std::mutex gate_m_;
+    std::condition_variable gate_cv_;
+    std::vector<RunWaiter> waiters_;
+    uint64_t next_ticket_ = 0;
+    bool run_active_ = false;
 };
 
 } // namespace pka::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/fault.hh"
@@ -20,6 +21,22 @@ namespace
 constexpr const char *kMagicLine = "# pka-journal v1";
 
 } // namespace
+
+std::string
+sessionDir(const std::string &cacheDir, const std::string &sessionKey)
+{
+    std::string safe;
+    safe.reserve(sessionKey.size());
+    for (char c : sessionKey) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        safe.push_back(ok ? c : '_');
+    }
+    if (safe.empty())
+        safe = "_";
+    return (std::filesystem::path(cacheDir) / "sessions" / safe).string();
+}
 
 CampaignJournal::CampaignJournal(std::string path, uint64_t campaign_key,
                                  size_t launches, bool resume)

@@ -41,6 +41,15 @@
 namespace pka::store
 {
 
+/**
+ * Directory holding one serve session's journals and artifacts:
+ * `<cacheDir>/sessions/<key>`, with the client-supplied key sanitized to
+ * [A-Za-z0-9._-] (anything else becomes '_') so a hostile key can never
+ * escape the cache directory. Created on first use by the caller.
+ */
+std::string sessionDir(const std::string &cacheDir,
+                       const std::string &sessionKey);
+
 /** Per-launch completion ledger for one campaign. */
 class CampaignJournal
 {

@@ -1,0 +1,649 @@
+/**
+ * @file
+ * Tests for the serve subsystem: wire-protocol round-trips (percent
+ * encoding, hexfloat doubles), session-directory sanitization, admission
+ * control units (campaign scheduler, launch quota, session cap),
+ * streaming selection (OnlinePks determinism, bounded resident memory,
+ * weight conservation, single-launch profiling bit-identity), and the
+ * daemon end to end: concurrent streaming campaigns on one shared
+ * engine, typed over-capacity rejection, RUN aggregates bit-identical
+ * to a local batch campaign, and fault-injected crash/reconnect/resume
+ * through the session journal with bit-identical final aggregates.
+ */
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "core/experiments.hh"
+#include "core/online_pks.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+#include "silicon/gpu_spec.hh"
+#include "silicon/profiler.hh"
+#include "silicon/silicon_gpu.hh"
+#include "sim/engine.hh"
+#include "store/file_store.hh"
+#include "store/journal.hh"
+#include "workload/suites.hh"
+
+namespace fs = std::filesystem;
+using ::testing::HasSubstr;
+using namespace pka::serve;
+using pka::common::ErrorKind;
+using pka::common::Expected;
+using pka::silicon::DetailedProfile;
+using pka::silicon::DetailedProfiler;
+using pka::silicon::SiliconGpu;
+using pka::silicon::voltaV100;
+
+namespace
+{
+
+/** Self-cleaning unique temp directory for one test. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        static int counter = 0;
+        path_ = fs::temp_directory_path() /
+                ("pka_serve_test_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++));
+        fs::create_directories(path_);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const fs::path &path() const { return path_; }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+/** Detailed profiles of a small registry workload (profiler variant). */
+std::vector<DetailedProfile>
+profilesFor(const std::string &name, double scale = 0.02)
+{
+    pka::workload::GenOptions g;
+    g.mlperfScale = scale;
+    g.underProfiler = true;
+    auto w = pka::workload::buildWorkload(name, g);
+    EXPECT_TRUE(w.has_value()) << name;
+    SiliconGpu gpu(voltaV100());
+    DetailedProfiler prof(gpu);
+    return prof.profile(*w);
+}
+
+/** Terminal reply of one client request, failing the test on transport
+ *  errors (ERR replies come back as values). */
+Message
+mustCall(Client &c, const Message &req,
+         const std::function<void(const Message &)> &onEvent = {})
+{
+    Expected<Message> r = c.call(req, onEvent);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().str());
+    return r.ok() ? r.value() : Message{};
+}
+
+Message
+runRequest(const std::string &id, const std::string &workload,
+           double quorum = 1.0, bool resume = false)
+{
+    Message req{"RUN", {}};
+    req.add("id", id).add("workload", workload).addDouble("quorum",
+                                                          quorum);
+    if (resume)
+        req.add("resume", "1");
+    return req;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Protocol: encoding, parsing, typed field access.
+// ---------------------------------------------------------------------
+
+TEST(ServeProtocol, RoundTripsHostileStrings)
+{
+    const std::string hostile[] = {
+        "",
+        "plain",
+        "with space",
+        "equals=and=more",
+        "percent%20literal%",
+        "line\nbreak\r\nand cr",
+        "unicode \xc3\xa9\xc2\xa0",
+    };
+    for (const std::string &s : hostile)
+        EXPECT_EQ(decodeValue(encodeValue(s)), s) << s;
+
+    Message m{"ERR", {}};
+    m.add("id", "c 1").add("msg", "boom =\n 100%");
+    Expected<Message> back = parseMessage(formatMessage(m));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().verb, "ERR");
+    EXPECT_EQ(back.value().get("id"), "c 1");
+    EXPECT_EQ(back.value().get("msg"), "boom =\n 100%");
+}
+
+TEST(ServeProtocol, DoublesRoundTripBitExactly)
+{
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0 / 3.0,
+                             5.71824321e5,
+                             -2.2250738585072014e-308,
+                             1.7976931348623157e308,
+                             4.9406564584124654e-324};
+    for (double v : values) {
+        Message m{"RESULT", {}};
+        m.addDouble("x", v);
+        Expected<Message> back = parseMessage(formatMessage(m));
+        ASSERT_TRUE(back.ok());
+        Expected<double> x = back.value().getDouble("x", 0.0);
+        ASSERT_TRUE(x.ok());
+        EXPECT_EQ(std::memcmp(&v, &x.value(), sizeof v), 0) << v;
+    }
+}
+
+TEST(ServeProtocol, RejectsMalformedLinesAndFields)
+{
+    EXPECT_FALSE(parseMessage("").ok());
+    EXPECT_FALSE(parseMessage("RUN id").ok()); // field without '='
+    ASSERT_TRUE(parseMessage("FROB a=1").ok()); // unknown verbs parse
+
+    Message m{"OK", {}};
+    m.add("n", "12x").add("d", "nan").add("big", "99");
+    EXPECT_FALSE(m.getUint("n", 0).ok());
+    EXPECT_EQ(m.getUint("n", 0).error().kind, ErrorKind::kBadInput);
+    EXPECT_FALSE(m.getDouble("d", 0.0).ok());
+    EXPECT_FALSE(m.getUint("big", 0, 0, 10).ok()); // range-checked
+    EXPECT_EQ(m.getUint("absent", 7, 0, 10).value(), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Sessions and admission control.
+// ---------------------------------------------------------------------
+
+TEST(ServeSession, SessionDirSanitizesHostileKeys)
+{
+    using pka::store::sessionDir;
+    EXPECT_EQ(sessionDir("/c", "alice-1"), "/c/sessions/alice-1");
+    EXPECT_EQ(sessionDir("/c", "../../etc/passwd"),
+              "/c/sessions/.._.._etc_passwd");
+    EXPECT_EQ(sessionDir("/c", "a b\nc"), "/c/sessions/a_b_c");
+    EXPECT_EQ(sessionDir("/c", ""), "/c/sessions/_");
+}
+
+TEST(ServeSession, ManagerCapsSessionsAndCountsConnects)
+{
+    TempDir dir;
+    SessionManager mgr(dir.str(), 2);
+    Expected<Session *> a = mgr.open("a");
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(fs::is_directory(a.value()->dir));
+    EXPECT_EQ(a.value()->connects, 1u);
+    ASSERT_TRUE(mgr.open("b").ok());
+
+    Expected<Session *> c = mgr.open("c");
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.error().kind, ErrorKind::kRejected);
+
+    // Re-opening an existing key is not a new session.
+    Expected<Session *> a2 = mgr.open("a");
+    ASSERT_TRUE(a2.ok());
+    EXPECT_EQ(a2.value(), a.value()); // stable pointer
+    EXPECT_EQ(a2.value()->connects, 2u);
+    EXPECT_EQ(mgr.count(), 2u);
+}
+
+TEST(ServeScheduler, AdmitsToCapThenRejectsTyped)
+{
+    ServeLimits limits;
+    limits.maxConcurrentCampaigns = 2;
+    CampaignScheduler sched(limits);
+    ASSERT_TRUE(sched.admit("a").ok());
+    ASSERT_TRUE(sched.admit("b").ok());
+
+    Expected<bool> third = sched.admit("c");
+    ASSERT_FALSE(third.ok());
+    EXPECT_EQ(third.error().kind, ErrorKind::kRejected);
+    EXPECT_THAT(third.error().message, HasSubstr("'c'"));
+    EXPECT_EQ(sched.active(), 2u);
+    EXPECT_EQ(sched.rejected(), 1u);
+
+    sched.release();
+    EXPECT_TRUE(sched.admit("c").ok());
+    EXPECT_EQ(sched.peakActive(), 2u);
+}
+
+TEST(ServeScheduler, LaunchQuotaDrawsDownPerChunk)
+{
+    LaunchQuota unlimited(0);
+    EXPECT_TRUE(unlimited.admit(1u << 20).value());
+
+    LaunchQuota q(100);
+    EXPECT_TRUE(q.admit(64).value());
+    EXPECT_TRUE(q.admit(36).value());
+    Expected<bool> over = q.admit(1);
+    ASSERT_FALSE(over.ok());
+    EXPECT_EQ(over.error().kind, ErrorKind::kRejected);
+    EXPECT_EQ(q.used(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// OnlinePks: streaming selection.
+// ---------------------------------------------------------------------
+
+TEST(OnlinePks, SingleLaunchProfilingIsBitIdenticalToBatch)
+{
+    pka::workload::GenOptions g;
+    g.underProfiler = true;
+    auto w = pka::workload::buildWorkload("gauss_s64", g);
+    ASSERT_TRUE(w.has_value());
+    SiliconGpu gpu(voltaV100());
+    DetailedProfiler prof(gpu);
+    std::vector<DetailedProfile> batch = prof.profile(*w);
+    ASSERT_EQ(batch.size(), w->launches.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        DetailedProfile one = prof.profileLaunch(*w, i);
+        EXPECT_EQ(one.launchId, batch[i].launchId);
+        EXPECT_EQ(one.kernelName, batch[i].kernelName);
+        EXPECT_EQ(one.cycles, batch[i].cycles);
+        EXPECT_EQ(one.metrics.toArray(), batch[i].metrics.toArray());
+    }
+}
+
+TEST(OnlinePks, DeterministicForFixedStreamAndOptions)
+{
+    std::vector<DetailedProfile> profiles = profilesFor("gauss_s64");
+    ASSERT_GT(profiles.size(), 32u);
+
+    pka::core::OnlinePksOptions oo;
+    oo.warmupLaunches = 16;
+    oo.reservoirCapacity = 24;
+    auto run = [&] {
+        pka::core::OnlinePks online(oo);
+        for (const DetailedProfile &p : profiles)
+            EXPECT_TRUE(online.observe(p).ok());
+        Expected<pka::core::OnlinePksSelection> sel = online.finish();
+        EXPECT_TRUE(sel.ok());
+        return sel.value();
+    };
+    pka::core::OnlinePksSelection a = run();
+    pka::core::OnlinePksSelection b = run();
+    ASSERT_EQ(a.groups.size(), b.groups.size());
+    for (size_t i = 0; i < a.groups.size(); ++i) {
+        EXPECT_EQ(a.groups[i].representative, b.groups[i].representative);
+        EXPECT_EQ(a.groups[i].weight, b.groups[i].weight);
+    }
+    EXPECT_EQ(a.projectedCycles, b.projectedCycles);
+    EXPECT_EQ(a.stats.refits, b.stats.refits);
+}
+
+TEST(OnlinePks, ResidentMemoryStaysBoundedOnLongStreams)
+{
+    std::vector<DetailedProfile> profiles = profilesFor("gauss_s64");
+    pka::core::OnlinePksOptions oo;
+    oo.warmupLaunches = 8;
+    oo.reservoirCapacity = 16;
+
+    // Stream the workload's profiles many times over: ~25x more launches
+    // than the configured resident budget.
+    pka::core::OnlinePks online(oo);
+    size_t streamed = 0;
+    for (int rep = 0; rep < 8; ++rep)
+        for (const DetailedProfile &p : profiles) {
+            ASSERT_TRUE(online.observe(p).ok());
+            ++streamed;
+        }
+    Expected<pka::core::OnlinePksSelection> sel = online.finish();
+    ASSERT_TRUE(sel.ok());
+    const pka::core::OnlinePksStats &st = sel.value().stats;
+    EXPECT_EQ(st.observed, streamed);
+    EXPECT_LE(st.maxResidentProfiles,
+              oo.warmupLaunches + oo.reservoirCapacity + st.groups);
+    EXPECT_LT(st.maxResidentProfiles, streamed / 10);
+
+    // Weight is conserved: every observed launch lands in some group.
+    double weight = 0.0;
+    for (const auto &grp : sel.value().groups) {
+        EXPECT_TRUE(grp.members.empty()); // membership is not retained
+        weight += grp.weight;
+    }
+    EXPECT_NEAR(weight, static_cast<double>(streamed), 1e-6);
+}
+
+TEST(OnlinePks, FinishWithoutProfilesIsTypedError)
+{
+    pka::core::OnlinePks online;
+    Expected<pka::core::OnlinePksSelection> sel = online.finish();
+    ASSERT_FALSE(sel.ok());
+    EXPECT_EQ(sel.error().kind, ErrorKind::kBadInput);
+}
+
+// ---------------------------------------------------------------------
+// Daemon end to end (in-process server, real sockets).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::unique_ptr<Server>
+startServer(const std::string &cacheDir, ServeLimits limits = {})
+{
+    ServerOptions so;
+    so.cacheDir = cacheDir;
+    so.engine.threads = 1;
+    so.limits = limits;
+    Expected<std::unique_ptr<Server>> s = Server::start(so);
+    EXPECT_TRUE(s.ok()) << (s.ok() ? "" : s.error().str());
+    return s.ok() ? std::move(s.value()) : nullptr;
+}
+
+Client
+connectAndHello(const Server &srv, const std::string &session,
+                bool resume = false)
+{
+    Expected<Client> c = Client::connect(srv.address());
+    EXPECT_TRUE(c.ok()) << (c.ok() ? "" : c.error().str());
+    Expected<Message> h = c.value().hello(session, resume);
+    EXPECT_TRUE(h.ok() && h.value().verb == "OK");
+    return std::move(c.value());
+}
+
+} // namespace
+
+TEST(ServeDaemon, RunAggregatesBitIdenticalToBatchCampaign)
+{
+    TempDir dir;
+    std::unique_ptr<Server> srv = startServer(dir.str() + "/serve");
+    ASSERT_NE(srv, nullptr);
+
+    Client c = connectAndHello(*srv, "batch-parity");
+    Message res = mustCall(c, runRequest("c0", "bfs4096"));
+    ASSERT_EQ(res.verb, "RESULT") << res.get("msg");
+
+    // Local batch run on its own engine and store: same workload, same
+    // deterministic pipeline, so the wire hexfloats must match bit for
+    // bit (the protocol's round-trip contract carries the rest).
+    pka::workload::GenOptions g;
+    auto w = pka::workload::buildWorkload("bfs4096", g);
+    ASSERT_TRUE(w.has_value());
+    pka::store::KernelResultStore store(dir.str() + "/batch");
+    pka::sim::EngineOptions eo;
+    eo.threads = 1;
+    eo.store = &store;
+    pka::sim::SimEngine engine(eo);
+    pka::sim::GpuSimulator simulator(voltaV100());
+    pka::core::FullSimResult fs =
+        pka::core::fullSimulate(engine, simulator, *w);
+
+    EXPECT_EQ(res.getDouble("cycles", 0).value(), fs.cycles);
+    EXPECT_EQ(res.getDouble("insts", 0).value(), fs.threadInsts);
+    EXPECT_EQ(res.getDouble("ipc", 0).value(), fs.ipc());
+    EXPECT_EQ(res.getDouble("dram", 0).value(), fs.dramUtilPct);
+    EXPECT_EQ(res.getUint("quorum", 0).value(), 1u);
+
+    // Second identical RUN is answered from the daemon's caches.
+    Message res2 = mustCall(c, runRequest("c1", "bfs4096"));
+    ASSERT_EQ(res2.verb, "RESULT");
+    EXPECT_EQ(res2.getDouble("cycles", 0).value(), fs.cycles);
+    EXPECT_GT(res2.getUint("cache_hits", 0).value() +
+                  res2.getUint("store_hits", 0).value(),
+              0u);
+    srv->shutdown();
+    srv->wait();
+    EXPECT_EQ(srv->campaignsCompleted(), 2u);
+}
+
+TEST(ServeDaemon, SustainsConcurrentStreamingCampaigns)
+{
+    constexpr int kClients = 4;
+    TempDir dir;
+    std::unique_ptr<Server> srv = startServer(dir.str());
+    ASSERT_NE(srv, nullptr);
+
+    // Each client opens its stream, then waits until all campaigns are
+    // admitted before feeding, so the daemon demonstrably holds all of
+    // them in flight at once.
+    std::mutex m;
+    std::condition_variable cv;
+    int opened = 0;
+    std::atomic<int> completed{0};
+
+    auto one = [&](int idx) {
+        Client c = connectAndHello(*srv, "stream-" + std::to_string(idx));
+        Message open{"STREAM", {}};
+        open.add("id", "s").add("workload", "gauss_s16");
+        open.addUint("warmup", 8).addUint("reservoir", 8);
+        Message ok = mustCall(c, open);
+        ASSERT_EQ(ok.verb, "OK") << ok.get("msg");
+        uint64_t total = ok.getUint("launches", 0).value();
+        ASSERT_GT(total, 0u);
+        {
+            std::unique_lock<std::mutex> lk(m);
+            ++opened;
+            cv.notify_all();
+            cv.wait(lk, [&] { return opened >= kClients; });
+        }
+        for (uint64_t from = 0; from < total; from += 8) {
+            Message feed{"FEED", {}};
+            feed.add("id", "s").addUint("from", from).addUint(
+                "count", std::min<uint64_t>(8, total - from));
+            Message fr = mustCall(c, feed);
+            ASSERT_EQ(fr.verb, "OK") << fr.get("msg");
+        }
+        Message end{"END", {}};
+        end.add("id", "s");
+        Message res = mustCall(c, end);
+        ASSERT_EQ(res.verb, "RESULT") << res.get("msg");
+        EXPECT_EQ(res.getUint("observed", 0).value(), total);
+        EXPECT_GT(res.getUint("groups", 0).value(), 0u);
+        ++completed;
+    };
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i)
+        threads.emplace_back(one, i);
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(completed.load(), kClients);
+    EXPECT_GE(srv->peakConcurrentCampaigns(),
+              static_cast<size_t>(kClients));
+    EXPECT_EQ(srv->campaignsCompleted(),
+              static_cast<uint64_t>(kClients));
+}
+
+TEST(ServeDaemon, OverCapacityCampaignGetsTypedRejection)
+{
+    TempDir dir;
+    ServeLimits limits;
+    limits.maxConcurrentCampaigns = 1;
+    std::unique_ptr<Server> srv = startServer(dir.str(), limits);
+    ASSERT_NE(srv, nullptr);
+
+    // The first stream holds the only slot from STREAM until END.
+    Client holder = connectAndHello(*srv, "holder");
+    Message open{"STREAM", {}};
+    open.add("id", "s").add("workload", "gauss_mat4").addUint("warmup", 4);
+    ASSERT_EQ(mustCall(holder, open).verb, "OK");
+
+    Client probe = connectAndHello(*srv, "probe");
+    Message rej = mustCall(probe, runRequest("r", "gauss_mat4"));
+    ASSERT_EQ(rej.verb, "ERR");
+    EXPECT_EQ(errorFromMessage(rej).kind, ErrorKind::kRejected);
+    EXPECT_THAT(rej.get("msg"), HasSubstr("in flight"));
+
+    // Releasing the slot (END) lets the same request through.
+    Message end{"END", {}};
+    end.add("id", "s");
+    Message fed{"FEED", {}};
+    fed.add("id", "s").addUint("from", 0).addUint("count", 6);
+    ASSERT_EQ(mustCall(holder, fed).verb, "OK");
+    ASSERT_EQ(mustCall(holder, end).verb, "RESULT");
+    EXPECT_EQ(mustCall(probe, runRequest("r", "gauss_mat4")).verb,
+              "RESULT");
+}
+
+TEST(ServeDaemon, FeedEnforcesStreamOrderAndBounds)
+{
+    TempDir dir;
+    std::unique_ptr<Server> srv = startServer(dir.str());
+    ASSERT_NE(srv, nullptr);
+    Client c = connectAndHello(*srv, "order");
+
+    Message open{"STREAM", {}};
+    open.add("id", "s").add("workload", "gauss_mat4");
+    Message ok = mustCall(c, open);
+    ASSERT_EQ(ok.verb, "OK");
+    uint64_t total = ok.getUint("launches", 0).value();
+
+    Message gap{"FEED", {}};
+    gap.add("id", "s").addUint("from", 2).addUint("count", 1);
+    Message r1 = mustCall(c, gap);
+    ASSERT_EQ(r1.verb, "ERR"); // out of order: stream starts at 0
+    EXPECT_EQ(errorFromMessage(r1).kind, ErrorKind::kBadInput);
+
+    Message past{"FEED", {}};
+    past.add("id", "s").addUint("from", 0).addUint("count", total + 5);
+    Message r2 = mustCall(c, past);
+    ASSERT_EQ(r2.verb, "ERR"); // beyond the workload
+    EXPECT_EQ(errorFromMessage(r2).kind, ErrorKind::kBadInput);
+}
+
+TEST(ServeDaemon, LaunchQuotaStopsStreamingCampaignMidFlight)
+{
+    TempDir dir;
+    ServeLimits limits;
+    limits.campaignLaunchQuota = 8;
+    std::unique_ptr<Server> srv = startServer(dir.str(), limits);
+    ASSERT_NE(srv, nullptr);
+    Client c = connectAndHello(*srv, "quota");
+
+    Message open{"STREAM", {}};
+    open.add("id", "s").add("workload", "gauss_s16").addUint("warmup", 4);
+    ASSERT_EQ(mustCall(c, open).verb, "OK");
+
+    Message first{"FEED", {}};
+    first.add("id", "s").addUint("from", 0).addUint("count", 8);
+    ASSERT_EQ(mustCall(c, first).verb, "OK"); // exactly the budget
+
+    Message second{"FEED", {}};
+    second.add("id", "s").addUint("from", 8).addUint("count", 8);
+    Message rej = mustCall(c, second);
+    ASSERT_EQ(rej.verb, "ERR");
+    EXPECT_EQ(errorFromMessage(rej).kind, ErrorKind::kRejected);
+    EXPECT_THAT(rej.get("msg"), HasSubstr("quota"));
+}
+
+// ---------------------------------------------------------------------
+// Crash/resume through the daemon path.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Arms the process-wide injector per test, disarms on teardown. */
+class ServeDaemonResume : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!pka::common::kFaultInjectionCompiledIn)
+            GTEST_SKIP() << "built with -DPKA_FAULT_INJECTION=OFF";
+        pka::common::FaultInjector::instance().reset();
+    }
+    void TearDown() override
+    {
+        pka::common::FaultInjector::instance().reset();
+    }
+};
+
+} // namespace
+
+TEST_F(ServeDaemonResume, FaultInjectedCrashResumesBitIdentical)
+{
+    TempDir dir;
+    const std::string workload = "gauss_s64"; // 126 launches, 2 chunks
+    const std::string session = "resume-me";
+
+    // Reference: an uninterrupted daemon run on its own cache.
+    Message base;
+    {
+        std::unique_ptr<Server> ref = startServer(dir.str() + "/ref");
+        ASSERT_NE(ref, nullptr);
+        Client c = connectAndHello(*ref, session);
+        base = mustCall(c, runRequest("c", workload));
+        ASSERT_EQ(base.verb, "RESULT") << base.get("msg");
+    }
+
+    // Daemon A: launch quota admits only the first 64-launch chunk, and
+    // an injected short write tears the journal tail (key=0x3f targets
+    // launch 63, the chunk's final record) — the campaign dies
+    // mid-flight with its journaled prefix (minus the torn credit) on
+    // disk. The rejection is typed, not a crash.
+    ServeLimits limits;
+    limits.campaignLaunchQuota = 64;
+    {
+        std::string err;
+        ASSERT_TRUE(
+            pka::common::FaultInjector::instance().configureFromString(
+                "journal.append:short:key=3f", 1, &err))
+            << err;
+        std::unique_ptr<Server> a =
+            startServer(dir.str() + "/live", limits);
+        ASSERT_NE(a, nullptr);
+        Client c = connectAndHello(*a, session);
+        Message rej = mustCall(c, runRequest("c", workload));
+        ASSERT_EQ(rej.verb, "ERR");
+        EXPECT_EQ(errorFromMessage(rej).kind, ErrorKind::kRejected);
+        pka::common::FaultInjector::instance().reset();
+    }
+
+    // Daemon B on the same cache dir ("restarted process"): reconnect
+    // with the same session key and resume. The journaled prefix is
+    // honoured (store reads, not re-simulation) and the aggregates are
+    // bit-identical to the uninterrupted run.
+    std::unique_ptr<Server> b = startServer(dir.str() + "/live");
+    ASSERT_NE(b, nullptr);
+    Client c = connectAndHello(*b, session, /*resume=*/true);
+    Message res = mustCall(c, runRequest("c", workload, 1.0,
+                                         /*resume=*/true));
+    ASSERT_EQ(res.verb, "RESULT") << res.get("msg");
+    uint64_t resumed = res.getUint("resumed", 0).value();
+    EXPECT_GT(resumed, 0u);
+    EXPECT_LT(resumed, res.getUint("launches", 0).value());
+    EXPECT_GT(res.getUint("store_hits", 0).value(), 0u);
+
+    EXPECT_EQ(res.getDouble("cycles", 0).value(),
+              base.getDouble("cycles", 0).value());
+    EXPECT_EQ(res.getDouble("insts", 0).value(),
+              base.getDouble("insts", 0).value());
+    EXPECT_EQ(res.getDouble("ipc", 0).value(),
+              base.getDouble("ipc", 0).value());
+    EXPECT_EQ(res.getDouble("dram", 0).value(),
+              base.getDouble("dram", 0).value());
+    EXPECT_EQ(res.getUint("failed", 0).value(), 0u);
+    EXPECT_EQ(res.getUint("quorum", 0).value(), 1u);
+}

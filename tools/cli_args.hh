@@ -1,7 +1,10 @@
 /**
  * @file
  * Minimal command-line flag parsing for the pka CLI: positional operands
- * plus --flag / --flag value options.
+ * plus --flag / --flag value options. Numeric values go through the
+ * shared hardened parsers in common/parse.hh (the same rules the serve
+ * protocol enforces); at the CLI layer a malformed value is a
+ * configuration error and therefore fatal.
  */
 
 #ifndef PKA_TOOLS_CLI_ARGS_HH
@@ -10,11 +13,11 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace pka::tools
 {
@@ -82,17 +85,7 @@ class CliArgs
         auto it = flags_.find(name);
         if (it == flags_.end())
             return def;
-        try {
-            size_t pos = 0;
-            double v = std::stod(it->second, &pos);
-            if (pos != it->second.size())
-                throw std::invalid_argument("trailing");
-            return v;
-        } catch (const std::exception &) {
-            pka::common::fatal("flag --" + name +
-                               " expects a number, got '" + it->second +
-                               "'");
-        }
+        return require(name, pka::common::parseNum(it->second));
     }
 
     /**
@@ -104,14 +97,11 @@ class CliArgs
     getNumInRange(const std::string &name, double def, double lo,
                   double hi) const
     {
-        if (!has(name))
+        auto it = flags_.find(name);
+        if (it == flags_.end())
             return def;
-        double v = getNum(name, def);
-        if (!(v >= lo && v <= hi))
-            pka::common::fatal(pka::common::strfmt(
-                "flag --%s expects a number in [%g, %g], got %g",
-                name.c_str(), lo, hi, v));
-        return v;
+        return require(name,
+                       pka::common::parseNumInRange(it->second, lo, hi));
     }
 
     /** Strictly positive numeric flag in (0, hi]; fatal otherwise. */
@@ -120,20 +110,16 @@ class CliArgs
                    double hi = std::numeric_limits<double>::infinity())
         const
     {
-        if (!has(name))
+        auto it = flags_.find(name);
+        if (it == flags_.end())
             return def;
-        double v = getNum(name, def);
-        if (!(v > 0.0 && v <= hi))
-            pka::common::fatal(pka::common::strfmt(
-                "flag --%s expects a positive number <= %g, got %g",
-                name.c_str(), hi, v));
-        return v;
+        return require(name,
+                       pka::common::parsePositiveNum(it->second, hi));
     }
 
     /**
      * Unsigned-integer flag in [lo, hi]; fatal on signs, fractions,
-     * trailing garbage or out-of-range values. Parsed with stoull (not
-     * via double) so the full 64-bit range stays exact.
+     * trailing garbage or out-of-range values.
      */
     uint64_t
     getUint(const std::string &name, uint64_t def, uint64_t lo = 0,
@@ -142,31 +128,22 @@ class CliArgs
         auto it = flags_.find(name);
         if (it == flags_.end())
             return def;
-        const std::string &s = it->second;
-        uint64_t v = 0;
-        try {
-            // stoull silently wraps "-5" around; reject signs up front.
-            if (s.find_first_of("-+") != std::string::npos)
-                throw std::invalid_argument("signed");
-            size_t pos = 0;
-            v = std::stoull(s, &pos);
-            if (pos != s.size())
-                throw std::invalid_argument("trailing");
-        } catch (const std::exception &) {
-            pka::common::fatal("flag --" + name +
-                               " expects a non-negative integer, got '" +
-                               s + "'");
-        }
-        if (v < lo || v > hi)
-            pka::common::fatal(pka::common::strfmt(
-                "flag --%s expects an integer in [%llu, %llu], got %llu",
-                name.c_str(), static_cast<unsigned long long>(lo),
-                static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(v)));
-        return v;
+        return require(name, pka::common::parseUint(it->second, lo, hi));
     }
 
   private:
+    /** Unwrap a parse result, turning its typed error fatal with the
+     *  flag name attached (the CLI's legacy contract). */
+    template <typename T>
+    static T
+    require(const std::string &name, pka::common::Expected<T> v)
+    {
+        if (!v.ok())
+            pka::common::fatal("flag --" + name + " " +
+                               v.error().message);
+        return v.value();
+    }
+
     std::vector<std::string> positionals_;
     std::map<std::string, std::string> flags_;
 };

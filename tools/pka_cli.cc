@@ -16,11 +16,16 @@
  * --mlperf-scale everywhere.
  */
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 #include "cli_args.hh"
 #include "common/error.hh"
@@ -32,6 +37,8 @@
 #include "core/profile_validator.hh"
 #include "core/serialize.hh"
 #include "core/stability.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "store/file_store.hh"
@@ -62,6 +69,17 @@ commands:
   trace     capture kernel traces          <workload> [--limit N]
                                            [--out FILE]
   analyze   full PKA, end to end           <workload> [--gpu G]
+  serve     long-running campaign daemon   --listen ADDR --cache-dir DIR
+                                           [--max-campaigns N]
+                                           [--launch-quota N]
+                                           [--max-sessions N]
+  client    talk to a serve daemon         --connect ADDR <workload>
+                                           [--session KEY] [--resume]
+                                           [--id C] [--priority N]
+                                           [--stream] [--warmup N]
+                                           [--reservoir N] [--pkp]
+                                           [--feed-chunk N]
+                                           [--stats] [--shutdown]
 
 common options:
   --gpu volta|turing|ampere   device (default volta)
@@ -115,6 +133,32 @@ robustness (select/analyze):
   --stability                 bootstrap the selection and report a CI on
                               projected cycles plus per-group stability
   --stability-bootstrap N     bootstrap replicates (default 32)
+
+serve/client:
+  --listen ADDR               host:port (port 0 = ephemeral) or
+                              unix:/path (serve)
+  --connect ADDR              daemon address (client)
+  --session KEY               session key; reconnecting with the same
+                              key and --resume continues interrupted
+                              campaigns bit-identically
+  --max-campaigns N           concurrent campaigns admitted (default 8);
+                              further requests get a typed rejection
+  --launch-quota N            per-campaign launch budget (default 0 =
+                              unlimited); a campaign that exceeds it
+                              stops with a typed rejection, its
+                              journaled progress intact
+  --max-sessions N            distinct session keys (default 64)
+  --stream                    streaming campaign: launches are profiled
+                              as fed and classified online with bounded
+                              resident memory (client)
+  --warmup N / --reservoir N  online-selection warmup buffer and
+                              re-cluster reservoir sizes (client)
+  --feed-chunk N              launches per FEED message (default 32)
+  --stats / --shutdown        query daemon stats / stop the daemon
+
+client exit codes: 0 success; 3 campaign quorum not met; 4 request
+rejected as malformed (bad-input); 5 admission/quota rejection;
+6 connection or protocol failure.
 )";
 
 silicon::GpuSpec
@@ -593,6 +637,314 @@ cmdAnalyze(const CliArgs &args)
     return rc_pks != 0 ? rc_pks : rc_pka;
 }
 
+/** Engine configuration from the shared CLI flags (serve builds its own
+ *  engine instead of the process-wide shared one). */
+sim::EngineOptions
+engineOptionsFor(const CliArgs &args)
+{
+    sim::EngineOptions eo;
+    eo.threads = static_cast<unsigned>(args.getUint(
+        "threads", 0, 0, std::numeric_limits<unsigned>::max()));
+    eo.memoize = !args.has("no-memo");
+    eo.contentSeed = args.has("content-seed");
+    eo.smThreads = static_cast<unsigned>(args.getUint(
+        "sm-threads", 0, 0, std::numeric_limits<unsigned>::max()));
+    eo.taskTimeoutSec = args.getPositiveNum("task-timeout", 0.0);
+    eo.maxTaskAttempts =
+        static_cast<unsigned>(args.getUint("max-retries", 1, 0, 100)) + 1;
+    return eo;
+}
+
+int
+cmdServe(const CliArgs &args)
+{
+    if (!args.has("cache-dir"))
+        common::fatal("serve requires --cache-dir");
+
+    serve::ServerOptions so;
+    so.listen = args.get("listen", "127.0.0.1:0");
+    so.cacheDir = args.get("cache-dir");
+    so.engine = engineOptionsFor(args);
+    so.limits.maxConcurrentCampaigns = static_cast<size_t>(
+        args.getUint("max-campaigns", 8, 1, 1u << 20));
+    so.limits.campaignLaunchQuota =
+        args.getUint("launch-quota", 0, 0,
+                     std::numeric_limits<uint64_t>::max());
+    so.limits.maxSessions = static_cast<size_t>(
+        args.getUint("max-sessions", 64, 1, 1u << 20));
+
+    // Handle SIGINT/SIGTERM via sigwait on a dedicated thread: shutdown
+    // takes locks, so it must run in normal thread context, not in an
+    // async signal handler. The mask is inherited by server threads.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    auto started = serve::Server::start(so);
+    if (!started.ok())
+        common::fatal("serve: " + started.error().str());
+    serve::Server *srv = started.value().get();
+
+    std::thread sig_thread([&sigs, srv] {
+        int sig = 0;
+        if (sigwait(&sigs, &sig) == 0)
+            srv->shutdown();
+    });
+
+    std::printf("pka serve: listening on %s\n", srv->address().c_str());
+    std::fflush(stdout);
+    srv->wait();
+    // SHUTDOWN-verb path: unblock sigwait so the thread can exit. The
+    // signal is process-directed, so sigwait is eligible to consume it;
+    // if the thread already woke (signal path), it stays pending,
+    // blocked and harmless until exit.
+    kill(getpid(), SIGTERM);
+    sig_thread.join();
+    std::fprintf(stderr,
+                 "pka serve: shut down (%llu campaign(s) completed, "
+                 "peak %zu concurrent)\n",
+                 static_cast<unsigned long long>(
+                     srv->campaignsCompleted()),
+                 srv->peakConcurrentCampaigns());
+    return 0;
+}
+
+/** Read a reply field, exiting 6 (protocol failure) when malformed. */
+uint64_t
+replyUint(const serve::Message &m, const std::string &key)
+{
+    common::Expected<uint64_t> v = m.getUint(key, 0);
+    if (!v.ok()) {
+        std::fprintf(stderr, "client: malformed reply field '%s': %s\n",
+                     key.c_str(), v.error().str().c_str());
+        std::exit(6);
+    }
+    return v.value();
+}
+
+double
+replyDouble(const serve::Message &m, const std::string &key)
+{
+    common::Expected<double> v = m.getDouble(key, 0.0);
+    if (!v.ok()) {
+        std::fprintf(stderr, "client: malformed reply field '%s': %s\n",
+                     key.c_str(), v.error().str().c_str());
+        std::exit(6);
+    }
+    return v.value();
+}
+
+/** Map an ERR reply to the documented client exit codes. */
+int
+clientErrExit(const serve::Message &m)
+{
+    common::TaskError e = serve::errorFromMessage(m);
+    std::fprintf(stderr, "client: server rejected request: %s\n",
+                 e.str().c_str());
+    if (e.kind == common::ErrorKind::kRejected)
+        return 5;
+    if (e.kind == common::ErrorKind::kBadInput)
+        return 4;
+    return 6;
+}
+
+int
+clientTransportExit(const common::TaskError &e)
+{
+    std::fprintf(stderr, "client: %s\n", e.str().c_str());
+    return 6;
+}
+
+int
+cmdClient(const CliArgs &args)
+{
+    if (!args.has("connect"))
+        common::fatal("client requires --connect ADDR");
+    auto connected = serve::Client::connect(args.get("connect"));
+    if (!connected.ok())
+        return clientTransportExit(connected.error());
+    serve::Client client = std::move(connected.value());
+
+    if (args.has("shutdown")) {
+        // The daemon may tear the connection down right after (or even
+        // while) acknowledging, so a read failure here still counts as
+        // success.
+        auto r = client.call(serve::Message{"SHUTDOWN", {}});
+        if (r.ok() && r.value().verb == "ERR")
+            return clientErrExit(r.value());
+        std::printf("daemon shutting down\n");
+        return 0;
+    }
+
+    if (args.has("stats")) {
+        auto r = client.call(serve::Message{"STATS", {}});
+        if (!r.ok())
+            return clientTransportExit(r.error());
+        if (r.value().verb == "ERR")
+            return clientErrExit(r.value());
+        const serve::Message &m = r.value();
+        std::printf(
+            "daemon: %llu active campaign(s) (peak %llu, %llu "
+            "rejected), %llu session(s), %llu completed, %llu "
+            "threads\n"
+            "cache:  %llu memory hits / %llu store hits / %llu "
+            "simulated\n",
+            static_cast<unsigned long long>(replyUint(m, "campaigns")),
+            static_cast<unsigned long long>(replyUint(m, "peak")),
+            static_cast<unsigned long long>(replyUint(m, "rejected")),
+            static_cast<unsigned long long>(replyUint(m, "sessions")),
+            static_cast<unsigned long long>(replyUint(m, "completed")),
+            static_cast<unsigned long long>(replyUint(m, "threads")),
+            static_cast<unsigned long long>(replyUint(m, "cache_hits")),
+            static_cast<unsigned long long>(replyUint(m, "store_hits")),
+            static_cast<unsigned long long>(
+                replyUint(m, "cache_misses")));
+        return 0;
+    }
+
+    auto h = client.hello(args.get("session", "default"),
+                          args.has("resume"));
+    if (!h.ok())
+        return clientTransportExit(h.error());
+    if (h.value().verb == "ERR")
+        return clientErrExit(h.value());
+
+    if (args.positionals().empty())
+        common::fatal("missing workload name operand");
+    const std::string workload = args.positionals()[0];
+    const std::string id = args.get("id", "c0");
+
+    auto on_event = [](const serve::Message &ev) {
+        std::string kind = ev.get("kind");
+        if (kind == "progress")
+            std::fprintf(stderr, "event: %s/%s launches done\n",
+                         ev.get("done").c_str(), ev.get("total").c_str());
+        else
+            std::fprintf(stderr, "event: %s\n",
+                         formatMessage(ev).c_str());
+    };
+
+    auto add_common = [&](serve::Message &req) {
+        req.add("id", id)
+            .add("workload", workload)
+            .add("gpu", args.get("gpu", "volta"))
+            .addDouble("scale", args.getPositiveNum("mlperf-scale", 0.02))
+            .addUint("priority", args.getUint("priority", 0, 0, 1000))
+            .addDouble("quorum",
+                       args.getNumInRange("min-quorum", 1.0, 0.0, 1.0));
+        if (args.has("resume"))
+            req.add("resume", "1");
+    };
+
+    if (!args.has("stream")) {
+        serve::Message req{"RUN", {}};
+        add_common(req);
+        auto r = client.call(req, on_event);
+        if (!r.ok())
+            return clientTransportExit(r.error());
+        if (r.value().verb == "ERR")
+            return clientErrExit(r.value());
+        const serve::Message &m = r.value();
+        if (replyUint(m, "resumed") > 0)
+            std::fprintf(stderr, "resumed: %llu of %llu launches "
+                                 "already journaled complete\n",
+                         static_cast<unsigned long long>(
+                             replyUint(m, "resumed")),
+                         static_cast<unsigned long long>(
+                             replyUint(m, "launches")));
+        // Same leading format as the batch `simulate` command, so CI can
+        // diff the deterministic prefix bit-for-bit against a local run.
+        std::printf("full simulation: %.4e cycles, IPC %.1f, DRAM util "
+                    "%.1f%% (%llu launches, %llu cache hits / %llu "
+                    "store hits / %llu misses)\n",
+                    replyDouble(m, "cycles"), replyDouble(m, "ipc"),
+                    replyDouble(m, "dram"),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "launches")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "cache_hits")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "store_hits")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "cache_misses")));
+        uint64_t failed = replyUint(m, "failed");
+        bool quorum_met = replyUint(m, "quorum") == 1;
+        if (failed > 0 || !quorum_met)
+            std::fprintf(stderr,
+                         "full simulation: %llu launch(es) failed, %llu "
+                         "kernel(s) quarantined, quorum %s\n",
+                         static_cast<unsigned long long>(failed),
+                         static_cast<unsigned long long>(
+                             replyUint(m, "quarantined")),
+                         quorum_met ? "met" : "NOT met");
+        return quorum_met ? 0 : 3;
+    }
+
+    serve::Message req{"STREAM", {}};
+    add_common(req);
+    if (args.has("warmup"))
+        req.addUint("warmup", args.getUint("warmup", 64, 1, 1u << 20));
+    if (args.has("reservoir"))
+        req.addUint("reservoir",
+                    args.getUint("reservoir", 96, 1, 1u << 20));
+    if (args.has("pkp")) {
+        req.add("pkp", "1");
+        req.addDouble("threshold", args.getPositiveNum("threshold", 0.25));
+    }
+    auto opened = client.call(req, on_event);
+    if (!opened.ok())
+        return clientTransportExit(opened.error());
+    if (opened.value().verb == "ERR")
+        return clientErrExit(opened.value());
+    uint64_t total = replyUint(opened.value(), "launches");
+
+    uint64_t chunk = args.getUint("feed-chunk", 32, 1, 1u << 20);
+    for (uint64_t from = 0; from < total; from += chunk) {
+        serve::Message feed{"FEED", {}};
+        feed.add("id", id).addUint("from", from).addUint(
+            "count", std::min(chunk, total - from));
+        auto fr = client.call(feed, on_event);
+        if (!fr.ok())
+            return clientTransportExit(fr.error());
+        if (fr.value().verb == "ERR")
+            return clientErrExit(fr.value());
+    }
+
+    serve::Message end{"END", {}};
+    end.add("id", id);
+    auto er = client.call(end, on_event);
+    if (!er.ok())
+        return clientTransportExit(er.error());
+    if (er.value().verb == "ERR")
+        return clientErrExit(er.value());
+    const serve::Message &m = er.value();
+    std::printf(
+        "streaming selection (%llu groups from %llu launches, %llu "
+        "drift events, %llu refits, %llu resident profiles / %llu "
+        "bytes):\n"
+        "  projected cycles %.4e, IPC %.1f, DRAM util %.1f%%\n"
+        "  simulated cycles %.4e, profiled %.4e (%.1f%% err)\n",
+        static_cast<unsigned long long>(replyUint(m, "groups")),
+        static_cast<unsigned long long>(replyUint(m, "observed")),
+        static_cast<unsigned long long>(replyUint(m, "drift")),
+        static_cast<unsigned long long>(replyUint(m, "refits")),
+        static_cast<unsigned long long>(replyUint(m, "resident")),
+        static_cast<unsigned long long>(replyUint(m, "resident_bytes")),
+        replyDouble(m, "projected"), replyDouble(m, "ipc"),
+        replyDouble(m, "dram"), replyDouble(m, "simulated"),
+        replyDouble(m, "profiled"), replyDouble(m, "sil_err_pct"));
+    if (replyUint(m, "failed") > 0 || replyUint(m, "quorum") == 0)
+        std::fprintf(stderr,
+                     "streaming simulation: %llu launch(es) failed, "
+                     "quorum %s\n",
+                     static_cast<unsigned long long>(
+                         replyUint(m, "failed")),
+                     replyUint(m, "quorum") == 1 ? "met" : "NOT met");
+    return replyUint(m, "quorum") == 1 ? 0 : 3;
+}
+
 } // namespace
 
 int
@@ -606,7 +958,7 @@ main(int argc, char **argv)
     CliArgs args(argc, argv, 2,
                  {"light", "pkp", "force", "no-memo", "content-seed",
                   "resume", "store-stats", "fail-fast", "strict-profiles",
-                  "stability"});
+                  "stability", "stream", "stats", "shutdown"});
 
     if (args.has("faults")) {
         if (!common::kFaultInjectionCompiledIn)
@@ -618,17 +970,15 @@ main(int argc, char **argv)
             common::fatal("malformed --faults spec: " + err);
     }
 
-    sim::EngineOptions eo;
-    eo.threads = static_cast<unsigned>(args.getUint(
-        "threads", 0, 0, std::numeric_limits<unsigned>::max()));
-    eo.memoize = !args.has("no-memo");
-    eo.contentSeed = args.has("content-seed");
-    eo.smThreads = static_cast<unsigned>(args.getUint(
-        "sm-threads", 0, 0, std::numeric_limits<unsigned>::max()));
-    eo.taskTimeoutSec = args.getPositiveNum("task-timeout", 0.0);
-    // --max-retries counts retries after the first execution.
-    eo.maxTaskAttempts =
-        static_cast<unsigned>(args.getUint("max-retries", 1, 0, 100)) + 1;
+    // serve/client bypass the shared-engine setup below: the daemon owns
+    // its engine and store (the cache dir must not be double-opened),
+    // and the client holds no engine at all.
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "client")
+        return cmdClient(args);
+
+    sim::EngineOptions eo = engineOptionsFor(args);
 
     // The persistent store outlives every command (the shared engine
     // holds a non-owning pointer to it).
