@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/parse.hh"
 #include "common/rng.hh"
 #include "core/pks.hh"
 #include "core/stability.hh"
@@ -210,8 +211,17 @@ int
 main(int argc, char **argv)
 {
     std::vector<uint64_t> seeds;
-    for (int i = 1; i < argc; ++i)
-        seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+    for (int i = 1; i < argc; ++i) {
+        // strtoull would wrap "-5" and accept "3x"; the shared parser
+        // rejects both with a message.
+        auto v = common::parseUint(argv[i]);
+        if (!v.ok()) {
+            std::fprintf(stderr, "micro_robust: bad seed '%s': %s\n",
+                         argv[i], v.error().str().c_str());
+            return 1;
+        }
+        seeds.push_back(v.value());
+    }
     if (seeds.empty())
         seeds = {1, 2, 3};
 

@@ -71,6 +71,12 @@ struct TBPointKernelStats
     double l2MissPct = 0.0;
     double warpInstructions = 0.0;
     double numCtas = 0.0;
+
+    // Similarity-tier provenance: true when `cycles` is a projected
+    // estimate from a stored near-duplicate kernel rather than a
+    // simulated value; projErrBound is its estimated relative error.
+    bool projected = false;
+    double projErrBound = 0.0;
 };
 
 /** TBPoint options. */

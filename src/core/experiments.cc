@@ -106,6 +106,8 @@ fullSimulate(const sim::SimEngine &engine,
         s.l2MissPct = r.l2MissPct;
         s.warpInstructions = static_cast<double>(r.warpInstructions);
         s.numCtas = static_cast<double>(r.totalCtas);
+        s.projected = r.projected;
+        s.projErrBound = r.projectionErrorBound;
         out.perKernel.push_back(s);
     }
     if (util_weight > 0)
@@ -125,6 +127,9 @@ fullSimulate(const sim::SimEngine &engine,
     out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
     out.corruptSkipped = stats.corruptSkipped;
+    out.simTierHits = stats.simTierHits;
+    out.projectedLaunches = stats.projectedLaunches;
+    out.projErrBound = stats.projErrBound;
     out.failedLaunches = run.failures.size();
     out.quarantinedKernels = stats.quarantinedKernels;
     out.quorumMet = run.quorumMet;

@@ -73,6 +73,23 @@ struct FullSimResult
     uint64_t corruptSkipped = 0;  ///< corrupt store records skipped
     uint64_t resumedLaunches = 0; ///< journaled complete before this run
 
+    // Similarity-tier provenance (all zero with the tier off — the
+    // default — so existing reports are untouched). projectedLaunches
+    // counts every launch whose result carries a projection tag;
+    // projErrBound is the worst estimated relative error among them.
+    uint64_t simTierHits = 0;       ///< fresh similarity projections
+    uint64_t projectedLaunches = 0; ///< launches answered by projection
+    double projErrBound = 0.0;      ///< worst-case estimated error
+
+    /** Share of launches answered by projection, in percent. */
+    double projectedPct() const
+    {
+        uint64_t total = cacheHits + storeHits + simTierHits + cacheMisses;
+        return total == 0 ? 0.0
+                          : 100.0 * static_cast<double>(projectedLaunches) /
+                                static_cast<double>(total);
+    }
+
     // Fault-tolerance accounting (all zero/true on a clean run). When
     // launches fail under a CampaignPolicy, cycle/instruction totals are
     // reweighted by completed-launch fraction so they still estimate the

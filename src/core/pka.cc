@@ -330,6 +330,9 @@ simulateSelection(const sim::SimEngine &engine,
     out.storeHits = stats.storeHits;
     out.cacheMisses = stats.cacheMisses;
     out.corruptSkipped = stats.corruptSkipped;
+    out.simTierHits = stats.simTierHits;
+    out.projectedLaunches = stats.projectedLaunches;
+    out.projErrBound = stats.projErrBound;
     out.failedLaunches = run.failures.size();
     out.quarantinedKernels = stats.quarantinedKernels;
     out.quorumMet = run.quorumMet;

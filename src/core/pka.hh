@@ -244,6 +244,11 @@ struct AppProjection
     uint64_t cacheMisses = 0; ///< launches actually simulated
     uint64_t corruptSkipped = 0; ///< corrupt store records skipped
 
+    // Similarity-tier provenance (zero with the tier off, the default).
+    uint64_t simTierHits = 0;       ///< fresh similarity projections
+    uint64_t projectedLaunches = 0; ///< representatives projected
+    double projErrBound = 0.0;      ///< worst-case estimated error
+
     // Fault-tolerance accounting (all zero/true on a clean run). When
     // representatives fail, projected aggregates are renormalized over
     // the surviving group weight, so the projection stays an estimate of

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace pka::core
 {
@@ -108,19 +109,13 @@ struct LineReader
 
     double parseDouble(const std::string &s, const char *ctx) const
     {
-        try {
-            size_t pos = 0;
-            double v = std::stod(s, &pos);
-            if (pos != s.size())
-                fail(strfmt("trailing characters in %s field: '%s'", ctx,
-                            s.c_str()),
-                     ctx);
-            return v;
-        } catch (const TaskException &) {
-            throw;
-        } catch (const std::exception &) {
+        // Hardened shared parser: rejects NaN and trailing garbage (a
+        // raw stod would accept "nan", poisoning every downstream
+        // aggregate with quiet NaN propagation).
+        pka::common::Expected<double> v = pka::common::parseNum(s);
+        if (!v.ok())
             fail(strfmt("malformed %s field: '%s'", ctx, s.c_str()), ctx);
-        }
+        return v.value();
     }
 
     uint64_t parseU64(const std::string &s, const char *ctx) const

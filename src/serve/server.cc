@@ -78,8 +78,13 @@ Server::start(const ServerOptions &options)
     s->opts_ = options;
 
     try {
+        // One store — and with the similarity tier on, one signature
+        // index — shared by every concurrent campaign: a kernel any
+        // client ever simulated can answer (exactly or by projection)
+        // every other client's near-duplicates, which is the fleet-wide
+        // dedup the daemon exists for.
         s->store_ = std::make_unique<store::KernelResultStore>(
-            options.cacheDir);
+            options.cacheDir, options.engine.xcacheTolerance > 0);
     } catch (const common::TaskException &ex) {
         return ex.toError();
     }
@@ -103,6 +108,18 @@ Server::~Server()
 {
     shutdown();
     wait();
+}
+
+uint64_t
+Server::simTierHits() const
+{
+    return engine_ ? engine_->simTierHits() : 0;
+}
+
+uint64_t
+Server::projectedLaunches() const
+{
+    return engine_ ? engine_->projectedLaunches() : 0;
 }
 
 void
@@ -268,7 +285,9 @@ Server::handleConnection(Fd fd)
                 .addUint("threads", engine_->threads())
                 .addUint("cache_hits", engine_->cacheHits())
                 .addUint("store_hits", engine_->storeHits())
-                .addUint("cache_misses", engine_->cacheMisses());
+                .addUint("cache_misses", engine_->cacheMisses())
+                .addUint("sim_hits", engine_->simTierHits())
+                .addUint("projected", engine_->projectedLaunches());
             sendMsg(fd.get(), m);
             continue;
         }
@@ -372,7 +391,10 @@ Server::handleConnection(Fd fd)
                 .addUint("quorum", fs.quorumMet ? 1 : 0)
                 .addUint("cache_hits", fs.cacheHits)
                 .addUint("store_hits", fs.storeHits)
-                .addUint("cache_misses", fs.cacheMisses);
+                .addUint("cache_misses", fs.cacheMisses)
+                .addUint("sim_hits", fs.simTierHits)
+                .addUint("projected", fs.projectedLaunches)
+                .addDouble("proj_err", fs.projErrBound);
             // Count before sending: a client acting on the RESULT must
             // never observe a stats snapshot that predates it.
             completed_.fetch_add(1);

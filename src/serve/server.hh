@@ -104,6 +104,12 @@ class Server
     /** Campaigns that ran to a RESULT. */
     uint64_t campaignsCompleted() const { return completed_.load(); }
 
+    /** Cumulative similarity-tier projections served by the engine. */
+    uint64_t simTierHits() const;
+
+    /** Cumulative launches answered with a projected result. */
+    uint64_t projectedLaunches() const;
+
   private:
     Server() = default;
 

@@ -36,12 +36,8 @@ KernelMetrics::name(size_t i)
     return names[i];
 }
 
-namespace
-{
-
-/** Derive the Table-2 counters for one launch. */
 KernelMetrics
-deriveMetrics(const KernelDescriptor &k)
+deriveKernelMetrics(const KernelDescriptor &k)
 {
     const auto &prog = *k.program;
     const double warp_execs =
@@ -70,6 +66,9 @@ deriveMetrics(const KernelDescriptor &k)
     m.numCtas = static_cast<double>(k.numCtas());
     return m;
 }
+
+namespace
+{
 
 /** Apply a small deterministic measurement noise to all counters. */
 void
@@ -120,7 +119,7 @@ DetailedProfiler::profileLaunch(const Workload &w, size_t index) const
     DetailedProfile p;
     p.launchId = k.launchId;
     p.kernelName = k.program->name;
-    p.metrics = deriveMetrics(k);
+    p.metrics = deriveKernelMetrics(k);
     addMeasurementNoise(p.metrics, w.seed, k.launchId);
     p.cycles = gpu_.execute(k, w.seed).cycles;
     return p;

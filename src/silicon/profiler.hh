@@ -52,6 +52,16 @@ struct KernelMetrics
     static const char *name(size_t i);
 };
 
+/**
+ * Derive the Table-2 counters for one launch, noise-free: a pure
+ * function of the descriptor (program instruction mix, grid/block,
+ * iterations), with none of the profiler's simulated measurement
+ * noise. This is the signature input of the store's similarity tier —
+ * both the probing and the inserting side must compute bit-identical
+ * counters for the same launch, which measurement noise would defeat.
+ */
+KernelMetrics deriveKernelMetrics(const pka::workload::KernelDescriptor &k);
+
 /** One Nsight-Compute-style record. */
 struct DetailedProfile
 {

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "sim/cancel.hh"
 #include "sim/fnv.hh"
 #include "store/file_store.hh"
+#include "store/sig_index.hh"
 
 namespace pka::sim
 {
@@ -25,6 +27,82 @@ struct KeyHasher
         return static_cast<size_t>(kernelSimKeyHash(k));
     }
 };
+
+/**
+ * Only full-run launches may be served by (or donate to) the
+ * similarity tier: projection rescales complete-kernel cycles, which
+ * means nothing for a run a stop policy or budget would have cut
+ * short — and those runs' cycle counts depend on *when* they were cut,
+ * which no instruction ratio can transport across kernels.
+ */
+bool
+projectionEligible(const SimJob &job, const SimOptions &opts)
+{
+    return !job.makeStop && opts.maxThreadInstructions == 0 &&
+           opts.maxCycles == 0;
+}
+
+/** A stored result fit to be a projection donor. */
+bool
+usableDonor(const KernelSimResult &r)
+{
+    return !r.projected && !r.stoppedEarly && !r.truncatedByBudget &&
+           r.cycles > 0 && r.threadInstructions > 0;
+}
+
+/**
+ * The paper's Table-1 projection across kernels, in two factors:
+ *
+ *   - per-CTA work ratio: at matched signature the per-CTA instruction
+ *     mix (and so the expected IPC) agrees, so a CTA's service time
+ *     scales with its instruction count;
+ *   - wave ratio: a grid executes in ceil(ctas / waveSize) machine
+ *     waves (waveSize = occupancy x SMs, a grid-independent capacity
+ *     the donor result carries), and waves serialize while CTAs within
+ *     a wave run concurrently. Rescaling by raw instruction count
+ *     instead would charge a half-full wave as if its CTAs ran back to
+ *     back — a 2x overestimate the moment a grid grows within one wave.
+ *
+ * Instruction counters still scale with total work (they count retired
+ * instructions, not wall time).
+ */
+KernelSimResult
+projectResult(const KernelSimResult &donor, const store::SigEntry &e,
+              double distance, const KernelDescriptor &target)
+{
+    const double inst_ratio =
+        static_cast<double>(target.totalThreadInstructions()) /
+        e.expThreadInsts;
+    const double per_cta_ratio =
+        inst_ratio * static_cast<double>(e.numCtas) /
+        static_cast<double>(target.numCtas());
+    const uint64_t wave = donor.waveSize > 0 ? donor.waveSize : 1;
+    const auto waves = [wave](uint64_t ctas) -> double {
+        return static_cast<double>((ctas + wave - 1) / wave);
+    };
+    const double cycle_ratio =
+        per_cta_ratio * waves(target.numCtas()) / waves(e.numCtas);
+
+    KernelSimResult r;
+    r.cycles = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(donor.cycles) * cycle_ratio)));
+    r.threadInstructions = donor.threadInstructions * inst_ratio;
+    r.warpInstructions = static_cast<uint64_t>(std::llround(
+        static_cast<double>(donor.warpInstructions) * inst_ratio));
+    r.finishedCtas = target.numCtas();
+    r.inFlightCtas = 0;
+    r.totalCtas = target.numCtas();
+    r.waveSize = donor.waveSize;
+    r.expectedWarpInstructions = target.totalWarpInstructions();
+    r.dramUtilPct = donor.dramUtilPct;
+    r.l2MissPct = donor.l2MissPct;
+    r.projected = true;
+    r.projectedFromKey = kernelSimKeyHash(e.key);
+    r.projectionDistance = distance;
+    r.projectionErrorBound = store::sigErrorBound(distance);
+    return r;
+}
 
 } // namespace
 
@@ -138,6 +216,8 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
             if (it != shard->map.end()) {
                 hits_.fetch_add(1, std::memory_order_relaxed);
                 outcome->memoryHit = 1;
+                if (it->second.projected)
+                    projected_.fetch_add(1, std::memory_order_relaxed);
                 return it->second;
             }
         }
@@ -157,9 +237,34 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
             case store::Lookup::kCorrupt:
                 corrupt_.fetch_add(1, std::memory_order_relaxed);
                 outcome->corruptSkipped = 1;
-                break; // fall through to simulation
+                break; // fall through to similarity / simulation
             case store::Lookup::kMiss:
                 break;
+            }
+
+            // Exact tier missed; probe the similarity tier for the
+            // nearest stored near-duplicate kernel. A projected answer
+            // is published to the memory cache (tagged, so later hits
+            // stay countable) but never to the exact disk tier.
+            const store::SignatureIndex *idx = opts_.store->similarity();
+            if (idx && opts_.xcacheTolerance > 0 &&
+                projectionEligible(job, opts)) {
+                store::SigProbe p = idx->probe(
+                    store::signatureOf(*job.kernel), opts_.xcacheTolerance);
+                KernelSimResult donor;
+                if (p.hit &&
+                    opts_.store->get(p.entry.key, &donor) ==
+                        store::Lookup::kHit &&
+                    usableDonor(donor)) {
+                    KernelSimResult proj = projectResult(
+                        donor, p.entry, p.distance, *job.kernel);
+                    simTierHits_.fetch_add(1, std::memory_order_relaxed);
+                    projected_.fetch_add(1, std::memory_order_relaxed);
+                    outcome->simTierHit = 1;
+                    std::lock_guard<std::mutex> lk(shard->m);
+                    shard->map.emplace(key, proj);
+                    return proj;
+                }
             }
         }
     }
@@ -223,8 +328,24 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
         }
         // Persist after publishing to memory, also outside the lock. A
         // racing writer of the same key produces identical bytes.
-        if (opts_.store)
+        if (opts_.store) {
             opts_.store->put(key, r);
+            // Index this kernel's signature so later near-duplicates
+            // can project from it. Only complete full-run results are
+            // donors; the entry references the exact record by key.
+            const store::SignatureIndex *idx = opts_.store->similarity();
+            if (idx && opts_.xcacheTolerance > 0 &&
+                projectionEligible(job, opts) && usableDonor(r)) {
+                store::SigEntry e;
+                e.sig = store::signatureOf(*job.kernel);
+                e.key = key;
+                e.expThreadInsts = static_cast<double>(
+                    job.kernel->totalThreadInstructions());
+                e.expWarpInsts = job.kernel->totalWarpInstructions();
+                e.numCtas = job.kernel->numCtas();
+                idx->insert(e);
+            }
+        }
     }
     return r;
 }
@@ -369,8 +490,16 @@ SimEngine::runChecked(const GpuSimulator &simulator,
                 ++stats->cacheHits;
             else if (o.storeHit)
                 ++stats->storeHits;
+            else if (o.simTierHit)
+                ++stats->simTierHits;
             else
                 ++stats->cacheMisses;
+            const KernelSimResult &v = results[i].value();
+            if (v.projected) {
+                ++stats->projectedLaunches;
+                stats->projErrBound = std::max(stats->projErrBound,
+                                               v.projectionErrorBound);
+            }
             if (o.corruptSkipped)
                 ++stats->corruptSkipped;
             if (o.sharded) {
@@ -434,8 +563,15 @@ SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
                 ++stats->cacheHits;
             else if (o.storeHit)
                 ++stats->storeHits;
+            else if (o.simTierHit)
+                ++stats->simTierHits;
             else
                 ++stats->cacheMisses;
+            if (r.value().projected) {
+                ++stats->projectedLaunches;
+                stats->projErrBound = std::max(
+                    stats->projErrBound, r.value().projectionErrorBound);
+            }
             if (o.corruptSkipped)
                 ++stats->corruptSkipped;
             if (o.sharded) {
@@ -476,6 +612,8 @@ SimEngine::clearCache()
     storeHits_.store(0);
     misses_.store(0);
     corrupt_.store(0);
+    simTierHits_.store(0);
+    projected_.store(0);
     {
         std::lock_guard<std::mutex> lk(quar_m_);
         quarantined_.clear();

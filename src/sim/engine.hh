@@ -25,9 +25,15 @@
  * turns O(launches) campaigns into O(distinct kernels).
  *
  * An optional persistent store (EngineOptions::store) extends the same
- * contract across processes: lookups go memory -> disk -> simulate, every
- * simulated result is persisted, and corrupt or key-mismatched records
- * are skipped (counted in EngineStats::corruptSkipped), never served.
+ * contract across processes: lookups go memory -> exact disk ->
+ * similarity -> simulate, every simulated result is persisted, and
+ * corrupt or key-mismatched records are skipped (counted in
+ * EngineStats::corruptSkipped), never served. The similarity step
+ * (EngineOptions::xcacheTolerance > 0 over a store opened with a
+ * signature index) answers an exact miss with a *projected* result from
+ * the nearest stored near-duplicate kernel — tagged with provenance
+ * (KernelSimResult::projected et al.) and never written back into the
+ * exact tier, so the exact store only ever holds simulated truth.
  */
 
 #ifndef PKA_SIM_ENGINE_HH
@@ -78,6 +84,19 @@ struct EngineOptions
      * semantic-honesty discussion.
      */
     bool contentSeed = false;
+
+    /**
+     * Similarity-tier tolerance (the CLI's --xcache-tolerance): the
+     * maximum signature distance at which a stored near-duplicate
+     * kernel may answer an exact-cache miss with a projected result.
+     * 0 (default) disables the tier entirely — the lookup path is then
+     * bit-identical to an exact-only engine even when the store was
+     * opened with a signature index. Requires a store opened with
+     * similarity enabled to have any effect. See store/sig_index.hh
+     * for the distance/error semantics: a tolerance t bounds every
+     * per-CTA counter's relative mismatch by e^t - 1.
+     */
+    double xcacheTolerance = 0.0;
 
     /** Lock shards in the result cache. */
     unsigned cacheShards = 16;
@@ -159,6 +178,19 @@ struct EngineStats
     uint64_t storeHits = 0;      ///< jobs answered from the disk store
     uint64_t cacheMisses = 0;    ///< jobs actually simulated
     uint64_t corruptSkipped = 0; ///< store records rejected and skipped
+
+    /** Jobs answered by a fresh similarity-tier projection. */
+    uint64_t simTierHits = 0;
+
+    /**
+     * Jobs whose returned result carries a projection tag — simTierHits
+     * plus memory-cache re-hits of projected results. This is the
+     * number every "% projected" report divides by launches.
+     */
+    uint64_t projectedLaunches = 0;
+
+    /** Worst estimated relative error among projected results. */
+    double projErrBound = 0.0;
     uint64_t failures = 0;       ///< launches that ended in a TaskError
     uint64_t taskRetries = 0;    ///< extra attempts beyond each first try
     uint64_t degradedRuns = 0;   ///< retries demoted to the reference core
@@ -180,10 +212,11 @@ struct EngineStats
     /** Per-launch failure detail, in job order (see LaunchFailure). */
     std::vector<LaunchFailure> launchErrors;
 
-    /** Memory+store hit rate in percent (0 when nothing was cacheable). */
+    /** Memory+store+similarity hit rate in percent (0 when nothing was
+     *  cacheable). */
     double hitRatePct() const
     {
-        uint64_t hits = cacheHits + storeHits;
+        uint64_t hits = cacheHits + storeHits + simTierHits;
         uint64_t total = hits + cacheMisses;
         return total == 0 ? 0.0
                           : 100.0 * static_cast<double>(hits) /
@@ -315,6 +348,12 @@ class SimEngine
     /** Cumulative disk-store hits since construction/clearCache(). */
     uint64_t storeHits() const { return storeHits_.load(); }
 
+    /** Cumulative similarity-tier projections since construction. */
+    uint64_t simTierHits() const { return simTierHits_.load(); }
+
+    /** Cumulative launches answered with a projected result. */
+    uint64_t projectedLaunches() const { return projected_.load(); }
+
     /** Cumulative cache misses since construction/clearCache(). */
     uint64_t cacheMisses() const { return misses_.load(); }
 
@@ -365,6 +404,7 @@ class SimEngine
         double seconds = 0.0;     ///< simulation time (0 on any hit)
         uint8_t memoryHit = 0;    ///< answered from the in-memory cache
         uint8_t storeHit = 0;     ///< answered from the disk store
+        uint8_t simTierHit = 0;   ///< answered by a fresh projection
         uint8_t corruptSkipped = 0; ///< a corrupt store record was skipped
         uint8_t retries = 0;      ///< attempts beyond the first
         uint8_t degraded = 0;     ///< a retry ran on the reference core
@@ -406,6 +446,8 @@ class SimEngine
     mutable std::atomic<uint64_t> storeHits_{0};
     mutable std::atomic<uint64_t> misses_{0};
     mutable std::atomic<uint64_t> corrupt_{0};
+    mutable std::atomic<uint64_t> simTierHits_{0};
+    mutable std::atomic<uint64_t> projected_{0};
 
     // Quarantine set, keyed by launch content hash and carrying the
     // terminal TaskError so skipped launches can echo the original

@@ -130,6 +130,19 @@ struct KernelSimResult
     bool truncatedByBudget = false; ///< instruction/cycle cap hit
     double dramUtilPct = 0.0;
     double l2MissPct = 0.0;
+
+    // Similarity-tier provenance. A *projected* result was not
+    // simulated: the engine rescaled a stored near-duplicate kernel's
+    // result by instruction and CTA count (the paper's Table-1
+    // projection). The tag travels with the result so every report can
+    // show what fraction of its launches are estimates and how far the
+    // donor was. Projected results are never written to the exact
+    // store tier (record.cc asserts this).
+    bool projected = false;          ///< served by the similarity tier
+    uint64_t projectedFromKey = 0;   ///< donor's exact-cache key hash
+    double projectionDistance = 0.0; ///< signature distance to the donor
+    double projectionErrorBound = 0.0; ///< estimated relative error
+
     std::vector<IpcSample> trace;
 
     /**

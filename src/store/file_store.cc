@@ -11,6 +11,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "store/record.hh"
+#include "store/sig_index.hh"
 
 namespace fs = std::filesystem;
 
@@ -44,7 +45,7 @@ backoff(unsigned r)
 
 } // namespace
 
-KernelResultStore::KernelResultStore(std::string root)
+KernelResultStore::KernelResultStore(std::string root, bool similarity)
     : root_(std::move(root))
 {
     std::error_code ec;
@@ -57,7 +58,12 @@ KernelResultStore::KernelResultStore(std::string root)
             strfmt("cannot create result store at '%s': %s", root_.c_str(),
                    ec.message().c_str()));
     sweepOrphans();
+    if (similarity)
+        sigIndex_ = std::make_unique<SignatureIndex>(
+            (fs::path(root_) / "sig").string());
 }
+
+KernelResultStore::~KernelResultStore() = default;
 
 void
 KernelResultStore::sweepOrphans()

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/engine.hh"
@@ -34,6 +35,8 @@
 
 namespace pka::store
 {
+
+class SignatureIndex;
 
 /** Outcome of one disk lookup. */
 enum class Lookup
@@ -60,8 +63,16 @@ class KernelResultStore
      * common::TaskException(kStoreIo) when the root cannot be created —
      * the CLI layer converts that to a clean fatal(); library callers
      * (campaigns) may catch and degrade to an uncached run.
+     *
+     * With `similarity` the store also opens the similarity tier's
+     * signature index under `<root>/sig/` (see sig_index.hh): the
+     * engine then probes it on exact misses and serves projected
+     * results. Off by default — an exact-only store never touches the
+     * sig/ directory and stays byte-compatible with every prior run.
      */
-    explicit KernelResultStore(std::string root);
+    explicit KernelResultStore(std::string root, bool similarity = false);
+
+    ~KernelResultStore(); // out-of-line: SignatureIndex is incomplete here
 
     KernelResultStore(const KernelResultStore &) = delete;
     KernelResultStore &operator=(const KernelResultStore &) = delete;
@@ -94,6 +105,9 @@ class KernelResultStore
     /** Counters snapshot (hits/misses/corrupt/puts/bytes). */
     StoreStatsSnapshot stats() const { return stats_.snapshot(); }
 
+    /** The similarity tier's signature index; nullptr when disabled. */
+    const SignatureIndex *similarity() const { return sigIndex_.get(); }
+
     /** Number of record files currently on disk (walks the tree). */
     uint64_t recordCount() const;
 
@@ -117,6 +131,7 @@ class KernelResultStore
     std::string root_;
     mutable StoreStats stats_;
     mutable std::atomic<uint64_t> tempCounter_{0};
+    std::unique_ptr<SignatureIndex> sigIndex_;
 };
 
 } // namespace pka::store

@@ -107,6 +107,8 @@ encodeRecord(const sim::KernelSimKey &key,
     PKA_ASSERT(result.trace.empty(),
                "traced results are not cacheable and never reach the "
                "store codec");
+    PKA_ASSERT(!result.projected,
+               "projected results never enter the exact store tier");
     Writer w;
     w.out.reserve(kRecordSize);
     w.bytes(kMagic, sizeof kMagic);

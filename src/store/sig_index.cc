@@ -1,0 +1,477 @@
+#include "store/sig_index.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "store/crc32.hh"
+#include "store/file_store.hh"
+
+namespace fs = std::filesystem;
+
+namespace pka::store
+{
+
+using pka::common::strfmt;
+using pka::common::warn;
+using pka::common::warnRateLimited;
+
+int32_t
+quantizeSigDim(double v)
+{
+    double cells = std::nearbyint(v / kSigQuantStep);
+    cells = std::clamp(cells, -2147483648.0, 2147483647.0);
+    return static_cast<int32_t>(cells);
+}
+
+double
+dequantizeSigDim(int32_t q)
+{
+    return static_cast<double>(q) * kSigQuantStep;
+}
+
+KernelSignature
+makeSignature(const silicon::KernelMetrics &m)
+{
+    const std::array<double, kSigDims> raw = m.toArray();
+    const double ctas = m.numCtas > 0 ? m.numCtas : 1.0;
+
+    KernelSignature s;
+    // Dims 0..9 are the count-like counters (coalesced/thread-level
+    // memory ops and total instructions): per-CTA then log-scaled, so
+    // distance reads as relative per-CTA work mismatch.
+    for (size_t i = 0; i < 10; ++i)
+        s.q[i] = quantizeSigDim(std::log1p(raw[i] / ctas));
+    // Divergence efficiency is already scale-free (threads per executed
+    // instruction, in (0, 32]).
+    s.q[10] = quantizeSigDim(raw[10]);
+    // numCtas is the projection axis, not a matching axis: normalized
+    // out so grid scale never defeats matching.
+    s.q[11] = 0;
+    return s;
+}
+
+double
+sigDistance(const KernelSignature &a, const KernelSignature &b)
+{
+    double d = 0.0;
+    for (size_t i = 0; i < kSigDims; ++i)
+        d = std::max(d, std::abs(dequantizeSigDim(a.q[i]) -
+                                 dequantizeSigDim(b.q[i])));
+    return d;
+}
+
+double
+sigErrorBound(double distance)
+{
+    return std::expm1(distance);
+}
+
+KernelSignature
+signatureOf(const pka::workload::KernelDescriptor &k)
+{
+    return makeSignature(silicon::deriveKernelMetrics(k));
+}
+
+namespace
+{
+
+constexpr char kSigMagic[4] = {'P', 'K', 'S', '1'};
+constexpr uint32_t kSigVersion = 1;
+
+/** Fixed-width append-only writer over a byte string. */
+struct Writer
+{
+    std::string out;
+
+    void bytes(const void *p, size_t n)
+    {
+        out.append(static_cast<const char *>(p), n);
+    }
+    void u32(uint32_t v) { bytes(&v, sizeof v); }
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void f64(double v) { bytes(&v, sizeof v); }
+};
+
+/** Bounds-checked reader; `ok` latches false on any over-read. */
+struct Reader
+{
+    const unsigned char *p;
+    size_t left;
+    bool ok = true;
+
+    void bytes(void *dst, size_t n)
+    {
+        if (n > left) {
+            ok = false;
+            std::memset(dst, 0, n);
+            return;
+        }
+        std::memcpy(dst, p, n);
+        p += n;
+        left -= n;
+    }
+    uint32_t u32()
+    {
+        uint32_t v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+    uint64_t u64()
+    {
+        uint64_t v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+    double f64()
+    {
+        double v;
+        bytes(&v, sizeof v);
+        return v;
+    }
+};
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+void
+backoff(unsigned r)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        KernelResultStore::kIoBackoffBaseMs << r));
+}
+
+} // namespace
+
+std::string
+encodeSigEntry(const SigEntry &e)
+{
+    Writer w;
+    w.out.reserve(kSigEntrySize);
+    w.bytes(kSigMagic, sizeof kSigMagic);
+    w.u32(kSigVersion);
+    w.u64(e.key.specHash);
+    w.u64(e.key.contentHash);
+    w.u64(e.key.workloadSeed);
+    w.u64(e.key.seedSalt);
+    w.u64(e.key.stopConfigKey);
+    w.u64(e.key.maxThreadInstructions);
+    w.u64(e.key.maxCycles);
+    w.u32(e.key.ipcBucketCycles);
+    w.u32(e.key.ipcWindowBuckets);
+    w.u32(e.key.scheduler);
+    for (int32_t q : e.sig.q)
+        w.u32(static_cast<uint32_t>(q));
+    w.f64(e.expThreadInsts);
+    w.u64(e.expWarpInsts);
+    w.u64(e.numCtas);
+    w.u32(crc32(w.out.data(), w.out.size()));
+    PKA_ASSERT(w.out.size() == kSigEntrySize,
+               "signature entry codec drifted from kSigEntrySize");
+    return std::move(w.out);
+}
+
+bool
+decodeSigEntry(const void *data, size_t size, SigEntry *out)
+{
+    if (size != kSigEntrySize)
+        return false;
+
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, bytes + kSigEntrySize - 4, 4);
+    if (crc32(bytes, kSigEntrySize - 4) != stored_crc)
+        return false;
+
+    Reader r{bytes, kSigEntrySize - 4};
+    char magic[4];
+    r.bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kSigMagic, sizeof kSigMagic) != 0)
+        return false;
+    if (r.u32() != kSigVersion)
+        return false;
+
+    SigEntry e;
+    e.key.specHash = r.u64();
+    e.key.contentHash = r.u64();
+    e.key.workloadSeed = r.u64();
+    e.key.seedSalt = r.u64();
+    e.key.stopConfigKey = r.u64();
+    e.key.maxThreadInstructions = r.u64();
+    e.key.maxCycles = r.u64();
+    e.key.ipcBucketCycles = r.u32();
+    e.key.ipcWindowBuckets = r.u32();
+    e.key.scheduler = static_cast<uint8_t>(r.u32());
+    for (size_t i = 0; i < kSigDims; ++i)
+        e.sig.q[i] = static_cast<int32_t>(r.u32());
+    e.expThreadInsts = r.f64();
+    e.expWarpInsts = r.u64();
+    e.numCtas = r.u64();
+    if (!r.ok || r.left != 0)
+        return false;
+    if (!(e.expThreadInsts > 0) || e.numCtas == 0)
+        return false; // a projection basis of zero can never be served
+    *out = std::move(e);
+    return true;
+}
+
+SignatureIndex::SignatureIndex(std::string root)
+    : root_(std::move(root))
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / "tmp", ec);
+    if (ec)
+        throw pka::common::TaskException(
+            pka::common::ErrorKind::kStoreIo,
+            strfmt("cannot create signature index at '%s': %s",
+                   root_.c_str(), ec.message().c_str()));
+    sweepOrphans();
+    loadEntries();
+}
+
+void
+SignatureIndex::sweepOrphans()
+{
+    // Same contract as the exact store: staging files are renamed away
+    // immediately, so anything in tmp/ at open is debris from a killed
+    // writer, and opening precedes this process's own writes.
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(root_) / "tmp", ec);
+    if (ec)
+        return;
+    uint64_t swept = 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".tmp")
+            continue;
+        if (fs::remove(entry.path(), ec))
+            ++swept;
+    }
+    if (swept) {
+        orphansSwept_.fetch_add(swept, std::memory_order_relaxed);
+        warn(strfmt("signature index '%s': swept %llu orphaned staging "
+                    "file(s) from an interrupted run",
+                    root_.c_str(), static_cast<unsigned long long>(swept)));
+    }
+}
+
+void
+SignatureIndex::loadEntries()
+{
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root_, ec);
+    if (ec)
+        return;
+    uint64_t corrupt = 0;
+    for (const auto &f : it) {
+        if (!f.is_regular_file(ec) || f.path().extension() != ".pks")
+            continue;
+        std::ifstream is(f.path(), std::ios::binary);
+        // Over-read by one byte so trailing junk fails the size check.
+        std::string bytes(kSigEntrySize + 1, '\0');
+        is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        size_t got = static_cast<size_t>(is.gcount());
+
+        uint64_t name_hash = 0;
+        {
+            // Entry files are named by the key hash; parse it back so
+            // injected read faults key deterministically per entry.
+            std::string stem = f.path().stem().string();
+            name_hash = std::strtoull(stem.c_str(), nullptr, 16);
+        }
+        if (auto flt = pka::common::faultAt("store.read", name_hash)) {
+            if (*flt == pka::common::FaultKind::kCorrupt)
+                bytes[0] = static_cast<char>(bytes[0] ^ 0xff);
+            else if (*flt == pka::common::FaultKind::kShortWrite)
+                got /= 2;
+            // kIoError/kThrow/kHang degrade to a skipped entry at load:
+            // the index is an accelerator, never a correctness
+            // dependency, so a sick disk must not wedge the open.
+            else
+                got = 0;
+        }
+
+        SigEntry e;
+        if (!decodeSigEntry(bytes.data(), got, &e)) {
+            ++corrupt;
+            warnRateLimited(
+                "sig.corrupt",
+                strfmt("signature index: skipping corrupt entry '%s' "
+                       "(%zu bytes)",
+                       f.path().string().c_str(), got));
+            continue;
+        }
+        entries_.push_back(e);
+        entryKeyHashes_.push_back(sim::kernelSimKeyHash(e.key));
+    }
+    loaded_.store(entries_.size(), std::memory_order_relaxed);
+    if (corrupt)
+        corruptSkipped_.fetch_add(corrupt, std::memory_order_relaxed);
+}
+
+std::string
+SignatureIndex::entryPath(uint64_t keyHash) const
+{
+    std::string h = hex16(keyHash);
+    return (fs::path(root_) / h.substr(0, 2) / (h + ".pks")).string();
+}
+
+SigProbe
+SignatureIndex::probe(const KernelSignature &sig, double tolerance) const
+{
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    SigProbe best;
+    uint64_t best_hash = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            double d = sigDistance(sig, entries_[i].sig);
+            if (d > tolerance)
+                continue;
+            if (!best.hit || d < best.distance ||
+                (d == best.distance && entryKeyHashes_[i] < best_hash)) {
+                best.hit = true;
+                best.entry = entries_[i];
+                best.distance = d;
+                best_hash = entryKeyHashes_[i];
+            }
+        }
+    }
+    if (best.hit)
+        probeHits_.fetch_add(1, std::memory_order_relaxed);
+    return best;
+}
+
+bool
+SignatureIndex::tryWrite(const std::string &bytes,
+                         const std::string &finalPath,
+                         uint64_t keyHash) const
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(finalPath).parent_path(), ec);
+    if (ec)
+        return false;
+
+    size_t write_len = bytes.size();
+    const char *data = bytes.data();
+    std::string corrupted;
+    if (auto f = pka::common::faultAt("store.write", keyHash)) {
+        switch (*f) {
+        case pka::common::FaultKind::kIoError:
+            return false;
+        case pka::common::FaultKind::kShortWrite:
+            // A torn entry reaching disk: size/CRC reject it at the
+            // next load and the kernel is simply re-indexed later.
+            write_len /= 2;
+            break;
+        case pka::common::FaultKind::kCorrupt:
+            corrupted = bytes;
+            corrupted[0] = static_cast<char>(corrupted[0] ^ 0xff);
+            data = corrupted.data();
+            break;
+        case pka::common::FaultKind::kHang:
+            pka::common::FaultInjector::instance().hang(
+                [] { return false; });
+            break;
+        case pka::common::FaultKind::kThrow:
+            throw pka::common::TaskException(
+                pka::common::ErrorKind::kStoreIo,
+                strfmt("injected signature index write failure for '%s'",
+                       finalPath.c_str()));
+        }
+    }
+
+    uint64_t n = tempCounter_.fetch_add(1, std::memory_order_relaxed);
+    fs::path tmp = fs::path(root_) / "tmp" /
+                   strfmt("%s.%llu.tmp",
+                          fs::path(finalPath).stem().string().c_str(),
+                          static_cast<unsigned long long>(n));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (os)
+            os.write(data, static_cast<std::streamsize>(write_len));
+        if (!os) {
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, finalPath, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+void
+SignatureIndex::insert(const SigEntry &e) const
+{
+    const uint64_t key_hash = sim::kernelSimKeyHash(e.key);
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (uint64_t h : entryKeyHashes_)
+            if (h == key_hash)
+                return; // already indexed (racing workers, warm replay)
+        entries_.push_back(e);
+        entryKeyHashes_.push_back(key_hash);
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string bytes = encodeSigEntry(e);
+    std::string final_path = entryPath(key_hash);
+    for (unsigned attempt = 0; attempt < KernelResultStore::kIoAttempts;
+         ++attempt) {
+        if (tryWrite(bytes, final_path, key_hash))
+            return;
+        if (attempt + 1 < KernelResultStore::kIoAttempts) {
+            ioRetries_.fetch_add(1, std::memory_order_relaxed);
+            backoff(attempt);
+        }
+    }
+    insertFailures_.fetch_add(1, std::memory_order_relaxed);
+    warnRateLimited("sig.write",
+                    strfmt("signature index: cannot write '%s' after %u "
+                           "attempts; entry not persisted",
+                           final_path.c_str(),
+                           KernelResultStore::kIoAttempts));
+}
+
+size_t
+SignatureIndex::size() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return entries_.size();
+}
+
+SigIndexStatsSnapshot
+SignatureIndex::stats() const
+{
+    SigIndexStatsSnapshot s;
+    s.entries = size();
+    s.loaded = loaded_.load(std::memory_order_relaxed);
+    s.corruptSkipped = corruptSkipped_.load(std::memory_order_relaxed);
+    s.probes = probes_.load(std::memory_order_relaxed);
+    s.probeHits = probeHits_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.insertFailures = insertFailures_.load(std::memory_order_relaxed);
+    s.ioRetries = ioRetries_.load(std::memory_order_relaxed);
+    s.orphansSwept = orphansSwept_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace pka::store

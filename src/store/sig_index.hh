@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The similarity tier's persistent signature index: maps quantized,
+ * log-scaled Table-2 counter signatures to exact-cache records, so the
+ * engine can answer an exact-cache miss with a *projected* result from
+ * the nearest stored near-duplicate kernel instead of simulating.
+ *
+ * Signature definition. A kernel's signature is derived from the 12
+ * noise-free Table-2 counters (silicon::deriveKernelMetrics), normalized
+ * per-CTA so grid scale never defeats matching — two launches identical
+ * except for grid size quantize to the *same* signature cell and match
+ * at distance zero, which is exactly the cross-app redundancy the tier
+ * exists to collapse:
+ *
+ *   dims 0..9   log1p(counter / numCtas)    per-CTA counts, log-scaled
+ *   dim  10     divergenceEff               threads/instr, scale-free
+ *   dim  11     0                           numCtas normalized out; kept
+ *                                           so indices align with
+ *                                           KernelMetrics::toArray()
+ *
+ * Each dimension is quantized to a fixed grid (kSigQuantStep); the
+ * distance between two signatures is the Chebyshev (max-abs) distance
+ * over dequantized dims. Because the count dims live in log space,
+ * a distance d bounds every per-CTA counter's relative mismatch by
+ * e^d - 1 — that bound is the error model the engine tags projected
+ * results with.
+ *
+ * On disk the index mirrors the exact store's layout and guarantees:
+ *
+ *   <root>/<hh>/<hash16>.pks  — one fixed-size entry per indexed kernel,
+ *                               named by the exact-cache key hash
+ *   <root>/tmp/               — staging for atomic write-then-rename
+ *
+ * Entries are CRC-32-guarded and carry a full KernelSimKey echo; a
+ * corrupt or truncated entry is warned about, counted, and skipped at
+ * load — never served. Writes go through the same fault-injection
+ * sites ("store.read"/"store.write") and retry/backoff policy as exact
+ * records, and orphaned staging files are swept at open.
+ */
+
+#ifndef PKA_STORE_SIG_INDEX_HH
+#define PKA_STORE_SIG_INDEX_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "silicon/profiler.hh"
+#include "sim/engine.hh"
+
+namespace pka::store
+{
+
+/** Signature dimensionality (= the Table-2 counter count). */
+constexpr size_t kSigDims = silicon::KernelMetrics::kCount;
+
+/** Quantization grid step applied to every normalized dimension. */
+constexpr double kSigQuantStep = 1.0 / 1024.0;
+
+/** A quantized kernel signature: one grid index per dimension. */
+struct KernelSignature
+{
+    std::array<int32_t, kSigDims> q{};
+
+    bool operator==(const KernelSignature &) const = default;
+};
+
+/** Quantize one normalized feature value onto the signature grid. */
+int32_t quantizeSigDim(double v);
+
+/** Centre of a grid cell (the dequantized value distance works on). */
+double dequantizeSigDim(int32_t q);
+
+/** Build the signature of a launch from its noise-free counters. */
+KernelSignature makeSignature(const silicon::KernelMetrics &m);
+
+/** Chebyshev distance over dequantized dims (see file comment). */
+double sigDistance(const KernelSignature &a, const KernelSignature &b);
+
+/**
+ * Estimated relative projection error for a neighbor at signature
+ * distance `d`: the log-space Chebyshev bound e^d - 1.
+ */
+double sigErrorBound(double distance);
+
+/** One persisted index entry: signature -> exact-cache record. */
+struct SigEntry
+{
+    KernelSignature sig;
+
+    /** Exact-cache key of the stored neighbor result. */
+    sim::KernelSimKey key;
+
+    /** Static expected thread instructions of the neighbor launch. */
+    double expThreadInsts = 0.0;
+
+    /** Static warp-instruction count of the neighbor launch. */
+    uint64_t expWarpInsts = 0;
+
+    /** Grid size of the neighbor launch. */
+    uint64_t numCtas = 0;
+};
+
+/** Exact on-disk size of a v1 signature-index entry in bytes. */
+constexpr size_t kSigEntrySize =
+    4 + 4 +                 // magic + version
+    7 * 8 + 3 * 4 +         // key echo: 7 u64 + 2 u32 + scheduler
+    kSigDims * 4 +          // quantized signature
+    8 + 8 + 8 +             // expThreadInsts + expWarpInsts + numCtas
+    4;                      // CRC-32
+
+/** Serialize one index entry. */
+std::string encodeSigEntry(const SigEntry &e);
+
+/** Validate bytes and fill `*out`; false = corrupt (skip, never serve). */
+bool decodeSigEntry(const void *data, size_t size, SigEntry *out);
+
+/** Counters of one signature index (atomic; snapshot for reporting). */
+struct SigIndexStatsSnapshot
+{
+    uint64_t entries = 0;        ///< entries currently resident
+    uint64_t loaded = 0;         ///< entries loaded from disk at open
+    uint64_t corruptSkipped = 0; ///< entries rejected at load (CRC/size)
+    uint64_t probes = 0;         ///< similarity lookups
+    uint64_t probeHits = 0;      ///< lookups with a neighbor in bound
+    uint64_t inserts = 0;        ///< entries added (and persisted)
+    uint64_t insertFailures = 0; ///< persists that failed every attempt
+    uint64_t ioRetries = 0;      ///< transient I/O failures retried
+    uint64_t orphansSwept = 0;   ///< stale tmp files removed at open
+};
+
+/** Result of one similarity probe. */
+struct SigProbe
+{
+    bool hit = false;    ///< a stored neighbor lies within the bound
+    SigEntry entry;      ///< the nearest such neighbor
+    double distance = 0; ///< its signature distance
+};
+
+/**
+ * The persistent signature index. Thread-safe: inserts and probes may
+ * run concurrently from every engine worker. Probing is a linear scan
+ * over the resident entries — fleets hold thousands of *distinct*
+ * kernel shapes, so a scan of small fixed-size structs is microseconds
+ * against a simulation it potentially replaces entirely.
+ */
+class SignatureIndex
+{
+  public:
+    /**
+     * Open (creating directories as needed) an index rooted at `root`,
+     * sweeping orphaned staging files and loading every valid entry;
+     * corrupt entries are warned, counted and skipped. Throws
+     * common::TaskException(kStoreIo) when the root cannot be created.
+     */
+    explicit SignatureIndex(std::string root);
+
+    SignatureIndex(const SignatureIndex &) = delete;
+    SignatureIndex &operator=(const SignatureIndex &) = delete;
+
+    /** The index root directory. */
+    const std::string &root() const { return root_; }
+
+    /**
+     * Find the nearest stored entry within `tolerance` signature
+     * distance of `sig`. Deterministic for a fixed entry set: ties
+     * break on the smaller key hash, so probe results never depend on
+     * insertion order.
+     */
+    SigProbe probe(const KernelSignature &sig, double tolerance) const;
+
+    /**
+     * Add an entry (idempotent per exact-cache key) and persist it
+     * atomically with bounded retries; a permanent write failure warns
+     * and counts but keeps the entry resident — the tier degrades to
+     * process-local, never fails a campaign.
+     */
+    void insert(const SigEntry &e) const;
+
+    /** Number of resident entries. */
+    size_t size() const;
+
+    /** Counter snapshot. */
+    SigIndexStatsSnapshot stats() const;
+
+  private:
+    std::string entryPath(uint64_t keyHash) const;
+    bool tryWrite(const std::string &bytes, const std::string &finalPath,
+                  uint64_t keyHash) const;
+    void sweepOrphans();
+    void loadEntries();
+
+    std::string root_;
+    mutable std::mutex m_;
+    mutable std::vector<SigEntry> entries_;
+    mutable std::vector<uint64_t> entryKeyHashes_; // parallel to entries_
+    mutable std::atomic<uint64_t> tempCounter_{0};
+
+    mutable std::atomic<uint64_t> loaded_{0};
+    mutable std::atomic<uint64_t> corruptSkipped_{0};
+    mutable std::atomic<uint64_t> probes_{0};
+    mutable std::atomic<uint64_t> probeHits_{0};
+    mutable std::atomic<uint64_t> inserts_{0};
+    mutable std::atomic<uint64_t> insertFailures_{0};
+    mutable std::atomic<uint64_t> ioRetries_{0};
+    mutable std::atomic<uint64_t> orphansSwept_{0};
+};
+
+/**
+ * Signature of one launch descriptor: noise-free Table-2 counters
+ * (silicon::deriveKernelMetrics) normalized and quantized as per the
+ * file comment.
+ */
+KernelSignature signatureOf(const pka::workload::KernelDescriptor &k);
+
+} // namespace pka::store
+
+#endif // PKA_STORE_SIG_INDEX_HH

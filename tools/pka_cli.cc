@@ -42,6 +42,7 @@
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "store/file_store.hh"
+#include "store/sig_index.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
 #include "sim/simulator.hh"
@@ -104,6 +105,18 @@ common options:
                               runs are bit-identical to uninterrupted
                               ones
   --store-stats               print persistent-store counters on exit
+  --xcache                    enable the similarity-tiered result cache
+                              (requires --cache-dir): exact-cache
+                              misses may be answered by *projecting*
+                              the result of a stored near-duplicate
+                              kernel, tagged with provenance and an
+                              error bound, instead of simulating.
+                              Default off — without it every output is
+                              bit-identical to an exact-only run
+  --xcache-tolerance T        max signature distance for a projection
+                              (default 0.05, range (0, 1]); a distance
+                              t bounds per-CTA counter mismatch by
+                              e^t - 1, which is the reported error tag
 
 fault tolerance (simulate/analyze):
   --task-timeout SEC          per-launch wall-clock watchdog; a launch
@@ -497,6 +510,14 @@ cmdSimulate(const CliArgs &args)
                     static_cast<unsigned long long>(proj.cacheHits),
                     static_cast<unsigned long long>(proj.storeHits),
                     static_cast<unsigned long long>(proj.cacheMisses));
+        if (proj.projectedLaunches > 0)
+            std::printf("  similarity tier: %llu representative(s) "
+                        "projected (%llu fresh), worst-case est. error "
+                        "%.2f%%\n",
+                        static_cast<unsigned long long>(
+                            proj.projectedLaunches),
+                        static_cast<unsigned long long>(proj.simTierHits),
+                        100.0 * proj.projErrBound);
         return reportCampaignHealth("selection simulation",
                                     proj.failedLaunches,
                                     proj.quarantinedKernels,
@@ -531,6 +552,13 @@ cmdSimulate(const CliArgs &args)
                 static_cast<unsigned long long>(fs.cacheMisses),
                 common::humanTime(fs.cycles / core::kSimCyclesPerSecond)
                     .c_str());
+    if (fs.projectedLaunches > 0)
+        std::printf("similarity tier: %llu of %zu launches projected "
+                    "(%.1f%%, %llu fresh), worst-case est. error %.2f%%\n",
+                    static_cast<unsigned long long>(fs.projectedLaunches),
+                    w.launches.size(), fs.projectedPct(),
+                    static_cast<unsigned long long>(fs.simTierHits),
+                    100.0 * fs.projErrBound);
     return reportCampaignHealth("full simulation", fs.failedLaunches,
                                 fs.quarantinedKernels, fs.quorumMet,
                                 fs.failures);
@@ -628,6 +656,14 @@ cmdAnalyze(const CliArgs &args)
                                                 res.pka.storeHits),
                 static_cast<unsigned long long>(res.pks.cacheMisses +
                                                 res.pka.cacheMisses));
+    if (res.pks.projectedLaunches + res.pka.projectedLaunches > 0)
+        std::printf("similarity: %llu launch(es) projected, worst-case "
+                    "est. error %.2f%%\n",
+                    static_cast<unsigned long long>(
+                        res.pks.projectedLaunches +
+                        res.pka.projectedLaunches),
+                    100.0 * std::max(res.pks.projErrBound,
+                                     res.pka.projErrBound));
     int rc_pks = reportCampaignHealth(
         "PKS stage", res.pks.failedLaunches, res.pks.quarantinedKernels,
         res.pks.quorumMet, res.pks.failures);
@@ -652,6 +688,17 @@ engineOptionsFor(const CliArgs &args)
     eo.taskTimeoutSec = args.getPositiveNum("task-timeout", 0.0);
     eo.maxTaskAttempts =
         static_cast<unsigned>(args.getUint("max-retries", 1, 0, 100)) + 1;
+    if (args.has("xcache")) {
+        if (!args.has("cache-dir"))
+            common::fatal("--xcache requires --cache-dir (the signature "
+                          "index lives under the store root)");
+        // Hardened parse: NaN, negatives, zero, trailing garbage and
+        // anything above 1 are all fatal here, not silently clamped.
+        eo.xcacheTolerance =
+            args.getPositiveNum("xcache-tolerance", 0.05, 1.0);
+    } else if (args.has("xcache-tolerance")) {
+        common::fatal("--xcache-tolerance requires --xcache");
+    }
     return eo;
 }
 
@@ -704,10 +751,14 @@ cmdServe(const CliArgs &args)
     sig_thread.join();
     std::fprintf(stderr,
                  "pka serve: shut down (%llu campaign(s) completed, "
-                 "peak %zu concurrent)\n",
+                 "peak %zu concurrent, %llu similarity hit(s), %llu "
+                 "launch(es) projected)\n",
                  static_cast<unsigned long long>(
                      srv->campaignsCompleted()),
-                 srv->peakConcurrentCampaigns());
+                 srv->peakConcurrentCampaigns(),
+                 static_cast<unsigned long long>(srv->simTierHits()),
+                 static_cast<unsigned long long>(
+                     srv->projectedLaunches()));
     return 0;
 }
 
@@ -801,6 +852,21 @@ cmdClient(const CliArgs &args)
             static_cast<unsigned long long>(replyUint(m, "store_hits")),
             static_cast<unsigned long long>(
                 replyUint(m, "cache_misses")));
+        // Fleet dedup: launches answered by projecting another app's
+        // stored result instead of simulating. Absent fields (an older
+        // daemon) default to 0.
+        uint64_t sim_hits = replyUint(m, "sim_hits");
+        uint64_t projected = replyUint(m, "projected");
+        uint64_t sim_total = replyUint(m, "cache_hits") +
+                             replyUint(m, "store_hits") + sim_hits +
+                             replyUint(m, "cache_misses");
+        std::printf("xcache: %llu similarity hit(s), %llu projected "
+                    "(%.1f%% fleet dedup)\n",
+                    static_cast<unsigned long long>(sim_hits),
+                    static_cast<unsigned long long>(projected),
+                    sim_total == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(sim_hits) /
+                                         static_cast<double>(sim_total));
         return 0;
     }
 
@@ -869,6 +935,15 @@ cmdClient(const CliArgs &args)
                         replyUint(m, "store_hits")),
                     static_cast<unsigned long long>(
                         replyUint(m, "cache_misses")));
+        // Similarity-tier fields arrive only from an xcache-enabled
+        // daemon with projections; older daemons default them to 0 and
+        // the line stays suppressed, keeping the prefix diffable.
+        if (replyUint(m, "projected") > 0)
+            std::printf("similarity tier: %llu launch(es) projected, "
+                        "worst-case est. error %.2f%%\n",
+                        static_cast<unsigned long long>(
+                            replyUint(m, "projected")),
+                        100.0 * replyDouble(m, "proj_err"));
         uint64_t failed = replyUint(m, "failed");
         bool quorum_met = replyUint(m, "quorum") == 1;
         if (failed > 0 || !quorum_met)
@@ -958,7 +1033,7 @@ main(int argc, char **argv)
     CliArgs args(argc, argv, 2,
                  {"light", "pkp", "force", "no-memo", "content-seed",
                   "resume", "store-stats", "fail-fast", "strict-profiles",
-                  "stability", "stream", "stats", "shutdown"});
+                  "stability", "stream", "stats", "shutdown", "xcache"});
 
     if (args.has("faults")) {
         if (!common::kFaultInjectionCompiledIn)
@@ -986,7 +1061,7 @@ main(int argc, char **argv)
     if (args.has("cache-dir")) {
         try {
             store = std::make_unique<store::KernelResultStore>(
-                args.get("cache-dir"));
+                args.get("cache-dir"), args.has("xcache"));
         } catch (const common::TaskException &ex) {
             common::fatal("cannot open result store: " +
                           std::string(ex.what()));
@@ -1019,6 +1094,23 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.ioRetries),
                 static_cast<unsigned long long>(s.retryExhausted),
                 static_cast<unsigned long long>(s.orphansSwept));
+            if (const store::SignatureIndex *idx = store->similarity()) {
+                store::SigIndexStatsSnapshot g = idx->stats();
+                std::fprintf(
+                    stderr,
+                    "sig:   %zu entries (%llu loaded, %llu corrupt "
+                    "skipped), %llu probes / %llu hits, "
+                    "%llu inserts (%llu failed), %llu I/O retries, "
+                    "%llu orphans swept\n",
+                    idx->size(), static_cast<unsigned long long>(g.loaded),
+                    static_cast<unsigned long long>(g.corruptSkipped),
+                    static_cast<unsigned long long>(g.probes),
+                    static_cast<unsigned long long>(g.probeHits),
+                    static_cast<unsigned long long>(g.inserts),
+                    static_cast<unsigned long long>(g.insertFailures),
+                    static_cast<unsigned long long>(g.ioRetries),
+                    static_cast<unsigned long long>(g.orphansSwept));
+            }
         }
         return rc;
     };
