@@ -1,0 +1,410 @@
+/**
+ * @file
+ * End-to-end chaos harness for the serve daemon: forks a real daemon
+ * process per cycle and drives it with concurrent clients through
+ * randomized-but-seeded kill/restart cycles, injected disk faults
+ * (enospc/io/short writes at the store and journal) and abrupt
+ * mid-FEED disconnects. Asserts the operational-resilience contract:
+ *
+ *  - zero daemon crashes — the only way a daemon dies is our SIGKILL
+ *    or a clean exit after SIGTERM drain;
+ *  - the cache directory survives every cycle: `fsck --repair` heals
+ *    whatever the kills tore, and a rescan comes back clean;
+ *  - the final resumed campaign produces aggregates bit-identical to a
+ *    clean uninterrupted run (doubles travel as hexfloats on the wire,
+ *    so string equality is bit equality).
+ *
+ * Usage: micro_chaos [--quick] [seed]   (default: 12 cycles, seed 1;
+ *        --quick runs 5 cycles for CI)
+ *
+ * Emits BENCH_chaos.json and exits nonzero on any contract violation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/fault.hh"
+#include "common/parse.hh"
+#include "common/rng.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "store/fsck.hh"
+
+using namespace pka;
+
+namespace
+{
+
+int g_violations = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (ok)
+        return;
+    ++g_violations;
+    std::fprintf(stderr, "VIOLATION: %s\n", what);
+}
+
+constexpr const char *kWorkload = "gauss_s64"; // 126 launches, 2 chunks
+constexpr const char *kSession = "chaos";
+
+/** Fault specs cycled through the daemon children (seeded pick). */
+const char *const kFaultMenu[] = {
+    "",                          // clean cycle
+    "store.write:enospc:300",    // disk fills mid-campaign
+    "store.read:io:150",         // flaky reads (transient misses)
+    "journal.append:short:200",  // torn checkpoint tails
+    "store.write:short:250",     // torn record writes
+};
+
+/**
+ * Child body: become a daemon on `cacheDir`, report the bound address
+ * over `wfd`, serve until SIGTERM (graceful drain) or SIGKILL. Never
+ * returns.
+ */
+[[noreturn]] void
+daemonChild(int wfd, const std::string &cacheDir,
+            const std::string &faults, uint64_t faultSeed)
+{
+    if (!faults.empty() && common::kFaultInjectionCompiledIn) {
+        std::string err;
+        common::FaultInjector::instance().configureFromString(
+            faults, faultSeed, &err);
+    }
+
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    serve::ServerOptions so;
+    so.listen = "127.0.0.1:0";
+    so.cacheDir = cacheDir;
+    so.ioTimeoutSec = 5; // chaos clients vanish; deadlines must reap
+    so.limits.maxConcurrentCampaigns = 2;
+    auto started = serve::Server::start(so);
+    if (!started.ok()) {
+        std::string msg = "ERR " + started.error().str() + "\n";
+        (void)!write(wfd, msg.c_str(), msg.size());
+        _exit(2);
+    }
+    serve::Server *srv = started.value().get();
+    std::string addr = srv->address() + "\n";
+    (void)!write(wfd, addr.c_str(), addr.size());
+    close(wfd);
+
+    std::thread sig_thread([&sigs, srv] {
+        int sig = 0;
+        if (sigwait(&sigs, &sig) == 0) {
+            if (sig == SIGTERM)
+                srv->drain();
+            else
+                srv->shutdown();
+        }
+    });
+    srv->wait();
+    kill(getpid(), SIGTERM); // unblock sigwait on the verb path
+    sig_thread.join();
+    _exit(0);
+}
+
+/** What the concurrent clients saw during one cycle. */
+struct ClientTallies
+{
+    int results = 0;     ///< RESULT replies (campaign completed)
+    int typedErrs = 0;   ///< ERR replies (overloaded/quota/...)
+    int transport = 0;   ///< connection died (expected under kills)
+};
+
+/** RUN a resumable campaign; outcomes land in `t`. */
+void
+runnerClient(const std::string &addr, unsigned priority, ClientTallies *t)
+{
+    auto c = serve::Client::connect(addr);
+    if (!c.ok()) {
+        ++t->transport;
+        return;
+    }
+    auto h = c.value().hello(kSession, /*resume=*/true);
+    if (!h.ok() || h.value().verb != "OK") {
+        ++t->transport;
+        return;
+    }
+    serve::Message req{"RUN", {}};
+    req.add("id", "c").add("workload", kWorkload);
+    req.addUint("priority", priority).add("resume", "1");
+    auto r = c.value().call(req);
+    if (!r.ok())
+        ++t->transport;
+    else if (r.value().verb == "RESULT")
+        ++t->results;
+    else
+        ++t->typedErrs;
+}
+
+/** Open a stream, FEED a couple of chunks, then vanish mid-protocol —
+ *  the abrupt-disconnect case the daemon must shrug off. */
+void
+streamerClient(const std::string &addr, ClientTallies *t)
+{
+    auto c = serve::Client::connect(addr);
+    if (!c.ok()) {
+        ++t->transport;
+        return;
+    }
+    auto h = c.value().hello("chaos-stream");
+    if (!h.ok() || h.value().verb != "OK") {
+        ++t->transport;
+        return;
+    }
+    serve::Message open{"STREAM", {}};
+    open.add("id", "s").add("workload", kWorkload).addUint("warmup", 8);
+    auto o = c.value().call(open);
+    if (!o.ok() || o.value().verb != "OK") {
+        o.ok() ? ++t->typedErrs : ++t->transport;
+        return;
+    }
+    for (uint64_t from = 0; from < 16; from += 8) {
+        serve::Message feed{"FEED", {}};
+        feed.add("id", "s").addUint("from", from).addUint("count", 8);
+        auto f = c.value().call(feed);
+        if (!f.ok()) {
+            ++t->transport;
+            return;
+        }
+    }
+    // Client object goes out of scope: the socket closes with the
+    // stream open and launches fed but never ENDed.
+}
+
+/** One clean in-process daemon run; returns the RESULT message (empty
+ *  verb on failure). `resume` continues `kSession`'s journaled work. */
+serve::Message
+cleanRun(const std::string &cacheDir, bool resume)
+{
+    serve::ServerOptions so;
+    so.listen = "127.0.0.1:0";
+    so.cacheDir = cacheDir;
+    auto started = serve::Server::start(so);
+    if (!started.ok())
+        return serve::Message{"", {}};
+    auto c = serve::Client::connect(started.value()->address());
+    if (!c.ok())
+        return serve::Message{"", {}};
+    auto h = c.value().hello(kSession, resume);
+    if (!h.ok() || h.value().verb != "OK")
+        return serve::Message{"", {}};
+    serve::Message req{"RUN", {}};
+    req.add("id", "c").add("workload", kWorkload);
+    if (resume)
+        req.add("resume", "1");
+    auto r = c.value().call(req);
+    if (!r.ok())
+        return serve::Message{"", {}};
+    return r.value();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int cycles = 12;
+    uint64_t seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            cycles = 5;
+            continue;
+        }
+        auto v = common::parseUint(argv[i]);
+        if (!v.ok()) {
+            std::fprintf(stderr, "micro_chaos: bad seed '%s': %s\n",
+                         argv[i], v.error().str().c_str());
+            return 1;
+        }
+        seed = v.value();
+    }
+
+    namespace fs = std::filesystem;
+    std::string root = "chaos_cache_dir";
+    fs::remove_all(root);
+    fs::create_directories(root);
+
+    common::Rng rng(seed, 0xC4A05);
+    ClientTallies tally;
+    int kills = 0, drains = 0, crashes = 0, drainTimeouts = 0;
+
+    bench::banner("seeded kill/restart + disk-fault + disconnect cycles");
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+        const char *faults =
+            kFaultMenu[rng.nextU32() %
+                       (sizeof(kFaultMenu) / sizeof(kFaultMenu[0]))];
+        bool graceful = cycle % 3 == 2; // every third cycle drains
+        unsigned priority = rng.nextU32() % 2 == 0 ? 0 : 5;
+        unsigned killDelayMs = 5 + rng.nextU32() % 250;
+
+        int pipefd[2];
+        if (pipe(pipefd) != 0) {
+            std::perror("pipe");
+            return 1;
+        }
+        pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("fork");
+            return 1;
+        }
+        if (pid == 0) {
+            close(pipefd[0]);
+            daemonChild(pipefd[1], root, faults, seed + cycle);
+        }
+        close(pipefd[1]);
+
+        // The child reports its ephemeral address (or ERR) first thing.
+        std::string addr;
+        char ch;
+        while (read(pipefd[0], &ch, 1) == 1 && ch != '\n')
+            addr.push_back(ch);
+        close(pipefd[0]);
+        if (addr.rfind("ERR", 0) == 0 || addr.empty()) {
+            check(false, "daemon child failed to start");
+            waitpid(pid, nullptr, 0);
+            continue;
+        }
+
+        std::thread runner(runnerClient, addr, priority, &tally);
+        std::thread streamer(streamerClient, addr, &tally);
+        std::thread prober(runnerClient, addr, 0u, &tally);
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(killDelayMs));
+        kill(pid, graceful ? SIGTERM : SIGKILL);
+        graceful ? ++drains : ++kills;
+
+        runner.join();
+        streamer.join();
+        prober.join();
+
+        // Reap with escalation: a drain that never finishes is itself a
+        // violation (shutdown must terminate).
+        int status = 0;
+        bool reaped = false;
+        for (int i = 0; i < 300; ++i) {
+            if (waitpid(pid, &status, WNOHANG) == pid) {
+                reaped = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        if (!reaped) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &status, 0);
+            ++drainTimeouts;
+            check(false, "daemon did not exit within 30s of SIGTERM");
+        } else if (WIFSIGNALED(status)) {
+            if (WTERMSIG(status) != SIGKILL || graceful) {
+                ++crashes;
+                std::fprintf(stderr,
+                             "cycle %d: daemon died on signal %d "
+                             "(faults='%s', graceful=%d)\n",
+                             cycle, WTERMSIG(status), faults, graceful);
+            }
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+            ++crashes;
+            std::fprintf(stderr, "cycle %d: daemon exited %d\n", cycle,
+                         WEXITSTATUS(status));
+        }
+        std::printf("cycle %2d: faults='%s' %s after %ums  "
+                    "[results %d, typed errs %d, transport %d]\n",
+                    cycle, faults, graceful ? "SIGTERM" : "SIGKILL",
+                    killDelayMs, tally.results, tally.typedErrs,
+                    tally.transport);
+    }
+    check(crashes == 0, "daemon crashed under chaos");
+
+    bench::banner("fsck repair + clean rescan");
+    store::FsckOptions repair;
+    repair.repair = true;
+    store::FsckReport healed = store::fsckStore(root, repair);
+    std::printf("fsck: %llu records (%llu corrupt, %llu misnamed), "
+                "%llu sig, %llu tmp orphans, %llu journals "
+                "(%llu torn), %llu quarantined\n",
+                static_cast<unsigned long long>(healed.recordsScanned),
+                static_cast<unsigned long long>(healed.recordsCorrupt),
+                static_cast<unsigned long long>(healed.recordsMisnamed),
+                static_cast<unsigned long long>(healed.sigScanned),
+                static_cast<unsigned long long>(healed.tmpOrphans),
+                static_cast<unsigned long long>(healed.journalsScanned),
+                static_cast<unsigned long long>(healed.journalsTorn),
+                static_cast<unsigned long long>(healed.quarantinedFiles));
+    store::FsckReport rescan = store::fsckStore(root, store::FsckOptions{});
+    check(rescan.clean(), "store not clean after fsck --repair");
+
+    bench::banner("bit-identical final aggregates");
+    std::string baseDir = root + "_baseline";
+    fs::remove_all(baseDir);
+    serve::Message base = cleanRun(baseDir, /*resume=*/false);
+    serve::Message fin = cleanRun(root, /*resume=*/true);
+    check(base.verb == "RESULT", "baseline campaign did not complete");
+    check(fin.verb == "RESULT", "final resumed campaign did not complete");
+    bool identical = base.verb == "RESULT" && fin.verb == "RESULT";
+    for (const char *key : {"cycles", "insts", "ipc", "dram"}) {
+        if (!identical)
+            break;
+        if (base.get(key) != fin.get(key)) {
+            identical = false;
+            std::fprintf(stderr, "aggregate '%s' diverged: %s != %s\n",
+                         key, base.get(key).c_str(),
+                         fin.get(key).c_str());
+        }
+    }
+    check(identical,
+          "final aggregates not bit-identical to a clean run");
+    std::printf("final: cycles=%s (resumed %s launches) vs clean "
+                "cycles=%s -> %s\n",
+                fin.get("cycles").c_str(), fin.get("resumed").c_str(),
+                base.get("cycles").c_str(),
+                identical ? "identical" : "DIVERGED");
+
+    FILE *json = std::fopen("BENCH_chaos.json", "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"seed\": %llu,\n  \"cycles\": %d,\n"
+            "  \"kills\": %d,\n  \"drains\": %d,\n"
+            "  \"crashes\": %d,\n  \"drain_timeouts\": %d,\n"
+            "  \"client_results\": %d,\n  \"client_typed_errs\": %d,\n"
+            "  \"client_transport_errs\": %d,\n"
+            "  \"fsck_quarantined\": %llu,\n"
+            "  \"fsck_journals_torn\": %llu,\n"
+            "  \"bit_identical\": %s,\n  \"violations\": %d\n}\n",
+            static_cast<unsigned long long>(seed), cycles, kills, drains,
+            crashes, drainTimeouts, tally.results, tally.typedErrs,
+            tally.transport,
+            static_cast<unsigned long long>(healed.quarantinedFiles),
+            static_cast<unsigned long long>(healed.journalsTorn),
+            identical ? "true" : "false", g_violations);
+        std::fclose(json);
+        std::printf("wrote BENCH_chaos.json\n");
+    }
+
+    fs::remove_all(root);
+    fs::remove_all(baseDir);
+    if (g_violations > 0) {
+        std::fprintf(stderr, "micro_chaos: %d contract violation(s)\n",
+                     g_violations);
+        return 1;
+    }
+    std::printf("micro_chaos: all resilience contracts held\n");
+    return 0;
+}

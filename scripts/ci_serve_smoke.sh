@@ -24,11 +24,22 @@ RESUME_WORKLOAD=gauss_s64
 WORK=$(mktemp -d)
 SERVER_PID=
 
+# Runs on every exit path — a failed assertion (or a ^C) must never
+# leave an orphaned daemon behind. SIGTERM asks for a graceful drain;
+# a daemon that does not quiesce promptly is hard-killed.
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -TERM "$SERVER_PID" 2>/dev/null || true
+        for _ in $(seq 1 50); do
+            kill -0 "$SERVER_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        kill -KILL "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
     rm -rf "$WORK"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
 
 fail() {
     echo "FAIL: $*" >&2

@@ -21,6 +21,8 @@ errorKindName(ErrorKind kind)
         return "rejected";
     case ErrorKind::kInternal:
         return "internal";
+    case ErrorKind::kOverloaded:
+        return "overloaded";
     }
     return "unknown";
 }

@@ -38,6 +38,9 @@ enum class ErrorKind : uint8_t
     kCancelled,    ///< cooperatively cancelled from outside
     kRejected,     ///< admission control / quota refused the work
     kInternal,     ///< unexpected failure (unclassified exception)
+    kOverloaded,   ///< load shedding: the service is saturated — retry
+                   ///< later against the same endpoint (distinct from
+                   ///< kRejected so clients can tell policy from pressure)
 };
 
 /** Stable lowercase name of an ErrorKind (for reports and logs). */

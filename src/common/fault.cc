@@ -49,6 +49,8 @@ parseKind(std::string_view s)
         return FaultKind::kShortWrite;
     if (s == "corrupt")
         return FaultKind::kCorrupt;
+    if (s == "enospc")
+        return FaultKind::kDiskFull;
     return std::nullopt;
 }
 
@@ -85,6 +87,8 @@ faultKindName(FaultKind kind)
         return "short";
     case FaultKind::kCorrupt:
         return "corrupt";
+    case FaultKind::kDiskFull:
+        return "enospc";
     }
     return "unknown";
 }

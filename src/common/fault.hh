@@ -20,8 +20,8 @@
  *   worker.exec    — engine task body, before simulation      (throw)
  *   sim.loop       — simulator bucket boundary                (throw, hang)
  *   store.read     — result-store record read                 (io, corrupt)
- *   store.write    — result-store record write                (io, short)
- *   journal.append — campaign-journal checkpoint append       (short = crash)
+ *   store.write    — result-store record write                (io, short, enospc)
+ *   journal.append — campaign-journal checkpoint append       (short = crash, enospc)
  */
 
 #ifndef PKA_COMMON_FAULT_HH
@@ -53,6 +53,8 @@ enum class FaultKind : uint8_t
     kIoError,    ///< report a (retryable) I/O failure
     kShortWrite, ///< truncate the payload mid-write (torn record/line)
     kCorrupt,    ///< flip payload bits (CRC must catch it)
+    kDiskFull,   ///< report ENOSPC: a permanent (non-retryable) write
+                 ///< failure — the subsystem must degrade, not retry
 };
 
 /** Stable lowercase name of a FaultKind. */
@@ -101,7 +103,7 @@ class FaultInjector
      * Arm from a spec string:
      *   spec     := entry (',' entry)*
      *   entry    := site ':' kind [':' arg]*
-     *   kind     := throw | hang | io | short | corrupt
+     *   kind     := throw | hang | io | short | corrupt | enospc
      *   arg      := <permille> | key=<hex64> | max=<count>
      * e.g. "store.read:io:250,worker.exec:throw:key=1f2e3d4c5b6a7988".
      * Returns false (and fills *err) on a malformed spec.

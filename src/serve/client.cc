@@ -53,7 +53,7 @@ errorFromMessage(const Message &m)
     e.kind = common::ErrorKind::kInternal;
     std::string kind = m.get("kind");
     for (uint8_t k = 0; k <= static_cast<uint8_t>(
-                                 common::ErrorKind::kInternal);
+                                 common::ErrorKind::kOverloaded);
          ++k)
         if (kind == common::errorKindName(
                         static_cast<common::ErrorKind>(k))) {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -209,6 +210,16 @@ connectTo(const std::string &address)
     return out;
 }
 
+void
+setIoTimeouts(int fd, unsigned recvSeconds, unsigned sendSeconds)
+{
+    timeval tv{};
+    tv.tv_sec = recvSeconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    tv.tv_sec = sendSeconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 common::Expected<bool>
 sendLine(int fd, const std::string &line)
 {
@@ -221,6 +232,9 @@ sendLine(int fd, const std::string &line)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return err(common::ErrorKind::kTimeout,
+                           "send timed out (peer not reading)");
             return sysErr("send");
         }
         sent += static_cast<size_t>(n);
@@ -251,6 +265,9 @@ LineReader::readLine()
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return err(common::ErrorKind::kTimeout,
+                           "read timed out (peer idle past the deadline)");
             return sysErr("recv");
         }
         buf_.append(chunk, static_cast<size_t>(n));

@@ -88,12 +88,25 @@ class Listener
 /** Connect to an address in the same "host:port"/"unix:/path" syntax. */
 common::Expected<Fd> connectTo(const std::string &address);
 
-/** Write `line` plus '\n', handling partial writes. */
+/**
+ * Arm kernel-level read/write deadlines (SO_RCVTIMEO/SO_SNDTIMEO) on a
+ * connected socket. 0 disables the corresponding deadline. With
+ * deadlines armed, a stalled recv/send surfaces as a kTimeout error
+ * from readLine()/sendLine() instead of pinning the thread forever —
+ * the daemon's defense against slow-loris peers and vanished clients
+ * whose TCP windows stay open.
+ */
+void setIoTimeouts(int fd, unsigned recvSeconds, unsigned sendSeconds);
+
+/** Write `line` plus '\n', handling partial writes. Sends are
+ *  MSG_NOSIGNAL: a vanished peer yields an error, never SIGPIPE.
+ *  kTimeout when a send deadline (setIoTimeouts) expires. */
 common::Expected<bool> sendLine(int fd, const std::string &line);
 
 /**
  * Buffered '\n'-delimited reader over one socket. Returns kCancelled
- * on orderly EOF, kStoreIo on read errors. Lines longer than the cap
+ * on orderly EOF, kStoreIo on read errors, kTimeout when a read
+ * deadline (setIoTimeouts) expires. Lines longer than the cap
  * (1 MiB) are kBadInput — no peer can balloon daemon memory.
  */
 class LineReader

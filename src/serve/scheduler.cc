@@ -24,20 +24,24 @@ LaunchQuota::admit(size_t launches)
 }
 
 common::Expected<bool>
-CampaignScheduler::admit(const std::string &campaignId)
+CampaignScheduler::admit(const std::string &campaignId, unsigned priority)
 {
     // Optimistic increment; back out on overshoot. Keeps the gate a
-    // single atomic in the admit path.
+    // single atomic in the admit path. Priority > 0 may overflow into
+    // the reserve, so saturation sheds background work first.
+    size_t cap = limits_.maxConcurrentCampaigns;
+    if (priority > 0)
+        cap += limits_.effectiveReserve();
     size_t now = active_.fetch_add(1) + 1;
-    if (now > limits_.maxConcurrentCampaigns) {
+    if (now > cap) {
         active_.fetch_sub(1);
-        rejected_.fetch_add(1);
+        shed_.fetch_add(1);
         common::TaskError e;
-        e.kind = common::ErrorKind::kRejected;
-        e.message = "campaign '" + campaignId +
-                    "' rejected: " +
-                    std::to_string(limits_.maxConcurrentCampaigns) +
-                    " campaigns already in flight";
+        e.kind = common::ErrorKind::kOverloaded;
+        e.message = "campaign '" + campaignId + "' shed: " +
+                    std::to_string(cap) +
+                    " campaigns already in flight — retry later" +
+                    (priority == 0 ? " or raise priority" : "");
         return e;
     }
     size_t peak = peak_.load();

@@ -37,6 +37,26 @@ struct ServeLimits
 
     /** Distinct session keys the daemon will materialize. */
     size_t maxSessions = 64;
+
+    /**
+     * Overflow slots reserved for priority > 0 campaigns once the
+     * regular maxConcurrentCampaigns slots are full. Shedding is
+     * priority-aware: at saturation a priority-0 campaign gets a typed
+     * kOverloaded refusal (retry later), while an urgent one may still
+     * land in the reserve — so background load cannot starve
+     * interactive work. Defaults to max(1, maxConcurrentCampaigns/4)
+     * when left at SIZE_MAX.
+     */
+    size_t highPriorityReserve = SIZE_MAX;
+
+    /** The reserve actually in force (resolves the SIZE_MAX default). */
+    size_t effectiveReserve() const
+    {
+        if (highPriorityReserve != SIZE_MAX)
+            return highPriorityReserve;
+        size_t quarter = maxConcurrentCampaigns / 4;
+        return quarter > 0 ? quarter : 1;
+    }
 };
 
 /**
@@ -74,8 +94,15 @@ class CampaignScheduler
     {
     }
 
-    /** Try to admit one campaign; kRejected at capacity. */
-    common::Expected<bool> admit(const std::string &campaignId);
+    /**
+     * Try to admit one campaign. At capacity the refusal is typed
+     * kOverloaded (pressure, retry later) — distinct from the
+     * kRejected quota errors (policy). Priority > 0 campaigns may
+     * additionally use the high-priority overflow reserve, so urgent
+     * work still lands while background work is shed.
+     */
+    common::Expected<bool> admit(const std::string &campaignId,
+                                 unsigned priority = 0);
 
     void release();
 
@@ -90,11 +117,15 @@ class CampaignScheduler
     size_t peakActive() const { return peak_.load(); }
     uint64_t rejected() const { return rejected_.load(); }
 
+    /** Campaigns refused for load (kOverloaded), not policy. */
+    uint64_t shed() const { return shed_.load(); }
+
   private:
     ServeLimits limits_;
     std::atomic<size_t> active_{0};
     std::atomic<size_t> peak_{0};
     std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> shed_{0};
 };
 
 /** RAII campaign slot: releases the scheduler on destruction. */

@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <csignal>
 #include <map>
 #include <sys/socket.h>
 #include <utility>
@@ -26,6 +27,16 @@ badInput(std::string message)
     common::TaskError e;
     e.kind = common::ErrorKind::kBadInput;
     e.message = std::move(message);
+    return e;
+}
+
+common::TaskError
+drainingErr()
+{
+    common::TaskError e;
+    e.kind = common::ErrorKind::kOverloaded;
+    e.message = "daemon is draining: no new campaigns "
+                "(in-flight work is finishing)";
     return e;
 }
 
@@ -77,6 +88,12 @@ Server::start(const ServerOptions &options)
     std::unique_ptr<Server> s(new Server());
     s->opts_ = options;
 
+    // A client that vanishes mid-RESULT turns the daemon's next send
+    // into SIGPIPE; every send already passes MSG_NOSIGNAL, but
+    // third-party code (or a future write path) must not be able to
+    // kill the process either.
+    std::signal(SIGPIPE, SIG_IGN);
+
     try {
         // One store — and with the similarity tier on, one signature
         // index — shared by every concurrent campaign: a kernel any
@@ -88,8 +105,14 @@ Server::start(const ServerOptions &options)
     } catch (const common::TaskException &ex) {
         return ex.toError();
     }
+    if (options.storeBudgetBytes != 0)
+        s->store_->setDiskBudgetBytes(options.storeBudgetBytes);
+    if (options.memoBudgetBytes != 0)
+        s->store_->setMemoryBudgetBytes(options.memoBudgetBytes);
     sim::EngineOptions eo = options.engine;
     eo.store = s->store_.get();
+    if (options.memoBudgetBytes != 0)
+        eo.memoBudgetBytes = options.memoBudgetBytes;
     s->engine_ = std::make_unique<sim::SimEngine>(eo);
     s->sessions_ = std::make_unique<SessionManager>(
         options.cacheDir, options.limits.maxSessions);
@@ -136,6 +159,24 @@ Server::shutdown()
 }
 
 void
+Server::drain()
+{
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true))
+        return;
+    if (stopping_.load())
+        return; // already force-stopped; nothing left to drain
+    if (listener_)
+        listener_->stop();
+    // Read-half only: an idle connection's readLine returns (EOF-like)
+    // and its thread exits, but a campaign mid-simulation keeps its
+    // write half so the RESULT still reaches the client.
+    std::lock_guard<std::mutex> lk(conn_m_);
+    for (int fd : connFds_)
+        ::shutdown(fd, SHUT_RD);
+}
+
+void
 Server::wait()
 {
     if (acceptThread_.joinable())
@@ -157,8 +198,11 @@ Server::acceptLoop()
         common::Expected<Fd> conn = listener_->accept();
         if (!conn.ok())
             break; // stopped or the listener died; either way, done
-        if (stopping_.load())
+        if (stopping_.load() || draining_.load())
             break;
+        if (opts_.ioTimeoutSec > 0)
+            setIoTimeouts(conn.value().get(), opts_.ioTimeoutSec,
+                          opts_.ioTimeoutSec);
         std::lock_guard<std::mutex> lk(conn_m_);
         connFds_.push_back(conn.value().get());
         connThreads_.emplace_back(
@@ -280,6 +324,9 @@ Server::handleConnection(Fd fd)
             m.addUint("campaigns", scheduler_->active())
                 .addUint("peak", scheduler_->peakActive())
                 .addUint("rejected", scheduler_->rejected())
+                .addUint("shed", scheduler_->shed())
+                .addUint("draining", draining_.load() ? 1 : 0)
+                .addUint("store_degraded", store_->stats().degraded)
                 .addUint("sessions", sessions_->count())
                 .addUint("completed", completed_.load())
                 .addUint("threads", engine_->threads())
@@ -324,7 +371,17 @@ Server::handleConnection(Fd fd)
                         badInput("RUN requires id= and workload="));
                 continue;
             }
-            common::Expected<bool> admitted = scheduler_->admit(id);
+            if (draining_.load()) {
+                sendErr(fd.get(), id, drainingErr());
+                continue;
+            }
+            // Priority is read before admission so load shedding can
+            // honor it (a bad value falls back to 0 here and is
+            // rejected properly by parseCampaignCommon below).
+            common::Expected<uint64_t> pr =
+                req.getUint("priority", 0, 0, 1000);
+            common::Expected<bool> admitted = scheduler_->admit(
+                id, pr.ok() ? static_cast<unsigned>(pr.value()) : 0);
             if (!admitted.ok()) {
                 sendErr(fd.get(), id, admitted.error());
                 continue;
@@ -413,7 +470,14 @@ Server::handleConnection(Fd fd)
                         badInput("campaign id already streaming"));
                 continue;
             }
-            common::Expected<bool> admitted = scheduler_->admit(id);
+            if (draining_.load()) {
+                sendErr(fd.get(), id, drainingErr());
+                continue;
+            }
+            common::Expected<uint64_t> pr =
+                req.getUint("priority", 0, 0, 1000);
+            common::Expected<bool> admitted = scheduler_->admit(
+                id, pr.ok() ? static_cast<unsigned>(pr.value()) : 0);
             if (!admitted.ok()) {
                 sendErr(fd.get(), id, admitted.error());
                 continue;

@@ -67,6 +67,22 @@ struct ServerOptions
 
     /** Admission limits. */
     ServeLimits limits;
+
+    /** Per-connection I/O deadline in seconds (SO_RCVTIMEO/SO_SNDTIMEO
+     *  on every accepted socket). A peer idle past the deadline — or
+     *  one that stops reading while the daemon replies — gets its
+     *  connection dropped instead of pinning a session thread. 0 = no
+     *  deadline (the default; batch tests drive the daemon in-process
+     *  and never stall). */
+    unsigned ioTimeoutSec = 0;
+
+    /** Disk budget for the cache dir in bytes (0 = unbounded);
+     *  oldest-first record eviction keeps the store under it. */
+    uint64_t storeBudgetBytes = 0;
+
+    /** Memory budget for the engine memo cache and the resident
+     *  similarity index, in bytes (0 = unbounded). */
+    uint64_t memoBudgetBytes = 0;
 };
 
 /** The daemon. start() binds and spawns the accept loop. */
@@ -91,6 +107,20 @@ class Server
 
     /** Stop accepting, unblock every connection, drain threads. */
     void shutdown();
+
+    /**
+     * Graceful drain (SIGTERM path): stop admitting — the listener
+     * closes and new RUN/STREAM work gets a typed kOverloaded
+     * "draining" refusal — but let in-flight campaigns run to their
+     * RESULT (the write half of every connection stays open; only the
+     * read half is shut so idle connections fall off). wait() then
+     * returns once the last campaign finishes. Idempotent, and
+     * shutdown() still force-stops a draining server.
+     */
+    void drain();
+
+    /** True once drain() was called (and until shutdown). */
+    bool draining() const { return draining_.load(); }
 
     /** The shared engine (tests poke cache counters through this). */
     const sim::SimEngine &engine() const { return *engine_; }
@@ -129,6 +159,7 @@ class Server
     std::vector<std::thread> connThreads_;
     std::vector<int> connFds_; ///< for shutdown-time unblock
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
     std::atomic<uint64_t> completed_{0};
 };
 

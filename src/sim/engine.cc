@@ -136,8 +136,26 @@ specContentHash(const GpuSpec &spec)
 /** One lock-sharded slice of the result cache. */
 struct SimEngine::Shard
 {
+    /** A cached result plus its last-use stamp for LRU eviction. */
+    struct Entry
+    {
+        KernelSimResult result;
+        uint64_t tick = 0;
+    };
+
     std::mutex m;
-    std::unordered_map<KernelSimKey, KernelSimResult, KeyHasher> map;
+    std::unordered_map<KernelSimKey, Entry, KeyHasher> map;
+
+    /** Monotonic use counter; advanced under m on every hit/insert. */
+    uint64_t tick = 0;
+
+    /**
+     * Approximate resident bytes of one memo entry. Cached results
+     * carry no trace (the engine excludes traced runs), so the
+     * footprint is the two fixed structs plus hash-node overhead.
+     */
+    static constexpr uint64_t kEntryBytes =
+        sizeof(KernelSimKey) + sizeof(Entry) + 64;
 };
 
 SimEngine::SimEngine(EngineOptions options)
@@ -214,11 +232,12 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
             std::lock_guard<std::mutex> lk(shard->m);
             auto it = shard->map.find(key);
             if (it != shard->map.end()) {
+                it->second.tick = ++shard->tick;
                 hits_.fetch_add(1, std::memory_order_relaxed);
                 outcome->memoryHit = 1;
-                if (it->second.projected)
+                if (it->second.result.projected)
                     projected_.fetch_add(1, std::memory_order_relaxed);
-                return it->second;
+                return it->second.result;
             }
         }
 
@@ -230,8 +249,7 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
             case store::Lookup::kHit: {
                 storeHits_.fetch_add(1, std::memory_order_relaxed);
                 outcome->storeHit = 1;
-                std::lock_guard<std::mutex> lk(shard->m);
-                shard->map.emplace(key, r);
+                publishToShard(shard, key, r);
                 return r;
             }
             case store::Lookup::kCorrupt:
@@ -261,8 +279,7 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
                     simTierHits_.fetch_add(1, std::memory_order_relaxed);
                     projected_.fetch_add(1, std::memory_order_relaxed);
                     outcome->simTierHit = 1;
-                    std::lock_guard<std::mutex> lk(shard->m);
-                    shard->map.emplace(key, proj);
+                    publishToShard(shard, key, proj);
                     return proj;
                 }
             }
@@ -320,12 +337,9 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
 
     if (cacheable) {
         misses_.fetch_add(1, std::memory_order_relaxed);
-        {
-            std::lock_guard<std::mutex> lk(shard->m);
-            // A racing task may have inserted the same key; results are
-            // deterministic so either copy is the same bits.
-            shard->map.emplace(key, r);
-        }
+        // A racing task may have inserted the same key; results are
+        // deterministic so either copy is the same bits.
+        publishToShard(shard, key, r);
         // Persist after publishing to memory, also outside the lock. A
         // racing writer of the same key produces identical bytes.
         if (opts_.store) {
@@ -468,6 +482,7 @@ SimEngine::runChecked(const GpuSimulator &simulator,
     if (stats) {
         stats->launches += jobs.size();
         stats->wallSeconds += wall;
+        stats->memoEvictions = memoEvict_.load(std::memory_order_relaxed);
         // Reduce per-task accounting serially in job order so even the
         // diagnostic aggregates are thread-count-invariant.
         for (size_t i = 0; i < jobs.size(); ++i) {
@@ -543,6 +558,7 @@ SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
         runJobChecked(simulator, specContentHash(simulator.spec()), job, &o);
     if (stats) {
         ++stats->launches;
+        stats->memoEvictions = memoEvict_.load(std::memory_order_relaxed);
         stats->wallSeconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
@@ -588,6 +604,34 @@ SimEngine::simulateOne(const GpuSimulator &simulator, const SimJob &job,
     if (!r.ok())
         pka::common::fatal("simulation failed: " + r.error().str());
     return std::move(r.value());
+}
+
+void
+SimEngine::publishToShard(Shard *shard, const KernelSimKey &key,
+                          const KernelSimResult &result) const
+{
+    std::lock_guard<std::mutex> lk(shard->m);
+    auto [it, inserted] = shard->map.try_emplace(key);
+    it->second.result = result;
+    it->second.tick = ++shard->tick;
+    if (!inserted || opts_.memoBudgetBytes == 0)
+        return;
+    // Per-shard slice of the global budget; a slice smaller than one
+    // entry still keeps the newest entry, so hot keys always cache.
+    uint64_t slice = opts_.memoBudgetBytes / opts_.cacheShards;
+    size_t max_entries = std::max<size_t>(
+        1, static_cast<size_t>(slice / Shard::kEntryBytes));
+    // Evict least-recently-used via a min-tick scan. O(shard size) per
+    // eviction, but eviction only runs when the budget is configured
+    // and exceeded, where wall-clock is already being traded for memory.
+    while (shard->map.size() > max_entries) {
+        auto victim = shard->map.begin();
+        for (auto e = shard->map.begin(); e != shard->map.end(); ++e)
+            if (e->second.tick < victim->second.tick)
+                victim = e;
+        shard->map.erase(victim);
+        memoEvict_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 size_t

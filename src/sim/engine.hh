@@ -102,6 +102,17 @@ struct EngineOptions
     unsigned cacheShards = 16;
 
     /**
+     * Approximate byte budget for the in-memory result cache (the
+     * CLI's --memo-budget-mb); 0 = unbounded. Enforced per shard
+     * (budget / cacheShards): an insert that pushes a shard past its
+     * slice evicts that shard's least-recently-used entries first,
+     * counted in EngineStats::memoEvictions. Eviction costs only
+     * wall-clock — an evicted key re-simulates (or re-reads the store)
+     * to the same bits, so results stay budget-independent.
+     */
+    uint64_t memoBudgetBytes = 0;
+
+    /**
      * Per-attempt wall-clock watchdog in seconds (0 = no deadline). The
      * engine arms a fresh CancelToken for every simulation attempt; a
      * trip surfaces as a kTimeout TaskError, which the retry/quarantine
@@ -199,6 +210,11 @@ struct EngineStats
     double wallSeconds = 0.0;    ///< host wall-clock time of the run
     double cpuSeconds = 0.0;     ///< summed per-task simulation time
     uint64_t shardedLaunches = 0; ///< launches run on the sharded core
+
+    /** Memo-cache entries evicted by EngineOptions::memoBudgetBytes —
+     *  cumulative for the engine (not per run), since concurrent runs
+     *  share one cache and evictions cannot be attributed to either. */
+    uint64_t memoEvictions = 0;
 
     /**
      * Intra-kernel worker utilization: wall-clock busy-ms summed per
@@ -363,6 +379,12 @@ class SimEngine
     /** Distinct results currently cached. */
     size_t cacheSize() const;
 
+    /** Memo entries evicted by the memory budget since construction. */
+    uint64_t memoEvictions() const
+    {
+        return memoEvict_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Drop every cached result, empty the quarantine set and reset the
      * hit/miss counters.
@@ -428,6 +450,11 @@ class SimEngine
     uint32_t acquireExtraWorkers(uint32_t want) const;
     void releaseExtraWorkers(uint32_t n) const;
 
+    /** Publish `result` under `key` into `shard`, trimming LRU entries
+     *  when the shard is over its memoBudgetBytes slice. */
+    void publishToShard(Shard *shard, const KernelSimKey &key,
+                        const KernelSimResult &result) const;
+
     common::Expected<KernelSimResult>
     runJobChecked(const GpuSimulator &simulator, uint64_t spec_hash,
                   const SimJob &job, TaskOutcome *outcome) const;
@@ -448,6 +475,7 @@ class SimEngine
     mutable std::atomic<uint64_t> corrupt_{0};
     mutable std::atomic<uint64_t> simTierHits_{0};
     mutable std::atomic<uint64_t> projected_{0};
+    mutable std::atomic<uint64_t> memoEvict_{0};
 
     // Quarantine set, keyed by launch content hash and carrying the
     // terminal TaskError so skipped launches can echo the original

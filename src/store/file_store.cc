@@ -1,11 +1,14 @@
 #include "store/file_store.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
 #include <thread>
+#include <vector>
 
 #include "common/error.hh"
 #include "common/fault.hh"
@@ -43,7 +46,72 @@ backoff(unsigned r)
         KernelResultStore::kIoBackoffBaseMs << r));
 }
 
+/** The errno equivalent of a std::error_code (0 when unmappable). */
+int
+errnoOf(const std::error_code &ec)
+{
+    std::error_condition cond = ec.default_error_condition();
+    if (cond.category() == std::generic_category())
+        return cond.value();
+    return 0;
+}
+
 } // namespace
+
+bool
+permanentWriteErrno(int err)
+{
+    return err == ENOSPC || err == EDQUOT || err == EROFS ||
+           err == EACCES || err == EPERM || err == ENOTDIR;
+}
+
+std::pair<uint64_t, uint64_t>
+evictOldestRecords(const std::string &root, uint64_t targetBytes)
+{
+    struct Victim
+    {
+        fs::file_time_type mtime;
+        uint64_t size;
+        fs::path path;
+    };
+    std::vector<Victim> records;
+    uint64_t total = 0;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(fs::path(root) / "objects", ec);
+    if (ec)
+        return {0, 0};
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".pkr")
+            continue;
+        uint64_t size = entry.file_size(ec);
+        if (ec)
+            continue;
+        records.push_back({entry.last_write_time(ec), size, entry.path()});
+        total += size;
+    }
+    if (total <= targetBytes)
+        return {0, 0};
+    // Oldest first; ties broken by path so eviction order is stable
+    // across runs regardless of directory iteration order.
+    std::sort(records.begin(), records.end(),
+              [](const Victim &a, const Victim &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    uint64_t files = 0, bytes = 0;
+    for (const Victim &v : records) {
+        if (total <= targetBytes)
+            break;
+        if (!fs::remove(v.path, ec))
+            continue;
+        total -= v.size;
+        bytes += v.size;
+        ++files;
+    }
+    return {files, bytes};
+}
 
 KernelResultStore::KernelResultStore(std::string root, bool similarity)
     : root_(std::move(root))
@@ -127,6 +195,8 @@ KernelResultStore::tryGet(const std::string &path,
                                       sim::kernelSimKeyHash(key))) {
         switch (*f) {
         case pka::common::FaultKind::kIoError:
+        case pka::common::FaultKind::kDiskFull: // reads don't fill disks;
+                                                // treat as a plain I/O fault
             *transient = true;
             return Lookup::kMiss;
         case pka::common::FaultKind::kCorrupt:
@@ -197,7 +267,7 @@ KernelResultStore::get(const sim::KernelSimKey &key,
     }
 }
 
-bool
+WriteAttempt
 KernelResultStore::tryPut(const std::string &bytes,
                           const std::string &finalPath,
                           uint64_t keyHash) const
@@ -205,7 +275,8 @@ KernelResultStore::tryPut(const std::string &bytes,
     std::error_code ec;
     fs::create_directories(fs::path(finalPath).parent_path(), ec);
     if (ec)
-        return false;
+        return permanentWriteErrno(errnoOf(ec)) ? WriteAttempt::kDiskFull
+                                                : WriteAttempt::kRetry;
 
     size_t write_len = bytes.size();
     const char *data = bytes.data();
@@ -213,7 +284,9 @@ KernelResultStore::tryPut(const std::string &bytes,
     if (auto f = pka::common::faultAt("store.write", keyHash)) {
         switch (*f) {
         case pka::common::FaultKind::kIoError:
-            return false;
+            return WriteAttempt::kRetry;
+        case pka::common::FaultKind::kDiskFull:
+            return WriteAttempt::kDiskFull;
         case pka::common::FaultKind::kShortWrite:
             // Simulate a torn record reaching disk (a crash between
             // write and fsync): publish a truncated record. Reads
@@ -246,35 +319,62 @@ KernelResultStore::tryPut(const std::string &bytes,
                           fs::path(finalPath).stem().string().c_str(),
                           static_cast<unsigned long long>(n));
     {
+        errno = 0;
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (os)
             os.write(data, static_cast<std::streamsize>(write_len));
+        if (os)
+            os.flush();
         if (!os) {
+            // The stream hides the failing syscall, but glibc leaves its
+            // errno in place: classify ENOSPC/EROFS-style conditions as
+            // permanent so the caller degrades instead of retrying.
+            int err = errno;
             fs::remove(tmp, ec);
-            return false;
+            return permanentWriteErrno(err) ? WriteAttempt::kDiskFull
+                                            : WriteAttempt::kRetry;
         }
     }
     fs::rename(tmp, finalPath, ec);
     if (ec) {
+        int err = errnoOf(ec);
         fs::remove(tmp, ec);
-        return false;
+        return permanentWriteErrno(err) ? WriteAttempt::kDiskFull
+                                        : WriteAttempt::kRetry;
     }
     stats_.puts.fetch_add(1, std::memory_order_relaxed);
     stats_.bytesWritten.fetch_add(write_len, std::memory_order_relaxed);
-    return true;
+    approxDiskBytes_.fetch_add(write_len, std::memory_order_relaxed);
+    return WriteAttempt::kOk;
 }
 
 void
 KernelResultStore::put(const sim::KernelSimKey &key,
                        const sim::KernelSimResult &result) const
 {
+    if (degraded_.load(std::memory_order_relaxed)) {
+        stats_.putsSkippedDegraded.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
     std::string bytes = encodeRecord(key, result);
     std::string final_path = recordPath(key);
     uint64_t key_hash = sim::kernelSimKeyHash(key);
 
     for (unsigned attempt = 0; attempt < kIoAttempts; ++attempt) {
-        if (tryPut(bytes, final_path, key_hash))
+        switch (tryPut(bytes, final_path, key_hash)) {
+        case WriteAttempt::kOk:
+            maybeEvict();
             return;
+        case WriteAttempt::kDiskFull:
+            stats_.putFailures.fetch_add(1, std::memory_order_relaxed);
+            markDegraded(strfmt("cannot write '%s': disk full or "
+                                "read-only filesystem",
+                                final_path.c_str()));
+            return;
+        case WriteAttempt::kRetry:
+            break;
+        }
         if (attempt + 1 < kIoAttempts) {
             stats_.ioRetries.fetch_add(1, std::memory_order_relaxed);
             backoff(attempt);
@@ -286,6 +386,55 @@ KernelResultStore::put(const sim::KernelSimKey &key,
                     strfmt("result store: cannot write '%s' after %u "
                            "attempts; result not persisted",
                            final_path.c_str(), kIoAttempts));
+}
+
+void
+KernelResultStore::markDegraded(const std::string &why) const
+{
+    bool expected = false;
+    if (!degraded_.compare_exchange_strong(expected, true,
+                                           std::memory_order_relaxed))
+        return; // already degraded; first failure already warned
+    stats_.degraded.store(1, std::memory_order_relaxed);
+    warn(strfmt("result store '%s': %s; degrading to compute-through "
+                "mode (reads continue, results are no longer persisted)",
+                root_.c_str(), why.c_str()));
+}
+
+void
+KernelResultStore::maybeEvict() const
+{
+    if (diskBudgetBytes_ == 0 ||
+        approxDiskBytes_.load(std::memory_order_relaxed) <=
+            diskBudgetBytes_)
+        return;
+    // One evictor at a time; concurrent writers just keep going and let
+    // the winner re-scan the true on-disk total.
+    std::unique_lock<std::mutex> lk(evictMu_, std::try_to_lock);
+    if (!lk.owns_lock())
+        return;
+    auto [files, bytes] =
+        evictOldestRecords(root_, diskBudgetBytes_ * 9 / 10);
+    if (files) {
+        stats_.evictedRecords.fetch_add(files, std::memory_order_relaxed);
+        stats_.evictedBytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    approxDiskBytes_.store(recordBytes(), std::memory_order_relaxed);
+}
+
+void
+KernelResultStore::setDiskBudgetBytes(uint64_t bytes)
+{
+    diskBudgetBytes_ = bytes;
+    approxDiskBytes_.store(recordBytes(), std::memory_order_relaxed);
+    maybeEvict();
+}
+
+void
+KernelResultStore::setMemoryBudgetBytes(uint64_t bytes)
+{
+    if (sigIndex_)
+        sigIndex_->setResidentBudgetBytes(bytes);
 }
 
 uint64_t

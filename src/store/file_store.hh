@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "sim/engine.hh"
@@ -45,6 +46,27 @@ enum class Lookup
     kMiss,    ///< no record on disk (or a collided record for another key)
     kCorrupt, ///< record present but failed validation (skipped)
 };
+
+/** Outcome of one write attempt (store record or sig entry). */
+enum class WriteAttempt
+{
+    kOk,       ///< persisted
+    kRetry,    ///< transient failure — a fresh attempt may succeed
+    kDiskFull, ///< permanent failure (ENOSPC / read-only fs): do not
+               ///< retry; the caller must degrade to compute-through
+};
+
+/** True when `err` (an errno value) means writes can never succeed
+ *  until an operator intervenes: disk full, quota, read-only or
+ *  permission-denied filesystem, a path component replaced by a file. */
+bool permanentWriteErrno(int err);
+
+/** Oldest-first (mtime) eviction of .pkr records under `root`/objects
+ *  until their total size is <= `targetBytes`. Shared by the online
+ *  disk budget and `pka fsck --store-budget-mb` compaction. Returns
+ *  {files removed, bytes reclaimed}. */
+std::pair<uint64_t, uint64_t>
+evictOldestRecords(const std::string &root, uint64_t targetBytes);
 
 /** Content-addressed on-disk result store rooted at one directory. */
 class KernelResultStore
@@ -96,11 +118,39 @@ class KernelResultStore
      * Persist `result` under `key` (atomic write-to-temp-then-rename).
      * Best-effort with bounded retries: a transiently failing write is
      * retried kIoAttempts times with exponential backoff from a fresh
-     * staging file; permanent failure warns (rate-limited) and counts,
-     * never aborts the campaign.
+     * staging file; retry exhaustion warns (rate-limited) and counts,
+     * never aborts the campaign. A *permanent* failure (ENOSPC, quota,
+     * read-only filesystem — real or injected via the store.write
+     * `enospc` fault kind) is not retried: the store degrades to
+     * compute-through (degraded() becomes true, every further put is
+     * dropped and counted) and the campaign simply keeps simulating.
      */
     void put(const sim::KernelSimKey &key,
              const sim::KernelSimResult &result) const;
+
+    /** True once a permanent write failure disabled persistence; reads
+     *  keep working, puts are dropped (compute-through mode). */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Bound the cache directory to ~`bytes` of record data. Checked
+     * after each put: when the (approximate) on-disk total exceeds the
+     * budget, the oldest records are evicted down to 90% of it so
+     * eviction runs in bursts, not on every write. 0 = unbounded.
+     * Call before the campaign starts.
+     */
+    void setDiskBudgetBytes(uint64_t bytes);
+
+    /**
+     * Bound the similarity index's *resident* entry list (when the tier
+     * is enabled) to ~`bytes` of memory, evicting oldest-first; the
+     * on-disk .pks entries stay put and are picked up again on the next
+     * open. No-op for exact-only stores. 0 = unbounded.
+     */
+    void setMemoryBudgetBytes(uint64_t bytes);
 
     /** Counters snapshot (hits/misses/corrupt/puts/bytes). */
     StoreStatsSnapshot stats() const { return stats_.snapshot(); }
@@ -121,16 +171,27 @@ class KernelResultStore
     Lookup tryGet(const std::string &path, const sim::KernelSimKey &key,
                   sim::KernelSimResult *out, bool *transient) const;
 
-    /** One write attempt (fresh staging file); false = retryable fail. */
-    bool tryPut(const std::string &bytes, const std::string &finalPath,
-                uint64_t keyHash) const;
+    /** One write attempt (fresh staging file). */
+    WriteAttempt tryPut(const std::string &bytes,
+                        const std::string &finalPath,
+                        uint64_t keyHash) const;
 
     /** Remove stale .tmp staging files left by a killed writer. */
     void sweepOrphans();
 
+    /** Flip into compute-through mode (idempotent, warns once). */
+    void markDegraded(const std::string &why) const;
+
+    /** Evict down to 90% of the disk budget when over it. */
+    void maybeEvict() const;
+
     std::string root_;
     mutable StoreStats stats_;
     mutable std::atomic<uint64_t> tempCounter_{0};
+    mutable std::atomic<bool> degraded_{false};
+    uint64_t diskBudgetBytes_ = 0;
+    mutable std::atomic<uint64_t> approxDiskBytes_{0};
+    mutable std::mutex evictMu_;
     std::unique_ptr<SignatureIndex> sigIndex_;
 };
 

@@ -158,14 +158,21 @@ CampaignJournal::markDone(const std::vector<size_t> &indices)
                 // the launch re-runs (and re-hits the store) next time.
                 if (*f == pka::common::FaultKind::kShortWrite)
                     std::fprintf(appendFile_, "done,");
+                else if (*f == pka::common::FaultKind::kDiskFull)
+                    degradeAppend("disk full (injected)");
                 continue;
             }
-            std::fprintf(appendFile_, "done,%zu\n", idx);
+            if (std::fprintf(appendFile_, "done,%zu\n", idx) < 0) {
+                degradeAppend("append failed (disk full or I/O error)");
+                continue;
+            }
             wrote = true;
         }
     }
-    if (wrote)
-        std::fflush(appendFile_);
+    if (wrote && appendFile_) {
+        if (std::fflush(appendFile_) != 0 || std::ferror(appendFile_))
+            degradeAppend("flush failed (disk full or I/O error)");
+    }
 }
 
 void
@@ -177,10 +184,29 @@ CampaignJournal::markQuarantined(uint64_t contentHash)
     quarantined_.push_back(contentHash);
     if (!appendFile_)
         return;
-    if (pka::common::faultAt("journal.append", contentHash))
+    if (auto f = pka::common::faultAt("journal.append", contentHash)) {
+        if (*f == pka::common::FaultKind::kDiskFull)
+            degradeAppend("disk full (injected)");
         return;
-    std::fprintf(appendFile_, "quarantine,%016" PRIx64 "\n", contentHash);
-    std::fflush(appendFile_);
+    }
+    if (std::fprintf(appendFile_, "quarantine,%016" PRIx64 "\n",
+                     contentHash) < 0 ||
+        std::fflush(appendFile_) != 0 || std::ferror(appendFile_)) {
+        degradeAppend("append failed (disk full or I/O error)");
+    }
+}
+
+void
+CampaignJournal::degradeAppend(const char *why)
+{
+    if (!appendFile_)
+        return;
+    std::fclose(appendFile_);
+    appendFile_ = nullptr;
+    warn(strfmt("campaign journal '%s': %s; progress checkpointing "
+                "disabled — the campaign continues but an interruption "
+                "now restarts it from the store instead of the journal",
+                path_.c_str(), why));
 }
 
 } // namespace pka::store

@@ -107,9 +107,21 @@ class CampaignJournal
     /** The journal file path. */
     const std::string &path() const { return path_; }
 
+    /**
+     * True while completions are actually being persisted. Becomes
+     * false when the journal degraded to a no-op — either the file
+     * never opened, or a write failed permanently (ENOSPC, read-only
+     * filesystem, or an injected journal.append `enospc` fault): the
+     * campaign keeps running, it just loses resume credit.
+     */
+    bool checkpointing() const { return appendFile_ != nullptr; }
+
   private:
     bool loadExisting(uint64_t campaign_key);
     void startFresh(uint64_t campaign_key);
+
+    /** Stop persisting after a permanent write failure (warns once). */
+    void degradeAppend(const char *why);
 
     std::string path_;
     std::vector<uint8_t> done_;

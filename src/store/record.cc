@@ -133,8 +133,8 @@ encodeRecord(const sim::KernelSimKey &key,
 }
 
 DecodeStatus
-decodeRecord(const void *data, size_t size, const sim::KernelSimKey &want,
-             sim::KernelSimResult *out)
+decodeRecordAny(const void *data, size_t size, sim::KernelSimKey *key,
+                sim::KernelSimResult *out)
 {
     if (size != kRecordSize)
         return DecodeStatus::kCorrupt;
@@ -153,8 +153,7 @@ decodeRecord(const void *data, size_t size, const sim::KernelSimKey &want,
     if (r.u32() != kVersion)
         return DecodeStatus::kCorrupt;
 
-    if (readKey(r) != want)
-        return DecodeStatus::kKeyMismatch;
+    *key = readKey(r);
 
     sim::KernelSimResult res;
     res.cycles = r.u64();
@@ -172,6 +171,19 @@ decodeRecord(const void *data, size_t size, const sim::KernelSimKey &want,
     if (!r.ok || r.left != 0)
         return DecodeStatus::kCorrupt;
     *out = std::move(res);
+    return DecodeStatus::kOk;
+}
+
+DecodeStatus
+decodeRecord(const void *data, size_t size, const sim::KernelSimKey &want,
+             sim::KernelSimResult *out)
+{
+    sim::KernelSimKey stored;
+    DecodeStatus st = decodeRecordAny(data, size, &stored, out);
+    if (st != DecodeStatus::kOk)
+        return st;
+    if (stored != want)
+        return DecodeStatus::kKeyMismatch;
     return DecodeStatus::kOk;
 }
 

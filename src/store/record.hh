@@ -58,6 +58,17 @@ DecodeStatus decodeRecord(const void *data, size_t size,
                           const sim::KernelSimKey &want,
                           sim::KernelSimResult *out);
 
+/**
+ * Validate `data` without a wanted key — the scrubbing path (`pka
+ * fsck`), which must verify records it has no lookup key for. Fills
+ * `*key` with the stored key echo and `*out` with the payload; never
+ * returns kKeyMismatch (the caller compares the echoed key's hash
+ * against the record's filename itself).
+ */
+DecodeStatus decodeRecordAny(const void *data, size_t size,
+                             sim::KernelSimKey *key,
+                             sim::KernelSimResult *out);
+
 } // namespace pka::store
 
 #endif // PKA_STORE_RECORD_HH

@@ -1,6 +1,7 @@
 #include "store/sig_index.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -357,7 +358,7 @@ SignatureIndex::probe(const KernelSignature &sig, double tolerance) const
     return best;
 }
 
-bool
+WriteAttempt
 SignatureIndex::tryWrite(const std::string &bytes,
                          const std::string &finalPath,
                          uint64_t keyHash) const
@@ -365,7 +366,7 @@ SignatureIndex::tryWrite(const std::string &bytes,
     std::error_code ec;
     fs::create_directories(fs::path(finalPath).parent_path(), ec);
     if (ec)
-        return false;
+        return WriteAttempt::kRetry;
 
     size_t write_len = bytes.size();
     const char *data = bytes.data();
@@ -373,7 +374,9 @@ SignatureIndex::tryWrite(const std::string &bytes,
     if (auto f = pka::common::faultAt("store.write", keyHash)) {
         switch (*f) {
         case pka::common::FaultKind::kIoError:
-            return false;
+            return WriteAttempt::kRetry;
+        case pka::common::FaultKind::kDiskFull:
+            return WriteAttempt::kDiskFull;
         case pka::common::FaultKind::kShortWrite:
             // A torn entry reaching disk: size/CRC reject it at the
             // next load and the kernel is simply re-indexed later.
@@ -402,20 +405,29 @@ SignatureIndex::tryWrite(const std::string &bytes,
                           fs::path(finalPath).stem().string().c_str(),
                           static_cast<unsigned long long>(n));
     {
+        errno = 0;
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (os)
             os.write(data, static_cast<std::streamsize>(write_len));
+        if (os)
+            os.flush();
         if (!os) {
+            int err = errno;
             fs::remove(tmp, ec);
-            return false;
+            return permanentWriteErrno(err) ? WriteAttempt::kDiskFull
+                                            : WriteAttempt::kRetry;
         }
     }
     fs::rename(tmp, finalPath, ec);
     if (ec) {
+        std::error_condition cond = ec.default_error_condition();
+        int err = cond.category() == std::generic_category() ? cond.value()
+                                                             : 0;
         fs::remove(tmp, ec);
-        return false;
+        return permanentWriteErrno(err) ? WriteAttempt::kDiskFull
+                                        : WriteAttempt::kRetry;
     }
-    return true;
+    return WriteAttempt::kOk;
 }
 
 void
@@ -429,15 +441,31 @@ SignatureIndex::insert(const SigEntry &e) const
                 return; // already indexed (racing workers, warm replay)
         entries_.push_back(e);
         entryKeyHashes_.push_back(key_hash);
+        trimResidentLocked();
     }
     inserts_.fetch_add(1, std::memory_order_relaxed);
+
+    if (degraded_.load(std::memory_order_relaxed)) {
+        persistsSkippedDegraded_.fetch_add(1, std::memory_order_relaxed);
+        return; // entry stays resident; the tier is process-local now
+    }
 
     std::string bytes = encodeSigEntry(e);
     std::string final_path = entryPath(key_hash);
     for (unsigned attempt = 0; attempt < KernelResultStore::kIoAttempts;
          ++attempt) {
-        if (tryWrite(bytes, final_path, key_hash))
+        switch (tryWrite(bytes, final_path, key_hash)) {
+        case WriteAttempt::kOk:
             return;
+        case WriteAttempt::kDiskFull:
+            insertFailures_.fetch_add(1, std::memory_order_relaxed);
+            markDegraded(strfmt("cannot write '%s': disk full or "
+                                "read-only filesystem",
+                                final_path.c_str()));
+            return;
+        case WriteAttempt::kRetry:
+            break;
+        }
         if (attempt + 1 < KernelResultStore::kIoAttempts) {
             ioRetries_.fetch_add(1, std::memory_order_relaxed);
             backoff(attempt);
@@ -449,6 +477,50 @@ SignatureIndex::insert(const SigEntry &e) const
                            "attempts; entry not persisted",
                            final_path.c_str(),
                            KernelResultStore::kIoAttempts));
+}
+
+void
+SignatureIndex::markDegraded(const std::string &why) const
+{
+    bool expected = false;
+    if (!degraded_.compare_exchange_strong(expected, true,
+                                           std::memory_order_relaxed))
+        return;
+    warn(strfmt("signature index '%s': %s; tier degrades to "
+                "process-local (resident entries keep serving, nothing "
+                "new is persisted)",
+                root_.c_str(), why.c_str()));
+}
+
+void
+SignatureIndex::trimResidentLocked() const
+{
+    uint64_t budget = residentBudgetBytes_.load(std::memory_order_relaxed);
+    if (budget == 0)
+        return;
+    size_t max_entries =
+        static_cast<size_t>(budget / kResidentEntryBytes);
+    if (max_entries == 0)
+        max_entries = 1; // a budget too small for one entry keeps one
+    if (entries_.size() <= max_entries)
+        return;
+    size_t drop = entries_.size() - max_entries;
+    // Oldest-first: resident order is load-then-insert order, so the
+    // front of the vector is the longest-unrefreshed population.
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<ptrdiff_t>(drop));
+    entryKeyHashes_.erase(entryKeyHashes_.begin(),
+                          entryKeyHashes_.begin() +
+                              static_cast<ptrdiff_t>(drop));
+    residentEvicted_.fetch_add(drop, std::memory_order_relaxed);
+}
+
+void
+SignatureIndex::setResidentBudgetBytes(uint64_t bytes) const
+{
+    residentBudgetBytes_.store(bytes, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(m_);
+    trimResidentLocked();
 }
 
 size_t
@@ -471,6 +543,10 @@ SignatureIndex::stats() const
     s.insertFailures = insertFailures_.load(std::memory_order_relaxed);
     s.ioRetries = ioRetries_.load(std::memory_order_relaxed);
     s.orphansSwept = orphansSwept_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed) ? 1 : 0;
+    s.persistsSkippedDegraded =
+        persistsSkippedDegraded_.load(std::memory_order_relaxed);
+    s.residentEvicted = residentEvicted_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -50,6 +50,7 @@
 
 #include "silicon/profiler.hh"
 #include "sim/engine.hh"
+#include "store/file_store.hh" // WriteAttempt
 
 namespace pka::store
 {
@@ -130,6 +131,12 @@ struct SigIndexStatsSnapshot
     uint64_t insertFailures = 0; ///< persists that failed every attempt
     uint64_t ioRetries = 0;      ///< transient I/O failures retried
     uint64_t orphansSwept = 0;   ///< stale tmp files removed at open
+
+    /** 1 after a permanent write failure (ENOSPC / read-only fs): the
+     *  tier keeps serving resident entries but stops persisting. */
+    uint64_t degraded = 0;
+    uint64_t persistsSkippedDegraded = 0; ///< persists dropped, degraded
+    uint64_t residentEvicted = 0; ///< entries trimmed by --memo-budget-mb
 };
 
 /** Result of one similarity probe. */
@@ -186,12 +193,31 @@ class SignatureIndex
     /** Counter snapshot. */
     SigIndexStatsSnapshot stats() const;
 
+    /**
+     * Bound the resident entry list to ~`bytes` of memory; when an
+     * insert pushes past it the oldest resident entries are dropped
+     * (their on-disk .pks files remain and reload on the next open).
+     * 0 = unbounded. Evictions counted in residentEvicted.
+     */
+    void setResidentBudgetBytes(uint64_t bytes) const;
+
+    /** Approximate resident memory per entry (entry + hash + slack). */
+    static constexpr size_t kResidentEntryBytes =
+        sizeof(SigEntry) + sizeof(uint64_t);
+
   private:
     std::string entryPath(uint64_t keyHash) const;
-    bool tryWrite(const std::string &bytes, const std::string &finalPath,
-                  uint64_t keyHash) const;
+    WriteAttempt tryWrite(const std::string &bytes,
+                          const std::string &finalPath,
+                          uint64_t keyHash) const;
     void sweepOrphans();
     void loadEntries();
+
+    /** Flip into non-persisting mode (idempotent, warns once). */
+    void markDegraded(const std::string &why) const;
+
+    /** Drop oldest resident entries while over budget (m_ held). */
+    void trimResidentLocked() const;
 
     std::string root_;
     mutable std::mutex m_;
@@ -207,6 +233,10 @@ class SignatureIndex
     mutable std::atomic<uint64_t> insertFailures_{0};
     mutable std::atomic<uint64_t> ioRetries_{0};
     mutable std::atomic<uint64_t> orphansSwept_{0};
+    mutable std::atomic<bool> degraded_{false};
+    mutable std::atomic<uint64_t> persistsSkippedDegraded_{0};
+    mutable std::atomic<uint64_t> residentEvicted_{0};
+    mutable std::atomic<uint64_t> residentBudgetBytes_{0};
 };
 
 /**

@@ -30,6 +30,14 @@ struct StoreStatsSnapshot
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
 
+    /** 1 when the store hit a permanent write failure (ENOSPC, read-only
+     *  filesystem) and degraded to compute-through: reads continue, all
+     *  further writes are skipped instead of retried. */
+    uint64_t degraded = 0;
+    uint64_t putsSkippedDegraded = 0; ///< puts dropped while degraded
+    uint64_t evictedRecords = 0; ///< records removed by the disk budget
+    uint64_t evictedBytes = 0;   ///< bytes reclaimed by the disk budget
+
     /** Disk hit rate in percent (0 when nothing was looked up). */
     double hitRatePct() const
     {
@@ -54,6 +62,10 @@ struct StoreStats
     std::atomic<uint64_t> orphansSwept{0};
     std::atomic<uint64_t> bytesRead{0};
     std::atomic<uint64_t> bytesWritten{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> putsSkippedDegraded{0};
+    std::atomic<uint64_t> evictedRecords{0};
+    std::atomic<uint64_t> evictedBytes{0};
 
     StoreStatsSnapshot snapshot() const
     {
@@ -69,6 +81,11 @@ struct StoreStats
         s.orphansSwept = orphansSwept.load(std::memory_order_relaxed);
         s.bytesRead = bytesRead.load(std::memory_order_relaxed);
         s.bytesWritten = bytesWritten.load(std::memory_order_relaxed);
+        s.degraded = degraded.load(std::memory_order_relaxed);
+        s.putsSkippedDegraded =
+            putsSkippedDegraded.load(std::memory_order_relaxed);
+        s.evictedRecords = evictedRecords.load(std::memory_order_relaxed);
+        s.evictedBytes = evictedBytes.load(std::memory_order_relaxed);
         return s;
     }
 };

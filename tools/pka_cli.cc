@@ -42,6 +42,7 @@
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 #include "store/file_store.hh"
+#include "store/fsck.hh"
 #include "store/sig_index.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
@@ -70,10 +71,13 @@ commands:
   trace     capture kernel traces          <workload> [--limit N]
                                            [--out FILE]
   analyze   full PKA, end to end           <workload> [--gpu G]
+  fsck      scrub/repair a result store    --cache-dir DIR [--repair]
+                                           [--store-budget-mb N]
   serve     long-running campaign daemon   --listen ADDR --cache-dir DIR
                                            [--max-campaigns N]
                                            [--launch-quota N]
                                            [--max-sessions N]
+                                           [--io-timeout SEC]
   client    talk to a serve daemon         --connect ADDR <workload>
                                            [--session KEY] [--resume]
                                            [--id C] [--priority N]
@@ -118,6 +122,20 @@ common options:
                               t bounds per-CTA counter mismatch by
                               e^t - 1, which is the reported error tag
 
+resource budgets (simulate/analyze/serve):
+  --store-budget-mb N         cap the cache dir at N MiB; the store
+                              evicts its oldest records to stay under
+                              the budget (with fsck: one-shot compaction
+                              to N MiB). Default 0 = unbounded
+  --memo-budget-mb N          cap the in-memory kernel-result memo cache
+                              and the resident similarity index at N MiB
+                              (LRU eviction). Default 0 = unbounded
+
+a full disk never kills a campaign: on ENOSPC (or any other permanent
+write failure) the store degrades to compute-through mode — results
+stop persisting, a typed warning is printed once, and the campaign
+finishes with bit-identical aggregates
+
 fault tolerance (simulate/analyze):
   --task-timeout SEC          per-launch wall-clock watchdog; a launch
                               that exceeds it is cancelled and retried
@@ -161,6 +179,10 @@ serve/client:
                               stops with a typed rejection, its
                               journaled progress intact
   --max-sessions N            distinct session keys (default 64)
+  --io-timeout SEC            per-connection read/write deadline; a peer
+                              idle (or not reading) past it is dropped
+                              instead of pinning a session thread
+                              (serve; default 0 = none)
   --stream                    streaming campaign: launches are profiled
                               as fed and classified online with bounded
                               resident memory (client)
@@ -170,8 +192,12 @@ serve/client:
   --stats / --shutdown        query daemon stats / stop the daemon
 
 client exit codes: 0 success; 3 campaign quorum not met; 4 request
-rejected as malformed (bad-input); 5 admission/quota rejection;
-6 connection or protocol failure.
+rejected as malformed (bad-input); 5 quota/policy rejection;
+6 connection or protocol failure; 7 daemon overloaded or draining
+(pressure, not policy — retry later).
+
+serve signals: SIGTERM drains gracefully (stop admitting, finish
+in-flight campaigns, flush journals, exit 0); SIGINT stops now.
 )";
 
 silicon::GpuSpec
@@ -673,6 +699,78 @@ cmdAnalyze(const CliArgs &args)
     return rc_pks != 0 ? rc_pks : rc_pka;
 }
 
+/**
+ * Offline store scrub: `pka fsck --cache-dir DIR [--repair]
+ * [--store-budget-mb N]`. Scans every record, signature entry and
+ * journal, reports what it found and (with --repair) quarantines,
+ * renames, truncates and sweeps. Exit 0 when the tree is sound (or was
+ * just repaired), 1 when damage was found and left in place.
+ */
+int
+cmdFsck(const CliArgs &args)
+{
+    if (!args.has("cache-dir"))
+        common::fatal("fsck requires --cache-dir");
+    store::FsckOptions fo;
+    fo.repair = args.has("repair");
+    fo.budgetBytes =
+        args.getUint("store-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
+
+    store::FsckReport rep = store::fsckStore(args.get("cache-dir"), fo);
+
+    common::TextTable t(
+        {"tier", "scanned", "valid", "corrupt", "misnamed", "renamed"});
+    t.row()
+        .cell("records")
+        .intCell(static_cast<long long>(rep.recordsScanned))
+        .intCell(static_cast<long long>(rep.recordsValid))
+        .intCell(static_cast<long long>(rep.recordsCorrupt))
+        .intCell(static_cast<long long>(rep.recordsMisnamed))
+        .intCell(static_cast<long long>(rep.recordsRenamed));
+    t.row()
+        .cell("signatures")
+        .intCell(static_cast<long long>(rep.sigScanned))
+        .intCell(static_cast<long long>(rep.sigValid))
+        .intCell(static_cast<long long>(rep.sigCorrupt))
+        .intCell(static_cast<long long>(rep.sigMisnamed))
+        .intCell(static_cast<long long>(rep.sigRenamed));
+    t.print(std::cout);
+    std::printf("journals: %llu scanned, %llu torn (%llu truncated), "
+                "%llu unreadable\n",
+                static_cast<unsigned long long>(rep.journalsScanned),
+                static_cast<unsigned long long>(rep.journalsTorn),
+                static_cast<unsigned long long>(rep.journalsTruncated),
+                static_cast<unsigned long long>(rep.journalsBad));
+    std::printf("staging:  %llu orphaned tmp file(s)%s\n",
+                static_cast<unsigned long long>(rep.tmpOrphans),
+                fo.repair && rep.tmpOrphans > 0 ? " (swept)" : "");
+    if (rep.quarantinedFiles > 0)
+        std::printf("quarantined %llu file(s) under <cache-dir>/"
+                    "quarantine/\n",
+                    static_cast<unsigned long long>(rep.quarantinedFiles));
+    if (fo.budgetBytes != 0)
+        std::printf("compaction: evicted %llu record(s) / %llu bytes to "
+                    "meet the %llu MiB budget\n",
+                    static_cast<unsigned long long>(rep.evictedRecords),
+                    static_cast<unsigned long long>(rep.evictedBytes),
+                    static_cast<unsigned long long>(fo.budgetBytes >>
+                                                    20));
+
+    if (rep.clean()) {
+        std::printf("store is clean (%llu records, %llu bytes)\n",
+                    static_cast<unsigned long long>(rep.recordsValid),
+                    static_cast<unsigned long long>(rep.recordBytes));
+        return 0;
+    }
+    if (fo.repair) {
+        std::printf("store repaired (damage quarantined under "
+                    "<cache-dir>/quarantine/, nothing deleted)\n");
+        return 0;
+    }
+    std::printf("store has damage; re-run with --repair to fix\n");
+    return 1;
+}
+
 /** Engine configuration from the shared CLI flags (serve builds its own
  *  engine instead of the process-wide shared one). */
 sim::EngineOptions
@@ -688,6 +786,8 @@ engineOptionsFor(const CliArgs &args)
     eo.taskTimeoutSec = args.getPositiveNum("task-timeout", 0.0);
     eo.maxTaskAttempts =
         static_cast<unsigned>(args.getUint("max-retries", 1, 0, 100)) + 1;
+    eo.memoBudgetBytes =
+        args.getUint("memo-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
     if (args.has("xcache")) {
         if (!args.has("cache-dir"))
             common::fatal("--xcache requires --cache-dir (the signature "
@@ -719,6 +819,12 @@ cmdServe(const CliArgs &args)
                      std::numeric_limits<uint64_t>::max());
     so.limits.maxSessions = static_cast<size_t>(
         args.getUint("max-sessions", 64, 1, 1u << 20));
+    so.ioTimeoutSec = static_cast<unsigned>(
+        args.getUint("io-timeout", 0, 0, 86400));
+    so.storeBudgetBytes =
+        args.getUint("store-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
+    so.memoBudgetBytes =
+        args.getUint("memo-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
 
     // Handle SIGINT/SIGTERM via sigwait on a dedicated thread: shutdown
     // takes locks, so it must run in normal thread context, not in an
@@ -734,10 +840,18 @@ cmdServe(const CliArgs &args)
         common::fatal("serve: " + started.error().str());
     serve::Server *srv = started.value().get();
 
+    // SIGTERM = graceful drain (in-flight campaigns finish, journals
+    // flush, then exit 0); SIGINT = stop now. Either way the daemon
+    // exits cleanly — operators and process supervisors can rely on
+    // TERM never losing an admitted campaign.
     std::thread sig_thread([&sigs, srv] {
         int sig = 0;
-        if (sigwait(&sigs, &sig) == 0)
-            srv->shutdown();
+        if (sigwait(&sigs, &sig) == 0) {
+            if (sig == SIGTERM)
+                srv->drain();
+            else
+                srv->shutdown();
+        }
     });
 
     std::printf("pka serve: listening on %s\n", srv->address().c_str());
@@ -750,9 +864,10 @@ cmdServe(const CliArgs &args)
     kill(getpid(), SIGTERM);
     sig_thread.join();
     std::fprintf(stderr,
-                 "pka serve: shut down (%llu campaign(s) completed, "
+                 "pka serve: %s (%llu campaign(s) completed, "
                  "peak %zu concurrent, %llu similarity hit(s), %llu "
                  "launch(es) projected)\n",
+                 srv->draining() ? "drained" : "shut down",
                  static_cast<unsigned long long>(
                      srv->campaignsCompleted()),
                  srv->peakConcurrentCampaigns(),
@@ -794,6 +909,8 @@ clientErrExit(const serve::Message &m)
     common::TaskError e = serve::errorFromMessage(m);
     std::fprintf(stderr, "client: server rejected request: %s\n",
                  e.str().c_str());
+    if (e.kind == common::ErrorKind::kOverloaded)
+        return 7; // pressure, not policy: safe to retry later
     if (e.kind == common::ErrorKind::kRejected)
         return 5;
     if (e.kind == common::ErrorKind::kBadInput)
@@ -1033,7 +1150,8 @@ main(int argc, char **argv)
     CliArgs args(argc, argv, 2,
                  {"light", "pkp", "force", "no-memo", "content-seed",
                   "resume", "store-stats", "fail-fast", "strict-profiles",
-                  "stability", "stream", "stats", "shutdown", "xcache"});
+                  "stability", "stream", "stats", "shutdown", "xcache",
+                  "repair"});
 
     if (args.has("faults")) {
         if (!common::kFaultInjectionCompiledIn)
@@ -1052,6 +1170,9 @@ main(int argc, char **argv)
         return cmdServe(args);
     if (cmd == "client")
         return cmdClient(args);
+    // fsck is strictly offline — it must not open the store it scrubs.
+    if (cmd == "fsck")
+        return cmdFsck(args);
 
     sim::EngineOptions eo = engineOptionsFor(args);
 
@@ -1066,6 +1187,12 @@ main(int argc, char **argv)
             common::fatal("cannot open result store: " +
                           std::string(ex.what()));
         }
+        uint64_t disk_mb =
+            args.getUint("store-budget-mb", 0, 0, 1u << 30);
+        if (disk_mb != 0)
+            store->setDiskBudgetBytes(disk_mb * (1ull << 20));
+        if (eo.memoBudgetBytes != 0)
+            store->setMemoryBudgetBytes(eo.memoBudgetBytes);
         eo.store = store.get();
     } else if (args.has("resume")) {
         common::fatal("--resume requires --cache-dir");
@@ -1094,6 +1221,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.ioRetries),
                 static_cast<unsigned long long>(s.retryExhausted),
                 static_cast<unsigned long long>(s.orphansSwept));
+            // Resilience counters print only when something happened,
+            // keeping clean runs' output byte-stable.
+            if (s.degraded != 0 || s.putsSkippedDegraded != 0 ||
+                s.evictedRecords != 0)
+                std::fprintf(
+                    stderr,
+                    "store: %s, %llu put(s) skipped (compute-through), "
+                    "%llu record(s) / %llu bytes evicted for budget\n",
+                    s.degraded ? "DEGRADED (compute-through)" : "healthy",
+                    static_cast<unsigned long long>(s.putsSkippedDegraded),
+                    static_cast<unsigned long long>(s.evictedRecords),
+                    static_cast<unsigned long long>(s.evictedBytes));
             if (const store::SignatureIndex *idx = store->similarity()) {
                 store::SigIndexStatsSnapshot g = idx->stats();
                 std::fprintf(
