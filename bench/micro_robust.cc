@@ -12,9 +12,14 @@
  * so CI can run it as a smoke gate (including under sanitizers).
  */
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
@@ -28,6 +33,8 @@
 #include "silicon/gpu_spec.hh"
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
+#include "store/crc32.hh"
+#include "store/sig_index.hh"
 #include "workload/suites.hh"
 
 using namespace pka;
@@ -205,6 +212,156 @@ cleanPathIdentity(const workload::Workload &w,
     }
 }
 
+/** A syntactically valid v2 sig entry with rng-chosen field values. */
+store::SigEntry
+randomSigEntry(common::Rng &rng)
+{
+    store::SigEntry e;
+    for (auto &q : e.sig.q)
+        q = static_cast<int32_t>(rng.uniform() * 2000.0) - 1000;
+    e.key.specHash = rng.nextU64();
+    e.key.contentHash = rng.nextU64();
+    e.key.workloadSeed = rng.nextU64() % 1000;
+    e.key.seedSalt = rng.nextU64() % 1000;
+    e.key.ipcBucketCycles = static_cast<uint32_t>(rng.nextU64() % 4096);
+    e.key.ipcWindowBuckets = static_cast<uint32_t>(rng.nextU64() % 256);
+    e.expThreadInsts = 1.0 + rng.uniform() * 1e9;
+    e.expWarpInsts = 1 + rng.nextU64() % 1000000;
+    e.numCtas = 1 + rng.nextU64() % 65536;
+    e.auditCount = static_cast<uint32_t>(rng.nextU64() % 100);
+    e.verdict = static_cast<store::SigVerdict>(rng.nextU64() % 3);
+    e.errEwma = rng.uniform();
+    return e;
+}
+
+/**
+ * Fuzz the versioned sig-entry audit codec: truncations, byte
+ * corruption (with and without a repaired CRC), version skew and
+ * invalid audit fields must never crash the decoder and must never
+ * decode kOk — a torn or mixed-version record must never serve.
+ * Finally, a directory mixing fuzzed files with valid ones must open
+ * as a SignatureIndex that loads exactly the valid entries.
+ */
+void
+fuzzSigCodec(uint64_t seed, size_t &decode_attempts, size_t &rejected)
+{
+    namespace fsys = std::filesystem;
+    common::Rng rng(seed ^ 0x51600DEC);
+    const std::string where = "sig-codec seed " + std::to_string(seed);
+
+    auto recrc = [](std::string b) {
+        uint32_t crc = store::crc32(b.data(), b.size() - 4);
+        std::memcpy(b.data() + b.size() - 4, &crc, 4);
+        return b;
+    };
+    auto expect_reject = [&](const std::string &bytes, const char *what) {
+        store::SigEntry out;
+        uint32_t version = 0;
+        store::SigDecodeStatus st = store::decodeSigEntryEx(
+            bytes.data(), bytes.size(), &out, &version);
+        ++decode_attempts;
+        if (st != store::SigDecodeStatus::kOk)
+            ++rejected;
+        check(st != store::SigDecodeStatus::kOk, what, where);
+    };
+
+    std::vector<std::string> fuzzed;
+    for (int round = 0; round < 32; ++round) {
+        store::SigEntry e = randomSigEntry(rng);
+        std::string v2 = store::encodeSigEntry(e);
+
+        // Round-trip sanity: the untampered encoding decodes kOk.
+        store::SigEntry out;
+        store::SigDecodeStatus st = store::decodeSigEntryEx(
+            v2.data(), v2.size(), &out, nullptr);
+        ++decode_attempts;
+        check(st == store::SigDecodeStatus::kOk,
+              "valid v2 entry failed to decode", where);
+
+        // Every truncation of a valid record must be rejected (the v1
+        // length in particular: the bytes there are audit payload, not
+        // a v1 CRC, so the tear cannot masquerade as a legacy entry).
+        for (size_t len = 0; len < v2.size();
+             len += 1 + rng.nextU64() % 7) {
+            expect_reject(v2.substr(0, len),
+                          "truncated entry decoded");
+        }
+
+        // Single-byte corruption without CRC repair.
+        {
+            std::string bad = v2;
+            bad[rng.nextU64() % bad.size()] ^=
+                static_cast<char>(1 + rng.nextU64() % 255);
+            expect_reject(bad, "bit-flipped entry decoded");
+            fuzzed.push_back(bad);
+        }
+
+        // Version skew with a *repaired* CRC: a writer bug, not rot —
+        // still must never serve.
+        {
+            uint32_t v = (round % 2 == 0)
+                             ? 1
+                             : static_cast<uint32_t>(3 + rng.nextU64() % 64);
+            std::string skew = v2;
+            std::memcpy(skew.data() + 4, &v, 4);
+            expect_reject(recrc(std::move(skew)),
+                          "version-skewed entry decoded");
+        }
+
+        // Invalid audit fields with a repaired CRC.
+        {
+            std::string bad = v2;
+            size_t verdict_off = store::kSigEntrySizeV1;
+            uint32_t verdict =
+                3 + static_cast<uint32_t>(rng.nextU64() % 1000);
+            std::memcpy(bad.data() + verdict_off, &verdict, 4);
+            expect_reject(recrc(std::move(bad)),
+                          "out-of-range verdict decoded");
+        }
+        {
+            std::string bad = v2;
+            double ewma = (round % 2 == 0)
+                              ? -rng.uniform()
+                              : std::numeric_limits<double>::quiet_NaN();
+            std::memcpy(bad.data() + store::kSigEntrySizeV1 + 4, &ewma,
+                        8);
+            expect_reject(recrc(std::move(bad)),
+                          "invalid errEwma decoded");
+        }
+        fuzzed.push_back(v2.substr(0, rng.nextU64() % v2.size()));
+    }
+
+    // End to end: an index directory seeded with fuzzed debris plus two
+    // valid entries opens cleanly and loads exactly the valid pair.
+    fsys::path root =
+        fsys::temp_directory_path() /
+        ("pka_robust_sig_" + std::to_string(::getpid()) + "_" +
+         std::to_string(seed));
+    fsys::create_directories(root / "aa");
+    for (size_t i = 0; i < fuzzed.size(); ++i) {
+        std::ofstream os(root / "aa" /
+                             ("aa000000000000" + std::to_string(i % 10) +
+                              std::to_string(i / 10 % 10) + ".pks"),
+                         std::ios::binary);
+        os.write(fuzzed[i].data(),
+                 static_cast<std::streamsize>(fuzzed[i].size()));
+    }
+    size_t valid = 0;
+    {
+        store::SignatureIndex seeder(root.string());
+        seeder.insert(randomSigEntry(rng));
+        seeder.insert(randomSigEntry(rng));
+        valid = 2;
+    }
+    store::SignatureIndex idx(root.string());
+    check(idx.size() == valid,
+          "index loaded a fuzzed entry (or dropped a valid one)", where);
+    check(idx.stats().corruptSkipped > 0,
+          "fuzzed debris was not counted as skipped", where);
+    std::error_code ec;
+    fsys::remove_all(root, ec);
+}
+
 } // namespace
 
 int
@@ -261,10 +418,20 @@ main(int argc, char **argv)
         per_seed.push_back(stats);
     }
 
+    bench::banner("versioned sig-entry codec fuzz");
+    size_t sig_decodes = 0, sig_rejected = 0;
+    for (uint64_t seed : seeds)
+        fuzzSigCodec(seed, sig_decodes, sig_rejected);
+    std::printf("sig codec: %zu tampered decodes, %zu rejected\n",
+                sig_decodes, sig_rejected);
+
     FILE *json = std::fopen("BENCH_robust.json", "w");
     if (json) {
-        std::fprintf(json, "{\n  \"violations\": %d,\n  \"seeds\": [\n",
-                     g_violations);
+        std::fprintf(json,
+                     "{\n  \"violations\": %d,\n"
+                     "  \"sig_codec\": {\"decodes\": %zu, "
+                     "\"rejected\": %zu},\n  \"seeds\": [\n",
+                     g_violations, sig_decodes, sig_rejected);
         for (size_t i = 0; i < per_seed.size(); ++i) {
             const FuzzStats &s = per_seed[i];
             std::fprintf(

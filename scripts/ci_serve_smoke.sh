@@ -12,7 +12,12 @@
 #      a crash, and leaves the journal behind;
 #   3. session resume — a fresh daemon on the same cache dir resumes
 #      the rejected campaign by session key and finishes with output
-#      bit-identical to an uninterrupted batch run.
+#      bit-identical to an uninterrupted batch run;
+#   4. shadow audit — a daemon with the similarity tier and
+#      --audit-rate 1.0 must actually sample audits while serving a
+#      projecting campaign, and the client's --stats audit counters
+#      must reflect that (sampled > 0, and every sampled audit is
+#      accounted for as run or shed).
 #
 # Usage: scripts/ci_serve_smoke.sh [path-to-pka]
 
@@ -130,4 +135,26 @@ echo "   $(grep -m1 '^resumed:' "$WORK/resumed.out")"
 echo "   resumed == batch ($resumed_line)"
 stop_daemon
 
-echo "PASS: serve smoke (concurrency, admission, resume) all green"
+echo "== phase 4: shadow audit counters over the daemon stats channel"
+start_daemon "$WORK/serve4.out" --cache-dir "$WORK/audit-cache" \
+    --threads 2 --xcache --xcache-tolerance 0.05 --audit-rate 1.0
+"$PKA" client --connect "$ADDR" "$RESUME_WORKLOAD" --session smoke-audit \
+    >"$WORK/audited.out" 2>&1 ||
+    fail "audited client exited non-zero: $(cat "$WORK/audited.out")"
+"$PKA" client --connect "$ADDR" --stats >"$WORK/audit-stats.out" 2>&1 ||
+    fail "stats query failed: $(cat "$WORK/audit-stats.out")"
+audit_line=$(grep -m1 '^audit:' "$WORK/audit-stats.out") ||
+    fail "no audit line in --stats output: $(cat "$WORK/audit-stats.out")"
+read -r sampled run shed <<EOF
+$(echo "$audit_line" |
+    sed -n 's/^audit: *\([0-9]*\) sampled \/ \([0-9]*\) run \/ \([0-9]*\) shed.*/\1 \2 \3/p')
+EOF
+[ -n "${sampled:-}" ] || fail "unparseable audit line: '$audit_line'"
+[ "$sampled" -gt 0 ] ||
+    fail "audit-rate 1.0 daemon sampled no audits: '$audit_line'"
+[ $((run + shed)) -le "$sampled" ] ||
+    fail "audit accounting broken (run+shed > sampled): '$audit_line'"
+echo "   $audit_line"
+stop_daemon
+
+echo "PASS: serve smoke (concurrency, admission, resume, audit) all green"

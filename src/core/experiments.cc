@@ -133,6 +133,8 @@ fullSimulate(const sim::SimEngine &engine,
     out.failedLaunches = run.failures.size();
     out.quarantinedKernels = stats.quarantinedKernels;
     out.quorumMet = run.quorumMet;
+    out.accuracyDegraded = run.accuracyDegraded;
+    out.certifiedError = run.certifiedError;
     out.failures = std::move(run.failures);
     return out;
 }

@@ -100,6 +100,12 @@ struct FullSimResult
     bool quorumMet = true;           ///< campaign met its quorum policy
     std::vector<sim::LaunchFailure> failures; ///< per-launch detail
 
+    // Accuracy-SLO accounting (CampaignPolicy::errorBudget): the budget
+    // tripped mid-campaign and the tail ran simulate-through. The run
+    // is complete but the CLI exits with the typed accuracy code (8).
+    bool accuracyDegraded = false;
+    double certifiedError = 0.0; ///< final mean certified error
+
     std::vector<TBPointKernelStats> perKernel;
 
     double ipc() const

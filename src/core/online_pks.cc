@@ -135,8 +135,8 @@ OnlinePks::reservoirAdd(const silicon::DetailedProfile &p)
         reservoir_[slot] = p;
 }
 
-common::Expected<bool>
-OnlinePks::refit()
+std::vector<silicon::DetailedProfile>
+OnlinePks::retainedSample() const
 {
     // Bounded re-clustering input: current representatives (so existing
     // groups stay anchored) plus the reservoir sample, chronological,
@@ -156,6 +156,81 @@ OnlinePks::refit()
                                  return a.launchId == b.launchId;
                              }),
                  sample.end());
+    return sample;
+}
+
+void
+OnlinePks::shadowCheck()
+{
+    // Streaming-selection audit: re-run *batch* PKS over the retained
+    // sample and compare its clustering against what the current online
+    // model says about the very same profiles. Read-only — the online
+    // groups, scaler and PCA are never touched, so enabling the check
+    // cannot perturb the selection it is auditing.
+    std::vector<silicon::DetailedProfile> sample = retainedSample();
+    if (sample.size() < 2 || groups_.empty())
+        return;
+    common::Expected<PksResult> fit =
+        principalKernelSelectionChecked(sample, opt_.pks);
+    if (!fit.ok())
+        return; // an unfittable sample is not evidence of divergence
+    const PksResult &r = fit.value();
+
+    // Labels follow the validator's surviving order; retained profiles
+    // all survived validation once already, so alignment holds.
+    size_t n = std::min(r.labels.size(), sample.size());
+    if (n < 2)
+        return;
+    std::vector<size_t> online(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> x = project(sample[i]);
+        size_t best = 0;
+        double bestd = std::numeric_limits<double>::infinity();
+        for (size_t g = 0; g < groups_.size(); ++g) {
+            double d = ml::squaredDistance(x, groups_[g].centroid);
+            if (d < bestd) {
+                bestd = d;
+                best = g;
+            }
+        }
+        online[i] = best;
+    }
+
+    // Pairwise co-assignment agreement (Rand-index style): label ids
+    // are not comparable across the two clusterings, but "same group
+    // or not" is. Divergence = disagreeing pairs / all pairs.
+    size_t pairs = 0;
+    size_t agree = 0;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            ++pairs;
+            bool batch_same = r.labels[i] == r.labels[j];
+            bool online_same = online[i] == online[j];
+            if (batch_same == online_same)
+                ++agree;
+        }
+    double divergence =
+        pairs == 0 ? 0.0
+                   : 1.0 - static_cast<double>(agree) /
+                               static_cast<double>(pairs);
+    ++stats_.shadowChecks;
+    stats_.lastShadowDivergence = divergence;
+    if (divergence > opt_.shadowDivergenceThreshold) {
+        ++stats_.shadowDivergences;
+        common::warnRateLimited(
+            "online.shadow",
+            common::strfmt("online selection diverged from batch PKS: "
+                           "co-assignment divergence %.3f over %zu "
+                           "retained profiles (threshold %.3f)",
+                           divergence, n,
+                           opt_.shadowDivergenceThreshold));
+    }
+}
+
+common::Expected<bool>
+OnlinePks::refit()
+{
+    std::vector<silicon::DetailedProfile> sample = retainedSample();
 
     common::Expected<PksResult> fit =
         principalKernelSelectionChecked(sample, opt_.pks);
@@ -277,6 +352,12 @@ OnlinePks::observe(const silicon::DetailedProfile &p)
     ++classifiedSinceRefit_;
     reservoirAdd(p);
     noteResident();
+
+    if (opt_.shadowCheckEvery > 0 &&
+        ++classifiedSinceShadow_ >= opt_.shadowCheckEvery) {
+        classifiedSinceShadow_ = 0;
+        shadowCheck();
+    }
 
     if (drifted && driftSinceRefit_ >= opt_.refitDriftEvents &&
         classifiedSinceRefit_ >= opt_.minLaunchesBetweenRefits)

@@ -62,6 +62,22 @@ struct OnlinePksOptions
 
     /** Minimum classified launches between re-fits (re-fit hysteresis). */
     size_t minLaunchesBetweenRefits = 128;
+
+    /**
+     * Shadow-check cadence: every this many classified launches, re-run
+     * *batch* PKS over the retained reservoir (plus representatives)
+     * and compare its clustering against the online assignment of the
+     * same profiles — the streaming analogue of the projection audit.
+     * The check is read-only (it never alters the online model); its
+     * pairwise co-assignment divergence lands in OnlinePksStats and a
+     * divergence beyond shadowDivergenceThreshold is flagged (counted,
+     * warned rate-limited). 0 (default) = off.
+     */
+    size_t shadowCheckEvery = 0;
+
+    /** Divergence (1 - pairwise co-assignment agreement, in [0,1])
+     *  beyond which a shadow check flags selection drift. */
+    double shadowDivergenceThreshold = 0.25;
 };
 
 /** Streaming-selection accounting. */
@@ -72,6 +88,11 @@ struct OnlinePksStats
     size_t driftEvents = 0;   ///< assignments flagged as drifted
     size_t refits = 0;        ///< bounded re-clusterings performed
     size_t groups = 0;        ///< current cluster count
+
+    // Shadow-check accounting (all zero with shadowCheckEvery == 0).
+    size_t shadowChecks = 0;      ///< batch re-clusterings compared
+    size_t shadowDivergences = 0; ///< checks beyond the threshold
+    double lastShadowDivergence = 0.0; ///< most recent divergence [0,1]
 
     /**
      * Peak number of whole profiles resident at once (warmup buffer +
@@ -155,6 +176,8 @@ class OnlinePks
 
     common::Expected<bool> fitFromWarmup();
     common::Expected<bool> refit();
+    std::vector<silicon::DetailedProfile> retainedSample() const;
+    void shadowCheck();
     std::vector<double> project(const silicon::DetailedProfile &p) const;
     void reservoirAdd(const silicon::DetailedProfile &p);
     void noteResident();
@@ -176,6 +199,7 @@ class OnlinePks
     size_t ewmaSamples_ = 0;
     size_t driftSinceRefit_ = 0;
     size_t classifiedSinceRefit_ = 0;
+    size_t classifiedSinceShadow_ = 0;
     double profiledCycles_ = 0.0;
 
     OnlinePksStats stats_;

@@ -76,6 +76,7 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
     // costs store reads, not simulation — and results land in job order,
     // keeping the reduction bit-identical to an uninterrupted run.
     std::vector<size_t> chunk_indices;
+    double certified_err_sum = 0.0; // sum of served projection bounds
     for (size_t begin = 0; begin < jobs.size(); begin += chunk_launches) {
         size_t end = std::min(begin + chunk_launches, jobs.size());
         if (policy.admitChunk) {
@@ -100,6 +101,12 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
         }
         std::vector<sim::SimJob> chunk(jobs.begin() + begin,
                                        jobs.begin() + end);
+        if (out.accuracyDegraded)
+            // Budget already tripped: the remainder runs simulate-
+            // through. Exact cache/store hits still serve (they are
+            // truth); only the similarity tier is disabled.
+            for (sim::SimJob &j : chunk)
+                j.noProject = true;
         size_t prev_errors = stats ? stats->launchErrors.size() : 0;
         std::vector<common::Expected<sim::KernelSimResult>> part =
             engine.runChecked(simulator, chunk, stats, policy.priority);
@@ -113,6 +120,9 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
         for (size_t i = 0; i < part.size(); ++i) {
             size_t idx = begin + i;
             if (part[i].ok()) {
+                if (part[i].value().projected)
+                    certified_err_sum +=
+                        part[i].value().projectionErrorBound;
                 out.results[idx] = std::move(part[i].value());
                 out.completed[idx] = 1;
                 ++out.completedCount;
@@ -129,6 +139,25 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
         }
         if (journal)
             journal->markDone(chunk_indices);
+
+        // Accuracy SLO: once the mean certified error over the whole
+        // campaign exceeds the budget, degrade the remaining chunks to
+        // simulate-through (the ENOSPC compute-through shape — the
+        // campaign finishes, the breach is typed in the outcome).
+        if (policy.errorBudget > 0.0 && !out.accuracyDegraded &&
+            !jobs.empty() &&
+            certified_err_sum / static_cast<double>(jobs.size()) >
+                policy.errorBudget) {
+            out.accuracyDegraded = true;
+            common::warnRateLimited(
+                "campaign.accuracy",
+                common::strfmt(
+                    "campaign error budget exceeded (certified %.4f > "
+                    "budget %.4f after %zu launches); degrading the "
+                    "remainder to simulate-through",
+                    certified_err_sum / static_cast<double>(jobs.size()),
+                    policy.errorBudget, end));
+        }
         if (policy.onProgress)
             policy.onProgress(end, jobs.size());
         if (policy.failFast && chunk_failed) {
@@ -137,6 +166,9 @@ runJobsCheckpointedChecked(const sim::SimEngine &engine,
         }
     }
 
+    out.certifiedError =
+        jobs.empty() ? 0.0
+                     : certified_err_sum / static_cast<double>(jobs.size());
     double fraction =
         jobs.empty() ? 1.0
                      : static_cast<double>(out.completedCount) /
@@ -336,6 +368,8 @@ simulateSelection(const sim::SimEngine &engine,
     out.failedLaunches = run.failures.size();
     out.quarantinedKernels = stats.quarantinedKernels;
     out.quorumMet = run.quorumMet;
+    out.accuracyDegraded = run.accuracyDegraded;
+    out.certifiedError = run.certifiedError;
     out.failures = std::move(run.failures);
     if (util_weight > 0)
         out.projectedDramUtilPct /= util_weight;

@@ -93,6 +93,23 @@ struct CampaignPolicy
      * everything.
      */
     std::function<common::Expected<bool>(size_t chunkLaunches)> admitChunk;
+
+    /**
+     * Campaign accuracy SLO (the CLI's --error-budget): the maximum
+     * mean certified relative error this campaign will accept from the
+     * similarity tier, accounted after every chunk as
+     *
+     *     sum(projectionErrorBound over projected launches) / launches.
+     *
+     * Exceeding the budget mid-campaign degrades the remainder to
+     * simulate-through (every remaining job runs with SimJob::noProject
+     * so the exact tiers and the simulator answer it), the campaign
+     * still completes, and the outcome carries the typed `accuracy`
+     * verdict (CampaignRunOutcome::accuracyDegraded; CLI exit code 8) —
+     * the same compute-through shape as the store's ENOSPC degradation.
+     * 0 (default) = no budget.
+     */
+    double errorBudget = 0.0;
 };
 
 /**
@@ -108,6 +125,14 @@ struct CampaignRunOutcome
     std::vector<sim::LaunchFailure> failures; ///< launch-order detail
     bool quorumMet = true;   ///< completed fraction reached minQuorum
     bool stoppedEarly = false; ///< failFast aborted the fan-out
+
+    /** The error budget tripped: the campaign finished, but its tail
+     *  ran simulate-through and the accuracy SLO was breached. */
+    bool accuracyDegraded = false;
+
+    /** Final mean certified relative error over the campaign (see
+     *  CampaignPolicy::errorBudget for the accounting). */
+    double certifiedError = 0.0;
 };
 
 /**
@@ -257,6 +282,10 @@ struct AppProjection
     uint64_t quarantinedKernels = 0; ///< distinct kernels quarantined
     bool quorumMet = true;           ///< campaign met its quorum policy
     std::vector<sim::LaunchFailure> failures; ///< per-launch detail
+
+    // Accuracy-SLO accounting (CampaignPolicy::errorBudget).
+    bool accuracyDegraded = false; ///< budget tripped; tail simulated
+    double certifiedError = 0.0;   ///< final mean certified error
 
     /** Projected whole-app IPC. */
     double projectedIpc() const

@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <csignal>
 #include <map>
 #include <sys/socket.h>
@@ -13,6 +14,7 @@
 #include "silicon/profiler.hh"
 #include "silicon/silicon_gpu.hh"
 #include "store/file_store.hh"
+#include "store/sig_index.hh"
 #include "workload/suites.hh"
 
 namespace pka::serve
@@ -113,10 +115,24 @@ Server::start(const ServerOptions &options)
     eo.store = s->store_.get();
     if (options.memoBudgetBytes != 0)
         eo.memoBudgetBytes = options.memoBudgetBytes;
-    s->engine_ = std::make_unique<sim::SimEngine>(eo);
     s->sessions_ = std::make_unique<SessionManager>(
         options.cacheDir, options.limits.maxSessions);
     s->scheduler_ = std::make_unique<CampaignScheduler>(options.limits);
+    if (eo.auditRate > 0.0 && !eo.auditShed) {
+        // Audit work is strictly lower priority than campaign work: at
+        // campaign saturation (regular slots full, reserve in use) or
+        // during a drain the audit lane sheds instead of competing for
+        // simulation throughput. The engine is reset before the
+        // scheduler in ~Server, so the capture stays valid for the
+        // audit thread's lifetime.
+        Server *srv = s.get();
+        eo.auditShed = [srv] {
+            return srv->draining_.load() ||
+                   srv->scheduler_->active() >=
+                       srv->scheduler_->limits().maxConcurrentCampaigns;
+        };
+    }
+    s->engine_ = std::make_unique<sim::SimEngine>(eo);
 
     common::Expected<Listener> l = Listener::open(options.listen);
     if (!l.ok())
@@ -131,6 +147,10 @@ Server::~Server()
 {
     shutdown();
     wait();
+    // The audit lane's shed callback reads the scheduler; tear the
+    // engine (which joins the audit thread) down while the scheduler
+    // is still alive, not in member-reverse order.
+    engine_.reset();
 }
 
 uint64_t
@@ -335,6 +355,20 @@ Server::handleConnection(Fd fd)
                 .addUint("cache_misses", engine_->cacheMisses())
                 .addUint("sim_hits", engine_->simTierHits())
                 .addUint("projected", engine_->projectedLaunches());
+            {
+                sim::SimEngine::AuditSnapshot au = engine_->auditStats();
+                m.addUint("audit_sampled", au.sampled)
+                    .addUint("audit_run", au.run)
+                    .addUint("audit_violations", au.violations)
+                    .addUint("audit_shed", au.shed)
+                    .addDouble("audit_max_err", au.maxObservedErr);
+                if (const store::SignatureIndex *sig =
+                        store_->similarity()) {
+                    store::SigIndexStatsSnapshot ss = sig->stats();
+                    m.addUint("quarantined_sigs", ss.quarantined)
+                        .addDouble("governor_scale", ss.governorMinScale);
+                }
+            }
             sendMsg(fd.get(), m);
             continue;
         }
@@ -407,6 +441,21 @@ Server::handleConnection(Fd fd)
             core::CampaignPolicy policy;
             policy.minQuorum = quorum;
             policy.priority = priority;
+            // Per-request budget may tighten the daemon-wide SLO but
+            // never loosen it (a client cannot opt out of accuracy
+            // enforcement the operator configured).
+            common::Expected<double> budget =
+                req.getDouble("budget", opts_.errorBudget);
+            if (!budget.ok() || budget.value() < 0.0) {
+                sendErr(fd.get(), id, badInput("bad budget"));
+                continue;
+            }
+            policy.errorBudget = opts_.errorBudget > 0.0
+                                     ? (budget.value() > 0.0
+                                            ? std::min(budget.value(),
+                                                       opts_.errorBudget)
+                                            : opts_.errorBudget)
+                                     : budget.value();
             policy.admitChunk = [&quota](size_t n) {
                 return quota.admit(n);
             };
@@ -451,7 +500,9 @@ Server::handleConnection(Fd fd)
                 .addUint("cache_misses", fs.cacheMisses)
                 .addUint("sim_hits", fs.simTierHits)
                 .addUint("projected", fs.projectedLaunches)
-                .addDouble("proj_err", fs.projErrBound);
+                .addDouble("proj_err", fs.projErrBound)
+                .addUint("accuracy", fs.accuracyDegraded ? 1 : 0)
+                .addDouble("cert_err", fs.certifiedError);
             // Count before sending: a client acting on the RESULT must
             // never observe a stats snapshot that predates it.
             completed_.fetch_add(1);
@@ -497,12 +548,15 @@ Server::handleConnection(Fd fd)
                 "reservoir", oo.reservoirCapacity, 1, 1u << 20);
             common::Expected<double> thr =
                 req.getDouble("threshold", sc.pkpThreshold);
-            if (!warm.ok() || !resv.ok() || !thr.ok()) {
+            common::Expected<uint64_t> shadow =
+                req.getUint("shadow", 0, 0, 1u << 20);
+            if (!warm.ok() || !resv.ok() || !thr.ok() || !shadow.ok()) {
                 sendErr(fd.get(), id, badInput("bad stream options"));
                 continue;
             }
             oo.warmupLaunches = warm.value();
             oo.reservoirCapacity = resv.value();
+            oo.shadowCheckEvery = shadow.value();
             sc.pkp = req.get("pkp") == "1";
             sc.pkpThreshold = thr.value();
             sc.gpu = std::make_unique<silicon::SiliconGpu>(sc.spec);
@@ -643,6 +697,8 @@ Server::handleConnection(Fd fd)
                 .addUint("classified", s.stats.classified)
                 .addUint("drift", s.stats.driftEvents)
                 .addUint("refits", s.stats.refits)
+                .addUint("shadow_checks", s.stats.shadowChecks)
+                .addUint("shadow_div", s.stats.shadowDivergences)
                 .addUint("resident", s.stats.maxResidentProfiles)
                 .addUint("resident_bytes", s.stats.residentBytes())
                 .addUint("failed", proj.failedLaunches)

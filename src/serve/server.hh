@@ -83,6 +83,15 @@ struct ServerOptions
     /** Memory budget for the engine memo cache and the resident
      *  similarity index, in bytes (0 = unbounded). */
     uint64_t memoBudgetBytes = 0;
+
+    /**
+     * Daemon-wide campaign accuracy SLO (CampaignPolicy::errorBudget):
+     * mean certified projection error a RUN campaign may accumulate
+     * before its tail runs simulate-through and the RESULT carries
+     * accuracy=1. 0 (default) = no budget. Clients may tighten (never
+     * loosen) per request with budget=.
+     */
+    double errorBudget = 0.0;
 };
 
 /** The daemon. start() binds and spawns the accept loop. */

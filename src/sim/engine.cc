@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 
@@ -167,7 +168,151 @@ SimEngine::SimEngine(EngineOptions options)
     shards_ = std::make_unique<Shard[]>(opts_.cacheShards);
 }
 
-SimEngine::~SimEngine() = default;
+SimEngine::~SimEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(audit_m_);
+        auditStop_ = true;
+    }
+    audit_cv_.notify_all();
+    if (auditThread_.joinable())
+        auditThread_.join();
+}
+
+bool
+SimEngine::auditSample(uint64_t targetKeyHash) const
+{
+    if (opts_.auditRate <= 0.0)
+        return false;
+    if (opts_.auditRate >= 1.0)
+        return true;
+    // Deterministic per-key coin: the same campaign audits the same
+    // launches on every run/thread-count, so audit coverage is
+    // reproducible (and testable) by construction.
+    Fnv f;
+    f.u64(targetKeyHash);
+    f.u64(opts_.auditSeed ^ 0x9e3779b97f4a7c15ull);
+    double u = static_cast<double>(f.h >> 11) * 0x1p-53;
+    return u < opts_.auditRate;
+}
+
+void
+SimEngine::auditEnqueue(AuditTask task) const
+{
+    auditSampled_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(audit_m_);
+        if (auditStop_)
+            return;
+        if (!auditStarted_) {
+            auditStarted_ = true;
+            auditThread_ = std::thread([this] { auditLoop(); });
+        }
+        while (auditQueue_.size() >= std::max<size_t>(1, opts_.auditQueueCap)) {
+            auditQueue_.pop_front();
+            auditShed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        auditQueue_.push_back(std::move(task));
+    }
+    audit_cv_.notify_one();
+}
+
+void
+SimEngine::auditLoop() const
+{
+    std::unique_lock<std::mutex> lk(audit_m_);
+    for (;;) {
+        audit_cv_.wait(lk,
+                       [&] { return auditStop_ || !auditQueue_.empty(); });
+        if (auditStop_)
+            return; // queued audits are abandoned; the lane is advisory
+        AuditTask task = std::move(auditQueue_.front());
+        auditQueue_.pop_front();
+        auditBusy_ = true;
+        lk.unlock();
+
+        // Overload check at dequeue time: under serve pressure audit
+        // work is the first thing dropped (it costs a full simulation).
+        if (opts_.auditShed && opts_.auditShed()) {
+            auditShed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            try {
+                auditOne(task);
+            } catch (const std::exception &ex) {
+                // A failing ground-truth run proves nothing about the
+                // projection; drop the audit rather than the campaign.
+                common::warnRateLimited(
+                    "audit.fail",
+                    common::strfmt("shadow audit: ground-truth "
+                                   "re-simulation failed (%s); audit "
+                                   "dropped",
+                                   ex.what()));
+                auditShed_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+
+        lk.lock();
+        auditBusy_ = false;
+        if (auditQueue_.empty())
+            audit_idle_cv_.notify_all();
+    }
+}
+
+void
+SimEngine::auditOne(const AuditTask &task) const
+{
+    GpuSimulator sim(task.spec);
+    KernelSimResult truth =
+        sim.simulateKernel(task.kernel, task.workloadSeed, task.opts);
+    auditRun_.fetch_add(1, std::memory_order_relaxed);
+    if (truth.cycles == 0)
+        return;
+
+    const double observed =
+        std::abs(task.projectedCycles - static_cast<double>(truth.cycles)) /
+        static_cast<double>(truth.cycles);
+    // CAS-max the worst observed error for reporting.
+    uint64_t want = std::bit_cast<uint64_t>(observed);
+    uint64_t cur = auditMaxErrBits_.load(std::memory_order_relaxed);
+    while (std::bit_cast<double>(cur) < observed &&
+           !auditMaxErrBits_.compare_exchange_weak(
+               cur, want, std::memory_order_relaxed)) {
+    }
+
+    const bool violation = observed > task.errorBound;
+    if (violation)
+        auditViolations_.fetch_add(1, std::memory_order_relaxed);
+
+    // Persist the truth into the exact tier: the audited kernel now
+    // answers exactly for every later process (self-healing), and the
+    // donor entry's audit stats / quarantine verdict persist with it.
+    if (opts_.store) {
+        opts_.store->put(task.key, truth);
+        if (const store::SignatureIndex *idx = opts_.store->similarity())
+            idx->recordAudit(task.donorKeyHash, observed, violation);
+    }
+}
+
+SimEngine::AuditSnapshot
+SimEngine::auditStats() const
+{
+    AuditSnapshot s;
+    s.sampled = auditSampled_.load(std::memory_order_relaxed);
+    s.run = auditRun_.load(std::memory_order_relaxed);
+    s.violations = auditViolations_.load(std::memory_order_relaxed);
+    s.shed = auditShed_.load(std::memory_order_relaxed);
+    s.maxObservedErr = std::bit_cast<double>(
+        auditMaxErrBits_.load(std::memory_order_relaxed));
+    return s;
+}
+
+void
+SimEngine::auditDrain() const
+{
+    std::unique_lock<std::mutex> lk(audit_m_);
+    audit_idle_cv_.wait(
+        lk, [&] { return auditQueue_.empty() && !auditBusy_; });
+}
 
 uint32_t
 SimEngine::acquireExtraWorkers(uint32_t want) const
@@ -265,7 +410,7 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
             // is published to the memory cache (tagged, so later hits
             // stay countable) but never to the exact disk tier.
             const store::SignatureIndex *idx = opts_.store->similarity();
-            if (idx && opts_.xcacheTolerance > 0 &&
+            if (idx && opts_.xcacheTolerance > 0 && !job.noProject &&
                 projectionEligible(job, opts)) {
                 store::SigProbe p = idx->probe(
                     store::signatureOf(*job.kernel), opts_.xcacheTolerance);
@@ -280,6 +425,26 @@ SimEngine::runJob(const GpuSimulator &simulator, uint64_t spec_hash,
                     projected_.fetch_add(1, std::memory_order_relaxed);
                     outcome->simTierHit = 1;
                     publishToShard(shard, key, proj);
+                    // Shadow audit: deterministically sample served
+                    // projections for background ground-truth
+                    // verification. The projection is returned either
+                    // way — the audit only shapes *future* serving
+                    // (quarantine, tolerance governor, healed store).
+                    if (auditSample(kernelSimKeyHash(key))) {
+                        AuditTask t{*job.kernel,
+                                    job.workloadSeed,
+                                    opts,
+                                    simulator.spec(),
+                                    static_cast<double>(proj.cycles),
+                                    proj.projectionErrorBound,
+                                    kernelSimKeyHash(p.entry.key),
+                                    key};
+                        t.opts.cancel = nullptr;
+                        t.opts.stop = nullptr;
+                        t.opts.trace = nullptr;
+                        t.opts.intraKernelThreads = 1;
+                        auditEnqueue(std::move(t));
+                    }
                     return proj;
                 }
             }

@@ -40,10 +40,13 @@
 #define PKA_SIM_ENGINE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -133,6 +136,38 @@ struct EngineOptions
      * errors never retry (they are deterministic). Minimum 1.
      */
     unsigned maxTaskAttempts = 2;
+
+    /**
+     * Shadow-audit sampling rate (the CLI's --audit-rate): the fraction
+     * of similarity-served projections that are deterministically
+     * sampled (seeded by auditSeed, keyed per target cache key) and
+     * re-simulated for ground truth on the engine's background audit
+     * lane. An audited projection whose observed relative cycle error
+     * exceeds its certified projectionErrorBound quarantines the donor
+     * sig-index entry and tightens that neighborhood's probe tolerance
+     * (see store::SignatureIndex::recordAudit); the ground-truth result
+     * is persisted to the exact store, so the healed answer serves
+     * exactly from then on. 0 (default) disables the lane entirely —
+     * the clean path is bit-identical to an audit-free engine. The
+     * audit lane is advisory: it never changes a result already served.
+     */
+    double auditRate = 0.0;
+
+    /** Seed of the deterministic audit sampler. */
+    uint64_t auditSeed = 0;
+
+    /**
+     * Overload probe for the audit lane: when set and returning true,
+     * queued audits are shed (dropped, counted) instead of simulated —
+     * the serve daemon wires this to its admission scheduler so audit
+     * work is the first load shed under pressure. Called only from the
+     * audit thread; must be safe to call until the engine is destroyed.
+     */
+    std::function<bool()> auditShed;
+
+    /** Pending-audit queue bound; the oldest queued audit is dropped
+     *  (counted as shed) when an enqueue would exceed it. */
+    size_t auditQueueCap = 256;
 
     /**
      * Intra-kernel SM-shard team size cap (the CLI's --sm-threads).
@@ -255,6 +290,15 @@ struct SimJob
     SimOptions opts;
     std::function<std::unique_ptr<StopController>()> makeStop;
     uint64_t stopConfigKey = 0;
+
+    /**
+     * Never answer this job from the similarity tier (exact tiers and
+     * simulation only). The campaign error-budget governor flips this
+     * on every remaining job once a campaign's certified error budget
+     * is exhausted — the simulate-through degradation of the accuracy
+     * SLO (core::CampaignPolicy::errorBudget).
+     */
+    bool noProject = false;
 };
 
 /** Memoization key; see the file comment for field semantics. */
@@ -404,6 +448,27 @@ class SimEngine
     void quarantineKernel(uint64_t contentHash,
                           const common::TaskError &why) const;
 
+    /** Cumulative shadow-audit accounting (engine lifetime — the lane
+     *  is asynchronous, so audits cannot be attributed to one run). */
+    struct AuditSnapshot
+    {
+        uint64_t sampled = 0;    ///< projections selected for audit
+        uint64_t run = 0;        ///< ground-truth re-simulations done
+        uint64_t violations = 0; ///< observed error exceeded the bound
+        uint64_t shed = 0;       ///< audits dropped (overload / queue cap)
+        double maxObservedErr = 0.0; ///< worst observed relative error
+    };
+
+    /** Snapshot of the audit lane's counters. */
+    AuditSnapshot auditStats() const;
+
+    /**
+     * Block until every queued audit has been simulated or shed. Tests,
+     * benches and the CLI's exit-path stats call this so audit effects
+     * (quarantines, counters) are observable; campaigns never need to.
+     */
+    void auditDrain() const;
+
     /**
      * The process-wide default engine, used by the legacy serial entry
      * points (fullSimulate / simulateSelection / baselines without an
@@ -459,6 +524,33 @@ class SimEngine
     runJobChecked(const GpuSimulator &simulator, uint64_t spec_hash,
                   const SimJob &job, TaskOutcome *outcome) const;
 
+    /** One queued ground-truth re-simulation (self-contained: owns a
+     *  descriptor copy so campaign storage may die before the audit
+     *  runs). */
+    struct AuditTask
+    {
+        pka::workload::KernelDescriptor kernel;
+        uint64_t workloadSeed = 0;
+        SimOptions opts;
+        pka::silicon::GpuSpec spec;
+        double projectedCycles = 0.0;
+        double errorBound = 0.0;
+        uint64_t donorKeyHash = 0; ///< sig entry to credit / quarantine
+        KernelSimKey key;          ///< target's exact-store key
+    };
+
+    /** True when the sampler selects this target key for audit. */
+    bool auditSample(uint64_t targetKeyHash) const;
+
+    /** Queue one audit (drops + counts when over auditQueueCap). */
+    void auditEnqueue(AuditTask task) const;
+
+    /** Body of the background audit thread. */
+    void auditLoop() const;
+
+    /** Execute one audit task (ground truth, compare, record). */
+    void auditOne(const AuditTask &task) const;
+
     EngineOptions opts_;
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<Shard[]> shards_;
@@ -484,6 +576,27 @@ class SimEngine
     mutable std::mutex quar_m_;
     mutable std::unordered_map<uint64_t, common::TaskError> quarantined_;
     mutable std::atomic<size_t> quarCount_{0};
+
+    // Shadow-audit lane: one low-priority background thread draining a
+    // bounded queue of ground-truth re-simulations. Lazily started on
+    // the first enqueue; joined by the destructor. All cross-thread
+    // state is the queue (audit_m_/audit_cv_) plus atomics, so the lane
+    // is TSan-clean by construction.
+    mutable std::mutex audit_m_;
+    mutable std::condition_variable audit_cv_;
+    mutable std::condition_variable audit_idle_cv_;
+    mutable std::deque<AuditTask> auditQueue_;
+    mutable std::thread auditThread_;
+    mutable bool auditStarted_ = false;
+    mutable bool auditStop_ = false;
+    mutable bool auditBusy_ = false;
+
+    mutable std::atomic<uint64_t> auditSampled_{0};
+    mutable std::atomic<uint64_t> auditRun_{0};
+    mutable std::atomic<uint64_t> auditViolations_{0};
+    mutable std::atomic<uint64_t> auditShed_{0};
+    /** Worst observed relative error, as double bits (CAS-maxed). */
+    mutable std::atomic<uint64_t> auditMaxErrBits_{0};
 };
 
 /** Content hash of a device spec (every timing-relevant field). */

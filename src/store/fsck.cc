@@ -151,15 +151,35 @@ scrubSigEntries(const fs::path &root, const FsckOptions &opts,
         ++rep->sigScanned;
         std::string bytes;
         SigEntry entry;
-        if (!readFile(p, &bytes) ||
-            !decodeSigEntry(bytes.data(), bytes.size(), &entry)) {
-            ++rep->sigCorrupt;
-            warn(strfmt("fsck: corrupt signature entry '%s' (%zu bytes)",
-                        p.string().c_str(), bytes.size()));
+        uint32_t version = 0;
+        SigDecodeStatus st =
+            readFile(p, &bytes)
+                ? decodeSigEntryEx(bytes.data(), bytes.size(), &entry,
+                                   &version)
+                : SigDecodeStatus::kCorrupt;
+        if (st != SigDecodeStatus::kOk) {
+            // Version skew (intact CRC, version/length mismatch or a
+            // future version) is rejected like corruption — a torn or
+            // mixed-version record must never serve — but counted
+            // apart: it points at a writer bug, not bit rot.
+            if (st == SigDecodeStatus::kVersionSkew) {
+                ++rep->sigVersionSkew;
+                warn(strfmt("fsck: version-skewed signature entry '%s' "
+                            "(%zu bytes)",
+                            p.string().c_str(), bytes.size()));
+            } else {
+                ++rep->sigCorrupt;
+                warn(strfmt("fsck: corrupt signature entry '%s' "
+                            "(%zu bytes)",
+                            p.string().c_str(), bytes.size()));
+            }
             if (opts.repair && quarantineFile(root, p))
                 ++rep->quarantinedFiles;
             continue;
         }
+        if (version < 2)
+            // Pre-audit entry: perfectly valid, reads as unaudited.
+            ++rep->sigLegacy;
         std::string want = hex16(sim::kernelSimKeyHash(entry.key));
         if (p.stem().string() != want) {
             ++rep->sigMisnamed;

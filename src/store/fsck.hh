@@ -59,6 +59,17 @@ struct FsckReport
     uint64_t sigMisnamed = 0;
     uint64_t sigRenamed = 0;
 
+    /** Intact v1 (pre-audit) entries read as unaudited; counted, never
+     *  flagged — the online index migrates them on the next audit. */
+    uint64_t sigLegacy = 0;
+
+    /** Entries whose declared version disagrees with their length (or
+     *  claims a future version) while the CRC still holds — a torn or
+     *  mixed-version write. Rejected like corruption (quarantined in
+     *  repair mode), but counted separately: version skew points at a
+     *  writer bug, not bit rot. */
+    uint64_t sigVersionSkew = 0;
+
     /** Corrupt/unrecoverable files moved under <root>/quarantine/. */
     uint64_t quarantinedFiles = 0;
 
@@ -79,7 +90,8 @@ struct FsckReport
     bool clean() const
     {
         return recordsCorrupt == 0 && recordsMisnamed == 0 &&
-               sigCorrupt == 0 && sigMisnamed == 0 && tmpOrphans == 0 &&
+               sigCorrupt == 0 && sigMisnamed == 0 &&
+               sigVersionSkew == 0 && tmpOrphans == 0 &&
                journalsTorn == 0 && journalsBad == 0;
     }
 };

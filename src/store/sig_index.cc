@@ -87,7 +87,8 @@ namespace
 {
 
 constexpr char kSigMagic[4] = {'P', 'K', 'S', '1'};
-constexpr uint32_t kSigVersion = 1;
+constexpr uint32_t kSigVersionLegacy = 1; ///< PR 8 layout, no audit stats
+constexpr uint32_t kSigVersion = 2;       ///< adds persisted audit stats
 
 /** Fixed-width append-only writer over a byte string. */
 struct Writer
@@ -181,31 +182,48 @@ encodeSigEntry(const SigEntry &e)
     w.f64(e.expThreadInsts);
     w.u64(e.expWarpInsts);
     w.u64(e.numCtas);
+    w.u32(e.auditCount);
+    w.u32(static_cast<uint32_t>(e.verdict));
+    w.f64(e.errEwma);
     w.u32(crc32(w.out.data(), w.out.size()));
     PKA_ASSERT(w.out.size() == kSigEntrySize,
                "signature entry codec drifted from kSigEntrySize");
     return std::move(w.out);
 }
 
-bool
-decodeSigEntry(const void *data, size_t size, SigEntry *out)
+SigDecodeStatus
+decodeSigEntryEx(const void *data, size_t size, SigEntry *out,
+                 uint32_t *versionOut)
 {
-    if (size != kSigEntrySize)
-        return false;
+    if (versionOut)
+        *versionOut = 0;
+    if (size != kSigEntrySizeV1 && size != kSigEntrySize)
+        return SigDecodeStatus::kCorrupt;
 
     const auto *bytes = static_cast<const unsigned char *>(data);
     uint32_t stored_crc;
-    std::memcpy(&stored_crc, bytes + kSigEntrySize - 4, 4);
-    if (crc32(bytes, kSigEntrySize - 4) != stored_crc)
-        return false;
+    std::memcpy(&stored_crc, bytes + size - 4, 4);
+    if (crc32(bytes, size - 4) != stored_crc)
+        return SigDecodeStatus::kCorrupt;
 
-    Reader r{bytes, kSigEntrySize - 4};
+    Reader r{bytes, size - 4};
     char magic[4];
     r.bytes(magic, sizeof magic);
     if (std::memcmp(magic, kSigMagic, sizeof kSigMagic) != 0)
-        return false;
-    if (r.u32() != kSigVersion)
-        return false;
+        return SigDecodeStatus::kCorrupt;
+    uint32_t version = r.u32();
+    if (versionOut)
+        *versionOut = version;
+    // The version must name exactly the layout the byte count implies:
+    // a v2 record truncated to the v1 size fails CRC above, but a
+    // record whose version field disagrees with its own length (or
+    // claims a format newer than this build) is version skew — intact
+    // bytes we must nevertheless refuse to serve.
+    if ((version == kSigVersionLegacy && size != kSigEntrySizeV1) ||
+        (version == kSigVersion && size != kSigEntrySize))
+        return SigDecodeStatus::kVersionSkew;
+    if (version != kSigVersionLegacy && version != kSigVersion)
+        return SigDecodeStatus::kVersionSkew;
 
     SigEntry e;
     e.key.specHash = r.u64();
@@ -223,12 +241,29 @@ decodeSigEntry(const void *data, size_t size, SigEntry *out)
     e.expThreadInsts = r.f64();
     e.expWarpInsts = r.u64();
     e.numCtas = r.u64();
+    if (version >= kSigVersion) {
+        e.auditCount = r.u32();
+        uint32_t verdict = r.u32();
+        e.errEwma = r.f64();
+        if (verdict > static_cast<uint32_t>(SigVerdict::kQuarantined))
+            return SigDecodeStatus::kCorrupt;
+        if (!(std::isfinite(e.errEwma) && e.errEwma >= 0.0))
+            return SigDecodeStatus::kCorrupt;
+        e.verdict = static_cast<SigVerdict>(verdict);
+    }
     if (!r.ok || r.left != 0)
-        return false;
+        return SigDecodeStatus::kCorrupt;
     if (!(e.expThreadInsts > 0) || e.numCtas == 0)
-        return false; // a projection basis of zero can never be served
+        return SigDecodeStatus::kCorrupt; // zero basis: never servable
     *out = std::move(e);
-    return true;
+    return SigDecodeStatus::kOk;
+}
+
+bool
+decodeSigEntry(const void *data, size_t size, SigEntry *out)
+{
+    return decodeSigEntryEx(data, size, out, nullptr) ==
+           SigDecodeStatus::kOk;
 }
 
 SignatureIndex::SignatureIndex(std::string root)
@@ -278,7 +313,7 @@ SignatureIndex::loadEntries()
     fs::recursive_directory_iterator it(root_, ec);
     if (ec)
         return;
-    uint64_t corrupt = 0;
+    uint64_t corrupt = 0, legacy = 0;
     for (const auto &f : it) {
         if (!f.is_regular_file(ec) || f.path().extension() != ".pks")
             continue;
@@ -308,7 +343,9 @@ SignatureIndex::loadEntries()
         }
 
         SigEntry e;
-        if (!decodeSigEntry(bytes.data(), got, &e)) {
+        uint32_t version = 0;
+        if (decodeSigEntryEx(bytes.data(), got, &e, &version) !=
+            SigDecodeStatus::kOk) {
             ++corrupt;
             warnRateLimited(
                 "sig.corrupt",
@@ -317,12 +354,16 @@ SignatureIndex::loadEntries()
                        f.path().string().c_str(), got));
             continue;
         }
+        if (version < 2)
+            ++legacy; // PR 8-era entry: serves as unaudited
         entries_.push_back(e);
         entryKeyHashes_.push_back(sim::kernelSimKeyHash(e.key));
     }
     loaded_.store(entries_.size(), std::memory_order_relaxed);
     if (corrupt)
         corruptSkipped_.fetch_add(corrupt, std::memory_order_relaxed);
+    if (legacy)
+        legacyLoaded_.fetch_add(legacy, std::memory_order_relaxed);
 }
 
 std::string
@@ -330,6 +371,25 @@ SignatureIndex::entryPath(uint64_t keyHash) const
 {
     std::string h = hex16(keyHash);
     return (fs::path(root_) / h.substr(0, 2) / (h + ".pks")).string();
+}
+
+uint64_t
+SignatureIndex::neighborhoodKey(const KernelSignature &sig)
+{
+    // Pool kGovernorCells grid cells per dimension (~6% relative
+    // mismatch in log space at the 1/1024 step) into one neighborhood:
+    // wide enough that a violating entry and the probes it would have
+    // served land in the same bucket, narrow enough that an unrelated
+    // kernel family keeps its own tolerance.
+    constexpr int32_t kGovernorCells = 64;
+    uint64_t h = 1469598103934665603ull; // FNV-1a
+    for (int32_t q : sig.q) {
+        int32_t cell = q >= 0 ? q / kGovernorCells
+                              : -((-q + kGovernorCells - 1) / kGovernorCells);
+        h ^= static_cast<uint32_t>(cell);
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 SigProbe
@@ -340,7 +400,12 @@ SignatureIndex::probe(const KernelSignature &sig, double tolerance) const
     uint64_t best_hash = 0;
     {
         std::lock_guard<std::mutex> lk(m_);
+        auto gov = governors_.find(neighborhoodKey(sig));
+        if (gov != governors_.end())
+            tolerance *= gov->second.scale;
         for (size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].verdict == SigVerdict::kQuarantined)
+                continue; // audited and found lying: never served again
             double d = sigDistance(sig, entries_[i].sig);
             if (d > tolerance)
                 continue;
@@ -356,6 +421,68 @@ SignatureIndex::probe(const KernelSignature &sig, double tolerance) const
     if (best.hit)
         probeHits_.fetch_add(1, std::memory_order_relaxed);
     return best;
+}
+
+void
+SignatureIndex::recordAudit(uint64_t keyHash, double observedErr,
+                            bool violation) const
+{
+    SigEntry updated;
+    bool resident = false;
+    bool newly_quarantined = false;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (size_t i = 0; i < entryKeyHashes_.size(); ++i) {
+            if (entryKeyHashes_[i] != keyHash)
+                continue;
+            SigEntry &e = entries_[i];
+            e.errEwma = e.auditCount == 0
+                            ? observedErr
+                            : kAuditEwmaAlpha * observedErr +
+                                  (1.0 - kAuditEwmaAlpha) * e.errEwma;
+            ++e.auditCount;
+            if (violation) {
+                newly_quarantined = e.verdict != SigVerdict::kQuarantined;
+                e.verdict = SigVerdict::kQuarantined;
+            } else if (e.verdict == SigVerdict::kUnaudited) {
+                e.verdict = SigVerdict::kClean;
+            }
+            updated = e;
+            resident = true;
+
+            // Adaptive tolerance governor of the entry's neighborhood.
+            GovernorState &g = governors_[neighborhoodKey(e.sig)];
+            if (violation) {
+                g.cleanStreak = 0;
+                if (g.scale > kGovernorFloor) {
+                    g.scale = std::max(kGovernorFloor, g.scale * 0.5);
+                    governorTightened_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            } else if (++g.cleanStreak >= kGovernorRelaxStreak) {
+                g.cleanStreak = 0;
+                if (g.scale < 1.0) {
+                    g.scale = std::min(1.0, g.scale * 1.25);
+                    governorRelaxed_.fetch_add(1,
+                                               std::memory_order_relaxed);
+                }
+            }
+            break;
+        }
+    }
+    if (!resident)
+        return; // evicted (or never indexed here): nothing to heal
+    auditsRecorded_.fetch_add(1, std::memory_order_relaxed);
+    if (violation) {
+        auditViolations_.fetch_add(1, std::memory_order_relaxed);
+        if (newly_quarantined)
+            warnRateLimited(
+                "sig.quarantine",
+                strfmt("signature index: quarantined entry %s after a "
+                       "bound violation (observed %.4f relative error)",
+                       hex16(keyHash).c_str(), observedErr));
+    }
+    persistEntry(updated, keyHash);
 }
 
 WriteAttempt
@@ -444,17 +571,22 @@ SignatureIndex::insert(const SigEntry &e) const
         trimResidentLocked();
     }
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    persistEntry(e, key_hash);
+}
 
+void
+SignatureIndex::persistEntry(const SigEntry &e, uint64_t keyHash) const
+{
     if (degraded_.load(std::memory_order_relaxed)) {
         persistsSkippedDegraded_.fetch_add(1, std::memory_order_relaxed);
         return; // entry stays resident; the tier is process-local now
     }
 
     std::string bytes = encodeSigEntry(e);
-    std::string final_path = entryPath(key_hash);
+    std::string final_path = entryPath(keyHash);
     for (unsigned attempt = 0; attempt < KernelResultStore::kIoAttempts;
          ++attempt) {
-        switch (tryWrite(bytes, final_path, key_hash)) {
+        switch (tryWrite(bytes, final_path, keyHash)) {
         case WriteAttempt::kOk:
             return;
         case WriteAttempt::kDiskFull:
@@ -547,6 +679,20 @@ SignatureIndex::stats() const
     s.persistsSkippedDegraded =
         persistsSkippedDegraded_.load(std::memory_order_relaxed);
     s.residentEvicted = residentEvicted_.load(std::memory_order_relaxed);
+    s.auditsRecorded = auditsRecorded_.load(std::memory_order_relaxed);
+    s.auditViolations = auditViolations_.load(std::memory_order_relaxed);
+    s.legacyLoaded = legacyLoaded_.load(std::memory_order_relaxed);
+    s.governorTightened =
+        governorTightened_.load(std::memory_order_relaxed);
+    s.governorRelaxed = governorRelaxed_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (const SigEntry &e : entries_)
+            if (e.verdict == SigVerdict::kQuarantined)
+                ++s.quarantined;
+        for (const auto &[key, g] : governors_)
+            s.governorMinScale = std::min(s.governorMinScale, g.scale);
+    }
     return s;
 }
 

@@ -44,6 +44,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -87,6 +88,19 @@ double sigDistance(const KernelSignature &a, const KernelSignature &b);
  */
 double sigErrorBound(double distance);
 
+/**
+ * Shadow-audit verdict of one index entry. Unaudited entries serve
+ * normally (the heuristic bound is all we have); clean entries have
+ * survived at least one ground-truth comparison; quarantined entries
+ * violated their certified bound and are never probed again.
+ */
+enum class SigVerdict : uint32_t
+{
+    kUnaudited = 0,
+    kClean = 1,
+    kQuarantined = 2,
+};
+
 /** One persisted index entry: signature -> exact-cache record. */
 struct SigEntry
 {
@@ -103,21 +117,55 @@ struct SigEntry
 
     /** Grid size of the neighbor launch. */
     uint64_t numCtas = 0;
+
+    // --- shadow-audit stats (v2 fields; v1 entries read as unaudited) ---
+
+    /** Ground-truth comparisons recorded against this entry. */
+    uint32_t auditCount = 0;
+
+    /** Audit outcome; kQuarantined entries are skipped by probe(). */
+    SigVerdict verdict = SigVerdict::kUnaudited;
+
+    /** EWMA of observed relative cycle error across audits. */
+    double errEwma = 0.0;
 };
 
-/** Exact on-disk size of a v1 signature-index entry in bytes. */
-constexpr size_t kSigEntrySize =
+/** Exact on-disk size of a v1 (PR 8-era) signature-index entry. */
+constexpr size_t kSigEntrySizeV1 =
     4 + 4 +                 // magic + version
     7 * 8 + 3 * 4 +         // key echo: 7 u64 + 2 u32 + scheduler
     kSigDims * 4 +          // quantized signature
     8 + 8 + 8 +             // expThreadInsts + expWarpInsts + numCtas
     4;                      // CRC-32
 
-/** Serialize one index entry. */
+/** Exact on-disk size of a v2 entry (v1 + persisted audit stats). */
+constexpr size_t kSigEntrySize =
+    kSigEntrySizeV1 +
+    4 + 4 +                 // auditCount + verdict
+    8;                      // errEwma
+
+/** Why a sig-entry decode refused the bytes (fsck classification). */
+enum class SigDecodeStatus
+{
+    kOk,          ///< decoded (v1 entries surface as unaudited)
+    kCorrupt,     ///< bad size / CRC / magic / field (torn or damaged)
+    kVersionSkew, ///< intact CRC but version does not match the layout
+                  ///< (mixed-version record or a future format)
+};
+
+/** Serialize one index entry (always the current v2 layout). */
 std::string encodeSigEntry(const SigEntry &e);
 
 /** Validate bytes and fill `*out`; false = corrupt (skip, never serve). */
 bool decodeSigEntry(const void *data, size_t size, SigEntry *out);
+
+/**
+ * decodeSigEntry with a typed refusal reason and the wire version read
+ * (0 when the header itself is unreadable). A v1 entry decodes kOk with
+ * zeroed audit fields — the migration contract.
+ */
+SigDecodeStatus decodeSigEntryEx(const void *data, size_t size,
+                                 SigEntry *out, uint32_t *versionOut);
 
 /** Counters of one signature index (atomic; snapshot for reporting). */
 struct SigIndexStatsSnapshot
@@ -137,6 +185,18 @@ struct SigIndexStatsSnapshot
     uint64_t degraded = 0;
     uint64_t persistsSkippedDegraded = 0; ///< persists dropped, degraded
     uint64_t residentEvicted = 0; ///< entries trimmed by --memo-budget-mb
+
+    // --- shadow-audit section ---
+    uint64_t auditsRecorded = 0;   ///< ground-truth comparisons recorded
+    uint64_t auditViolations = 0;  ///< observed error exceeded the bound
+    uint64_t quarantined = 0;      ///< resident entries under quarantine
+    uint64_t legacyLoaded = 0;     ///< v1 entries read as unaudited
+    uint64_t governorTightened = 0; ///< neighborhood tolerance cuts
+    uint64_t governorRelaxed = 0;   ///< cautious streak-driven relaxes
+
+    /** Smallest neighborhood tolerance scale in effect (1.0 = no
+     *  tightening anywhere). */
+    double governorMinScale = 1.0;
 };
 
 /** Result of one similarity probe. */
@@ -175,9 +235,34 @@ class SignatureIndex
      * Find the nearest stored entry within `tolerance` signature
      * distance of `sig`. Deterministic for a fixed entry set: ties
      * break on the smaller key hash, so probe results never depend on
-     * insertion order.
+     * insertion order. Quarantined entries are never candidates, and
+     * the tolerance is first scaled down by the adaptive governor of
+     * the probe signature's neighborhood (see recordAudit).
      */
     SigProbe probe(const KernelSignature &sig, double tolerance) const;
+
+    /**
+     * Record one shadow-audit observation for the entry keyed by
+     * `keyHash`: updates the entry's observed-error EWMA / audit count,
+     * quarantines it on a bound violation (probe() stops serving it,
+     * the quarantine persists across reopen), and drives the tolerance
+     * governor of the entry's signature neighborhood — a violation
+     * halves the neighborhood's effective probe tolerance immediately;
+     * `kGovernorRelaxStreak` consecutive clean audits cautiously widen
+     * it back toward 1x. No-op when the entry is no longer resident.
+     */
+    void recordAudit(uint64_t keyHash, double observedErr,
+                     bool violation) const;
+
+    /** Tolerance halvings stop at this fraction of the requested
+     *  tolerance (a poisoned neighborhood still probes, narrowly). */
+    static constexpr double kGovernorFloor = 0.125;
+
+    /** Clean audits in a row before a neighborhood relaxes by 1.25x. */
+    static constexpr unsigned kGovernorRelaxStreak = 8;
+
+    /** EWMA weight of the newest audit observation. */
+    static constexpr double kAuditEwmaAlpha = 0.25;
 
     /**
      * Add an entry (idempotent per exact-cache key) and persist it
@@ -213,6 +298,21 @@ class SignatureIndex
     void sweepOrphans();
     void loadEntries();
 
+    /** Encode + atomically persist one entry (bounded retries);
+     *  respects the degraded flag. */
+    void persistEntry(const SigEntry &e, uint64_t keyHash) const;
+
+    /** Per-signature-cell adaptive tolerance state. */
+    struct GovernorState
+    {
+        double scale = 1.0;       ///< multiplier on requested tolerance
+        unsigned cleanStreak = 0; ///< consecutive clean audits
+    };
+
+    /** Coarse neighborhood key of a signature (grid cells pooled so one
+     *  bad entry tightens its whole local similarity pocket). */
+    static uint64_t neighborhoodKey(const KernelSignature &sig);
+
     /** Flip into non-persisting mode (idempotent, warns once). */
     void markDegraded(const std::string &why) const;
 
@@ -237,6 +337,13 @@ class SignatureIndex
     mutable std::atomic<uint64_t> persistsSkippedDegraded_{0};
     mutable std::atomic<uint64_t> residentEvicted_{0};
     mutable std::atomic<uint64_t> residentBudgetBytes_{0};
+
+    mutable std::atomic<uint64_t> auditsRecorded_{0};
+    mutable std::atomic<uint64_t> auditViolations_{0};
+    mutable std::atomic<uint64_t> legacyLoaded_{0};
+    mutable std::atomic<uint64_t> governorTightened_{0};
+    mutable std::atomic<uint64_t> governorRelaxed_{0};
+    mutable std::map<uint64_t, GovernorState> governors_; // m_ held
 };
 
 /**

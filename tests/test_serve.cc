@@ -367,6 +367,54 @@ TEST(OnlinePks, FinishWithoutProfilesIsTypedError)
     EXPECT_EQ(sel.error().kind, ErrorKind::kBadInput);
 }
 
+TEST(OnlinePks, ShadowCheckIsReadOnlyAndDeterministic)
+{
+    std::vector<DetailedProfile> profiles = profilesFor("gauss_s64");
+    ASSERT_GT(profiles.size(), 32u);
+
+    pka::core::OnlinePksOptions oo;
+    oo.warmupLaunches = 16;
+    oo.reservoirCapacity = 24;
+
+    auto run = [&](size_t every) {
+        pka::core::OnlinePksOptions o = oo;
+        o.shadowCheckEvery = every;
+        pka::core::OnlinePks online(o);
+        for (const DetailedProfile &p : profiles)
+            EXPECT_TRUE(online.observe(p).ok());
+        Expected<pka::core::OnlinePksSelection> sel = online.finish();
+        EXPECT_TRUE(sel.ok());
+        return sel.value();
+    };
+
+    pka::core::OnlinePksSelection off = run(0);
+    pka::core::OnlinePksSelection on = run(8);
+    EXPECT_EQ(off.stats.shadowChecks, 0u);
+    EXPECT_GT(on.stats.shadowChecks, 0u);
+    EXPECT_GE(on.stats.lastShadowDivergence, 0.0);
+    EXPECT_LE(on.stats.lastShadowDivergence, 1.0);
+    EXPECT_LE(on.stats.shadowDivergences, on.stats.shadowChecks);
+
+    // Read-only contract: running the shadow check never perturbs the
+    // selection it audits — groups and projection are bit-identical to
+    // the check-free stream.
+    ASSERT_EQ(on.groups.size(), off.groups.size());
+    for (size_t i = 0; i < on.groups.size(); ++i) {
+        EXPECT_EQ(on.groups[i].representative,
+                  off.groups[i].representative);
+        EXPECT_EQ(on.groups[i].weight, off.groups[i].weight);
+    }
+    EXPECT_EQ(on.projectedCycles, off.projectedCycles);
+    EXPECT_EQ(on.stats.refits, off.stats.refits);
+
+    // And the check itself is deterministic for a fixed stream.
+    pka::core::OnlinePksSelection again = run(8);
+    EXPECT_EQ(again.stats.shadowChecks, on.stats.shadowChecks);
+    EXPECT_EQ(again.stats.shadowDivergences, on.stats.shadowDivergences);
+    EXPECT_EQ(again.stats.lastShadowDivergence,
+              on.stats.lastShadowDivergence);
+}
+
 // ---------------------------------------------------------------------
 // Daemon end to end (in-process server, real sockets).
 // ---------------------------------------------------------------------

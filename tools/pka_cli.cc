@@ -122,6 +122,28 @@ common options:
                               t bounds per-CTA counter mismatch by
                               e^t - 1, which is the reported error tag
 
+accuracy SLO (simulate/analyze/serve; both require --xcache):
+  --audit-rate F              shadow-audit sampling rate in [0,1]: a
+                              deterministic fraction F of similarity-
+                              served projections is re-simulated on a
+                              background lane and compared against
+                              ground truth; a projection whose observed
+                              error exceeds its certified bound
+                              quarantines the donor signature entry
+                              (persisted, survives restarts) and
+                              tightens the local tolerance governor.
+                              Default 0 = off; auditing never changes
+                              the campaign's own outputs
+  --audit-seed N              audit sampling seed (default 0)
+  --error-budget F            campaign accuracy budget: mean certified
+                              projection error (sum of per-launch error
+                              bounds over all launches) the campaign
+                              may accumulate. Exceeding it mid-campaign
+                              switches the remaining launches to
+                              simulate-through (no more projections);
+                              the campaign completes and the process
+                              exits 8. Default 0 = unbudgeted
+
 resource budgets (simulate/analyze/serve):
   --store-budget-mb N         cap the cache dir at N MiB; the store
                               evicts its oldest records to stay under
@@ -194,7 +216,8 @@ serve/client:
 client exit codes: 0 success; 3 campaign quorum not met; 4 request
 rejected as malformed (bad-input); 5 quota/policy rejection;
 6 connection or protocol failure; 7 daemon overloaded or draining
-(pressure, not policy — retry later).
+(pressure, not policy — retry later); 8 accuracy budget exceeded
+(campaign completed, tail ran simulate-through).
 
 serve signals: SIGTERM drains gracefully (stop admitting, finish
 in-flight campaigns, flush journals, exit 0); SIGINT stops now.
@@ -231,17 +254,39 @@ wantsTolerantCampaign(const CliArgs &args)
 {
     return args.has("min-quorum") || args.has("fail-fast") ||
            args.has("task-timeout") || args.has("max-retries") ||
-           args.has("faults");
+           args.has("faults") || args.has("error-budget");
 }
 
-/** Campaign failure policy from --min-quorum/--fail-fast. */
+/** Campaign failure policy from --min-quorum/--fail-fast/--error-budget. */
 core::CampaignPolicy
 policyFor(const CliArgs &args)
 {
     core::CampaignPolicy p;
     p.minQuorum = args.getNumInRange("min-quorum", 1.0, 0.0, 1.0);
     p.failFast = args.has("fail-fast");
+    p.errorBudget = args.getNumInRange("error-budget", 0.0, 0.0, 1.0);
+    if (p.errorBudget > 0.0 && !args.has("xcache"))
+        common::fatal("--error-budget requires --xcache (only projected "
+                      "results accrue certified error)");
     return p;
+}
+
+/**
+ * Map the accuracy SLO onto the exit code: a campaign that tripped its
+ * error budget completed (the tail ran simulate-through), but the
+ * result is typed as degraded — exit 8, after any quorum failure.
+ */
+int
+reportAccuracy(const char *stage, int health_rc, bool degraded,
+               double certified)
+{
+    if (!degraded)
+        return health_rc;
+    std::fprintf(stderr,
+                 "%s: accuracy budget exceeded (mean certified error "
+                 "%.4f); remaining launches ran simulate-through\n",
+                 stage, certified);
+    return health_rc != 0 ? health_rc : 8;
 }
 
 /**
@@ -544,10 +589,12 @@ cmdSimulate(const CliArgs &args)
                             proj.projectedLaunches),
                         static_cast<unsigned long long>(proj.simTierHits),
                         100.0 * proj.projErrBound);
-        return reportCampaignHealth("selection simulation",
-                                    proj.failedLaunches,
-                                    proj.quarantinedKernels,
-                                    proj.quorumMet, proj.failures);
+        int rc = reportCampaignHealth("selection simulation",
+                                      proj.failedLaunches,
+                                      proj.quarantinedKernels,
+                                      proj.quorumMet, proj.failures);
+        return reportAccuracy("selection simulation", rc,
+                              proj.accuracyDegraded, proj.certifiedError);
     }
 
     if (!core::isFullySimulable(w) && !args.has("force"))
@@ -585,9 +632,11 @@ cmdSimulate(const CliArgs &args)
                     w.launches.size(), fs.projectedPct(),
                     static_cast<unsigned long long>(fs.simTierHits),
                     100.0 * fs.projErrBound);
-    return reportCampaignHealth("full simulation", fs.failedLaunches,
-                                fs.quarantinedKernels, fs.quorumMet,
-                                fs.failures);
+    int rc = reportCampaignHealth("full simulation", fs.failedLaunches,
+                                  fs.quarantinedKernels, fs.quorumMet,
+                                  fs.failures);
+    return reportAccuracy("full simulation", rc, fs.accuracyDegraded,
+                          fs.certifiedError);
 }
 
 int
@@ -693,9 +742,13 @@ cmdAnalyze(const CliArgs &args)
     int rc_pks = reportCampaignHealth(
         "PKS stage", res.pks.failedLaunches, res.pks.quarantinedKernels,
         res.pks.quorumMet, res.pks.failures);
+    rc_pks = reportAccuracy("PKS stage", rc_pks, res.pks.accuracyDegraded,
+                            res.pks.certifiedError);
     int rc_pka = reportCampaignHealth(
         "PKA stage", res.pka.failedLaunches, res.pka.quarantinedKernels,
         res.pka.quorumMet, res.pka.failures);
+    rc_pka = reportAccuracy("PKA stage", rc_pka, res.pka.accuracyDegraded,
+                            res.pka.certifiedError);
     return rc_pks != 0 ? rc_pks : rc_pka;
 }
 
@@ -735,6 +788,12 @@ cmdFsck(const CliArgs &args)
         .intCell(static_cast<long long>(rep.sigMisnamed))
         .intCell(static_cast<long long>(rep.sigRenamed));
     t.print(std::cout);
+    if (rep.sigLegacy > 0 || rep.sigVersionSkew > 0)
+        std::printf("sig audit: %llu legacy (pre-audit) entr%s read as "
+                    "unaudited, %llu version-skewed (rejected)\n",
+                    static_cast<unsigned long long>(rep.sigLegacy),
+                    rep.sigLegacy == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(rep.sigVersionSkew));
     std::printf("journals: %llu scanned, %llu torn (%llu truncated), "
                 "%llu unreadable\n",
                 static_cast<unsigned long long>(rep.journalsScanned),
@@ -796,8 +855,14 @@ engineOptionsFor(const CliArgs &args)
         // anything above 1 are all fatal here, not silently clamped.
         eo.xcacheTolerance =
             args.getPositiveNum("xcache-tolerance", 0.05, 1.0);
+        eo.auditRate = args.getNumInRange("audit-rate", 0.0, 0.0, 1.0);
+        eo.auditSeed = args.getUint(
+            "audit-seed", 0, 0, std::numeric_limits<uint64_t>::max());
     } else if (args.has("xcache-tolerance")) {
         common::fatal("--xcache-tolerance requires --xcache");
+    } else if (args.has("audit-rate")) {
+        common::fatal("--audit-rate requires --xcache (only similarity "
+                      "projections are audited)");
     }
     return eo;
 }
@@ -825,6 +890,10 @@ cmdServe(const CliArgs &args)
         args.getUint("store-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
     so.memoBudgetBytes =
         args.getUint("memo-budget-mb", 0, 0, 1u << 30) * (1ull << 20);
+    so.errorBudget = args.getNumInRange("error-budget", 0.0, 0.0, 1.0);
+    if (so.errorBudget > 0.0 && !args.has("xcache"))
+        common::fatal("--error-budget requires --xcache (only projected "
+                      "results accrue certified error)");
 
     // Handle SIGINT/SIGTERM via sigwait on a dedicated thread: shutdown
     // takes locks, so it must run in normal thread context, not in an
@@ -984,6 +1053,23 @@ cmdClient(const CliArgs &args)
                     sim_total == 0 ? 0.0
                                    : 100.0 * static_cast<double>(sim_hits) /
                                          static_cast<double>(sim_total));
+        // Shadow-audit counters (absent fields — an older daemon, or
+        // auditing off — default to 0 and the line still prints, so
+        // operators can assert on it unconditionally).
+        std::printf("audit:  %llu sampled / %llu run / %llu shed, "
+                    "%llu violation(s), %llu quarantined sig(s), "
+                    "worst observed error %.4f\n",
+                    static_cast<unsigned long long>(
+                        replyUint(m, "audit_sampled")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "audit_run")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "audit_shed")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "audit_violations")),
+                    static_cast<unsigned long long>(
+                        replyUint(m, "quarantined_sigs")),
+                    replyDouble(m, "audit_max_err"));
         return 0;
     }
 
@@ -1071,7 +1157,19 @@ cmdClient(const CliArgs &args)
                          static_cast<unsigned long long>(
                              replyUint(m, "quarantined")),
                          quorum_met ? "met" : "NOT met");
-        return quorum_met ? 0 : 3;
+        // The daemon's accuracy SLO mirrors the batch path: the
+        // campaign completed, but the typed degradation surfaces as
+        // exit 8 (absent field = older daemon = 0 = clean).
+        bool degraded = replyUint(m, "accuracy") == 1;
+        if (degraded)
+            std::fprintf(stderr,
+                         "full simulation: accuracy budget exceeded "
+                         "(mean certified error %.4f); tail ran "
+                         "simulate-through\n",
+                         replyDouble(m, "cert_err"));
+        if (!quorum_met)
+            return 3;
+        return degraded ? 8 : 0;
     }
 
     serve::Message req{"STREAM", {}};
@@ -1249,6 +1347,33 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(g.insertFailures),
                     static_cast<unsigned long long>(g.ioRetries),
                     static_cast<unsigned long long>(g.orphansSwept));
+                // Similarity-audit section: printed only when auditing
+                // was active, keeping audit-off output byte-stable.
+                const sim::SimEngine &eng = sim::SimEngine::shared();
+                eng.auditDrain();
+                // Re-snapshot after the drain: audits that completed
+                // during it recorded into the index.
+                g = idx->stats();
+                sim::SimEngine::AuditSnapshot au = eng.auditStats();
+                if (au.sampled > 0 || g.auditsRecorded > 0)
+                    std::fprintf(
+                        stderr,
+                        "audit: %llu sampled / %llu run / %llu shed, "
+                        "%llu violation(s), worst observed error %.4f, "
+                        "%llu entr%s quarantined, governor %llu "
+                        "tighten(s) / %llu relax(es), min scale %.3f\n",
+                        static_cast<unsigned long long>(au.sampled),
+                        static_cast<unsigned long long>(au.run),
+                        static_cast<unsigned long long>(au.shed),
+                        static_cast<unsigned long long>(au.violations),
+                        au.maxObservedErr,
+                        static_cast<unsigned long long>(g.quarantined),
+                        g.quarantined == 1 ? "y" : "ies",
+                        static_cast<unsigned long long>(
+                            g.governorTightened),
+                        static_cast<unsigned long long>(
+                            g.governorRelaxed),
+                        g.governorMinScale);
             }
         }
         return rc;
